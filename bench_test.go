@@ -1,0 +1,284 @@
+package ccsched
+
+// Benchmark harness: one Benchmark per experiment row family of DESIGN.md's
+// per-experiment index (E1–E8, F1–F5). cmd/ccbench regenerates the full
+// tables with ratios; these benchmarks time the same code paths under
+// testing.B so `go test -bench=. -benchmem` reproduces the measurements in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"ccsched/internal/approx"
+	"ccsched/internal/core"
+	"ccsched/internal/exact"
+	"ccsched/internal/experiments"
+	"ccsched/internal/generator"
+	"ccsched/internal/nfold"
+	"ccsched/internal/ptas"
+)
+
+func benchInstance(n int, seed int64) *core.Instance {
+	return generator.Uniform(generator.Config{
+		N: n, Classes: n / 10, Machines: int64(n / 20), Slots: 3, PMax: 10000, Seed: seed,
+	})
+}
+
+// E1: splittable 2-approximation across families and sizes.
+func BenchmarkE1SplittableApprox(b *testing.B) {
+	for _, fam := range generator.Families() {
+		for _, n := range []int{100, 1000} {
+			in := fam.Gen(generator.Config{N: n, Classes: n / 10, Machines: int64(n / 20), Slots: 3, PMax: 10000, Seed: 11})
+			b.Run(fmt.Sprintf("%s/n=%d", fam.Name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := approx.SolveSplittable(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// E1 huge-m row: the Theorem 4 compact construction.
+func BenchmarkE1SplittableApproxHugeM(b *testing.B) {
+	in := &core.Instance{
+		P:     []int64{1 << 30, 1 << 29, 12345, 678},
+		Class: []int{0, 1, 2, 3},
+		M:     1 << 50,
+		Slots: 2,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := approx.SolveSplittable(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2: preemptive 2-approximation.
+func BenchmarkE2PreemptiveApprox(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		in := benchInstance(n, 21)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := approx.SolvePreemptive(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E3: non-preemptive 7/3-approximation.
+func BenchmarkE3NonPreemptiveApprox(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		in := benchInstance(n, 31)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := approx.SolveNonPreemptive(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E4: running-time scaling (doubling n; compare ns/op growth ≈ 4x).
+func BenchmarkE4Scaling(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000, 4000} {
+		in := benchInstance(n, 41)
+		b.Run(fmt.Sprintf("splittable/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := approx.SolveSplittable(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("nonpreemptive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := approx.SolveNonPreemptive(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Lemma 2 ablation: border search vs plain integer binary search.
+	in := benchInstance(2000, 42)
+	b.Run("bordersearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := approx.BorderSearchBound(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plainsearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := approx.PlainIntegerBound(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E5: splittable PTAS per ε (the N-fold grows with 1/ε).
+func BenchmarkE5SplittablePTAS(b *testing.B) {
+	in := generator.Uniform(generator.Config{N: 12, Classes: 4, Machines: 3, Slots: 2, PMax: 50, Seed: 51})
+	for _, eps := range []float64{1.0, 0.5} {
+		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ptas.SolveSplittable(in, ptas.Options{Epsilon: eps}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	huge := &core.Instance{
+		P:     []int64{900, 850, 400, 120, 60, 30},
+		Class: []int{0, 1, 1, 2, 3, 3},
+		M:     1 << 40,
+		Slots: 1,
+	}
+	b.Run("hugeM/eps=0.5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ptas.SolveSplittable(huge, ptas.Options{Epsilon: 0.5}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E6: non-preemptive PTAS.
+func BenchmarkE6NonPreemptivePTAS(b *testing.B) {
+	in := generator.Uniform(generator.Config{N: 10, Classes: 3, Machines: 3, Slots: 2, PMax: 40, Seed: 61})
+	for _, eps := range []float64{1.0, 0.5} {
+		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ptas.SolveNonPreemptive(in, ptas.Options{Epsilon: eps}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E7: preemptive PTAS (the heaviest construction; tiny instance).
+func BenchmarkE7PreemptivePTAS(b *testing.B) {
+	in := generator.Uniform(generator.Config{N: 8, Classes: 2, Machines: 2, Slots: 1, PMax: 30, Seed: 71})
+	for i := 0; i < b.N; i++ {
+		if _, err := ptas.SolvePreemptive(in, ptas.Options{Epsilon: 0.5, MaxNodes: 120}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8: N-fold engines on the splittable configuration ILP.
+func BenchmarkE8NFold(b *testing.B) {
+	in := generator.Uniform(generator.Config{N: 14, Classes: 4, Machines: 3, Slots: 2, PMax: 60, Seed: 81})
+	prob, err := ptas.BuildSplittableNFold(in, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("augment", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nfold.Solve(prob, &nfold.Options{Engine: nfold.EngineAugment}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("branchbound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Node-capped, as the PTAS probes run it; an uncapped first-
+			// feasible dive on this N-fold takes tens of seconds.
+			if _, err := nfold.Solve(prob, &nfold.Options{Engine: nfold.EngineBranchBound, FirstFeasible: true, MaxNodes: 2000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Exact baselines used by E3/E6 ratio columns.
+func BenchmarkExactNonPreemptive(b *testing.B) {
+	in := generator.Uniform(generator.Config{N: 12, Classes: 3, Machines: 3, Slots: 2, PMax: 50, Seed: 82})
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exact.NonPreemptive(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// F1: Figure 1 round-robin construction.
+func BenchmarkF1RoundRobin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.F1RoundRobin(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// F2: Figure 2 preemptive repacking.
+func BenchmarkF2Repack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.F2Repack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// F3: Figure 3 trivial configurations under exponential m.
+func BenchmarkF3PairSwap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.F3PairSwap(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// F5: Figure 5 / Lemma 16 flow network.
+func BenchmarkF5Flow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.F5FlowNetwork(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Core substrate micro-benchmarks.
+func BenchmarkLowerBound(b *testing.B) {
+	in := benchInstance(1000, 91)
+	for _, v := range core.Variants {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LowerBound(in, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkValidateSchedules(b *testing.B) {
+	in := benchInstance(1000, 92)
+	sres, err := approx.SolveSplittable(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pres, err := approx.SolvePreemptive(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("splittable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := sres.Compact.Validate(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("preemptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := pres.Schedule.Validate(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Package ccsched is a Go implementation of "Approximation Algorithms for
+// Scheduling with Class Constraints" (Jansen, Lassota, Maack, SPAA 2020).
+//
+// The Class-Constrained Scheduling problem assigns n jobs — each with a
+// processing time and a class — to m identical machines so the makespan is
+// minimized, under the constraint that every machine runs jobs from at most
+// c distinct classes. Three placement semantics are supported: splittable,
+// preemptive and non-preemptive (see Variant).
+//
+// The package offers the paper's two algorithm tiers:
+//
+//   - strongly polynomial constant-factor approximations —
+//     ApproxSplittable and ApproxPreemptive guarantee 2·OPT,
+//     ApproxNonPreemptive guarantees 7/3·OPT;
+//   - polynomial-time approximation schemes (PTAS) with makespan
+//     (1+ε)·OPT — PTASSplittable, PTASPreemptive, PTASNonPreemptive —
+//     built on configuration ILPs with N-fold structure.
+//
+// Exact optima for small instances (ratio measurement) live in
+// ExactNonPreemptive and ExactSplittable; certified lower bounds in
+// LowerBound. Instances can be built directly, parsed from the textual
+// format (ParseInstance), or generated from the built-in workload families
+// (Generate).
+//
+// Everything is pure Go standard library; the LP/ILP/N-fold machinery the
+// paper depends on is implemented in the internal packages of this module.
+package ccsched
+
+import (
+	"math/big"
+
+	"ccsched/internal/approx"
+	"ccsched/internal/core"
+	"ccsched/internal/exact"
+	"ccsched/internal/generator"
+	"ccsched/internal/hetslots"
+	"ccsched/internal/ptas"
+)
+
+// Core model re-exports.
+type (
+	// Instance is a CCS instance: processing times, classes, m machines
+	// with c class slots each.
+	Instance = core.Instance
+	// Variant selects splittable, preemptive or non-preemptive semantics.
+	Variant = core.Variant
+	// SplitSchedule is an explicit splittable schedule.
+	SplitSchedule = core.SplitSchedule
+	// CompactSplitSchedule run-length encodes splittable schedules for
+	// exponential machine counts.
+	CompactSplitSchedule = core.CompactSplitSchedule
+	// PreemptiveSchedule carries explicit piece start times.
+	PreemptiveSchedule = core.PreemptiveSchedule
+	// NonPreemptiveSchedule maps each job to one machine.
+	NonPreemptiveSchedule = core.NonPreemptiveSchedule
+	// GeneratorConfig parameterizes the workload families.
+	GeneratorConfig = generator.Config
+	// PTASOptions configures the approximation schemes.
+	PTASOptions = ptas.Options
+)
+
+// Variant constants.
+const (
+	Splittable    = core.Splittable
+	Preemptive    = core.Preemptive
+	NonPreemptive = core.NonPreemptive
+)
+
+// ErrInfeasible reports C > c·m (no schedule exists at any makespan).
+var ErrInfeasible = core.ErrInfeasible
+
+// ParseInstance reads the textual instance format.
+func ParseInstance(s string) (*Instance, error) { return core.ParseInstance(s) }
+
+// FormatInstance renders an instance in the textual format.
+func FormatInstance(in *Instance) string { return core.FormatInstance(in) }
+
+// CheckFeasible reports whether any schedule exists (C ≤ c·m).
+func CheckFeasible(in *Instance) error { return core.CheckFeasible(in) }
+
+// LowerBound returns a certified lower bound on the optimal makespan,
+// combining the area, p_max and class-slot-counting arguments.
+func LowerBound(in *Instance, v Variant) (*big.Rat, error) { return core.LowerBound(in, v) }
+
+// Generate produces an instance from the named workload family
+// ("uniform", "zipf", "fewlarge", "unitclasses", "thirds", "tightslots").
+func Generate(family string, cfg GeneratorConfig) (*Instance, error) {
+	f, err := generator.ByName(family)
+	if err != nil {
+		return nil, err
+	}
+	return f.Gen(cfg), nil
+}
+
+// GeneratorFamilies lists the built-in workload family names.
+func GeneratorFamilies() []string {
+	var out []string
+	for _, f := range generator.Families() {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// ApproxSplittable runs Algorithm 1 (Theorem 4): a 2-approximation for the
+// splittable variant in O(n² log n), valid for any machine count. The
+// result always carries a compact schedule; an explicit one is included
+// when m is moderate.
+func ApproxSplittable(in *Instance) (*approx.SplitResult, error) {
+	return approx.SolveSplittable(in)
+}
+
+// ApproxPreemptive runs Algorithm 1 + 2 (Theorem 5): a 2-approximation for
+// the preemptive variant in O(n² log n).
+func ApproxPreemptive(in *Instance) (*approx.PreemptiveResult, error) {
+	return approx.SolvePreemptive(in)
+}
+
+// ApproxNonPreemptive runs the Theorem 6 algorithm: a 7/3-approximation for
+// the non-preemptive variant in O(n² log² n).
+func ApproxNonPreemptive(in *Instance) (*approx.NonPreemptiveResult, error) {
+	return approx.SolveNonPreemptive(in)
+}
+
+// PTASSplittable runs the splittable approximation scheme (Theorems 10/11).
+func PTASSplittable(in *Instance, opts PTASOptions) (*ptas.SplitResult, error) {
+	return ptas.SolveSplittable(in, opts)
+}
+
+// PTASPreemptive runs the preemptive approximation scheme (Theorem 19).
+func PTASPreemptive(in *Instance, opts PTASOptions) (*ptas.PreemptiveResult, error) {
+	return ptas.SolvePreemptive(in, opts)
+}
+
+// PTASNonPreemptive runs the non-preemptive approximation scheme
+// (Theorem 14).
+func PTASNonPreemptive(in *Instance, opts PTASOptions) (*ptas.NonPreemptiveResult, error) {
+	return ptas.SolveNonPreemptive(in, opts)
+}
+
+// ExactNonPreemptive computes an optimal non-preemptive schedule for small
+// instances (≤ ~20 jobs) by branch and bound.
+func ExactNonPreemptive(in *Instance) (*NonPreemptiveSchedule, int64, error) {
+	return exact.NonPreemptive(in)
+}
+
+// ExactSplittable computes the optimal splittable makespan for small
+// instances (C, m ≤ 6) by slot-pattern enumeration plus LP.
+func ExactSplittable(in *Instance) (*big.Rat, error) {
+	return exact.Splittable(in)
+}
+
+// HetSlotsInstance is the machine-dependent class-slot variant the paper's
+// Section 5 poses as an open direction: machine i carries its own budget
+// c_i.
+type HetSlotsInstance = hetslots.Instance
+
+// SolveHetSlots runs the slot-aware adaptation of the Theorem 6 framework
+// on a heterogeneous-budget instance. No approximation guarantee is claimed
+// (the general variant is open); the schedule is validated and the result
+// reports the certified lower bound for ratio measurement.
+func SolveHetSlots(in *HetSlotsInstance) (*hetslots.Result, error) {
+	return hetslots.Solve(in)
+}

@@ -1,0 +1,60 @@
+// Command ccbench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: E1–E8 measure the paper's theorems, F1–F5 execute its
+// figures.
+//
+// Usage:
+//
+//	ccbench                # run everything
+//	ccbench -exp E1,E4,F5  # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccsched/internal/experiments"
+)
+
+func main() {
+	var exps = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+	all := map[string]func() (*experiments.Table, error){
+		"E1": experiments.E1Splittable,
+		"E2": experiments.E2Preemptive,
+		"E3": experiments.E3NonPreemptive,
+		"E4": experiments.E4Scaling,
+		"E5": experiments.E5SplittablePTAS,
+		"E6": experiments.E6NonPreemptivePTAS,
+		"E7": experiments.E7PreemptivePTAS,
+		"E8": experiments.E8NFold,
+		"F1": experiments.F1RoundRobin,
+		"F2": experiments.F2Repack,
+		"F3": experiments.F3PairSwap,
+		"F4": experiments.F4Dissolve,
+		"F5": experiments.F5FlowNetwork,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "F1", "F2", "F3", "F4", "F5"}
+	var run []string
+	if *exps == "" {
+		run = order
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := all[id]; !ok {
+				fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", id)
+				os.Exit(1)
+			}
+			run = append(run, id)
+		}
+	}
+	for _, id := range run {
+		tb, err := all[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tb.Format())
+	}
+}

@@ -1,0 +1,155 @@
+// Command ccsolve reads a CCS instance and solves it with a chosen
+// algorithm, reporting the makespan, the certified lower bound and the
+// resulting ratio, and validating the schedule before printing.
+//
+// Usage:
+//
+//	ccsolve -in inst.ccs -variant splittable -algo approx
+//	ccsolve -in inst.ccs -variant nonpreemptive -algo ptas -eps 0.5
+//	ccsolve -in inst.ccs -variant nonpreemptive -algo exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"time"
+
+	"ccsched"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ccsolve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		inFile  = flag.String("in", "", "instance file (textual format)")
+		variant = flag.String("variant", "splittable", "splittable | preemptive | nonpreemptive")
+		algo    = flag.String("algo", "approx", "approx | ptas | exact")
+		eps     = flag.Float64("eps", 0.5, "PTAS accuracy ε")
+	)
+	flag.Parse()
+	if *inFile == "" {
+		fail(fmt.Errorf("missing -in"))
+	}
+	data, err := os.ReadFile(*inFile)
+	if err != nil {
+		fail(err)
+	}
+	in, err := ccsched.ParseInstance(string(data))
+	if err != nil {
+		fail(err)
+	}
+	var v ccsched.Variant
+	switch *variant {
+	case "splittable":
+		v = ccsched.Splittable
+	case "preemptive":
+		v = ccsched.Preemptive
+	case "nonpreemptive":
+		v = ccsched.NonPreemptive
+	default:
+		fail(fmt.Errorf("unknown variant %q", *variant))
+	}
+	lb, err := ccsched.LowerBound(in, v)
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	var makespan *big.Rat
+	var detail string
+	switch {
+	case *algo == "approx" && v == ccsched.Splittable:
+		res, err := ccsched.ApproxSplittable(in)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Compact.Validate(in); err != nil {
+			fail(err)
+		}
+		makespan = res.Makespan()
+		detail = fmt.Sprintf("guess=%s groups=%d", res.Guess.RatString(), len(res.Compact.Groups))
+	case *algo == "approx" && v == ccsched.Preemptive:
+		res, err := ccsched.ApproxPreemptive(in)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			fail(err)
+		}
+		makespan = res.Makespan()
+		detail = fmt.Sprintf("guess=%s repacked=%v pieces=%d", res.Guess.RatString(), res.Repacked, res.Schedule.PieceCount())
+	case *algo == "approx" && v == ccsched.NonPreemptive:
+		res, err := ccsched.ApproxNonPreemptive(in)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			fail(err)
+		}
+		makespan = new(big.Rat).SetInt64(res.Makespan(in))
+		detail = fmt.Sprintf("guess=%d groups=%d", res.Guess, res.Groups)
+	case *algo == "ptas" && v == ccsched.Splittable:
+		res, err := ccsched.PTASSplittable(in, ccsched.PTASOptions{Epsilon: *eps})
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Compact.Validate(in); err != nil {
+			fail(err)
+		}
+		makespan = res.Makespan()
+		detail = fmt.Sprintf("guess=%d engine=%s nfold-vars=%d", res.Report.Guess, res.Report.Engine, res.Report.NFold.Vars)
+	case *algo == "ptas" && v == ccsched.Preemptive:
+		res, err := ccsched.PTASPreemptive(in, ccsched.PTASOptions{Epsilon: *eps})
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			fail(err)
+		}
+		makespan = res.Makespan()
+		detail = fmt.Sprintf("guess=%d engine=%s nfold-vars=%d", res.Report.Guess, res.Report.Engine, res.Report.NFold.Vars)
+	case *algo == "ptas" && v == ccsched.NonPreemptive:
+		res, err := ccsched.PTASNonPreemptive(in, ccsched.PTASOptions{Epsilon: *eps})
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			fail(err)
+		}
+		makespan = new(big.Rat).SetInt64(res.Makespan(in))
+		detail = fmt.Sprintf("guess=%d engine=%s nfold-vars=%d", res.Report.Guess, res.Report.Engine, res.Report.NFold.Vars)
+	case *algo == "exact" && v == ccsched.NonPreemptive:
+		sched, opt, err := ccsched.ExactNonPreemptive(in)
+		if err != nil {
+			fail(err)
+		}
+		if err := sched.Validate(in); err != nil {
+			fail(err)
+		}
+		makespan = new(big.Rat).SetInt64(opt)
+		detail = "optimal"
+	case *algo == "exact" && v == ccsched.Splittable:
+		opt, err := ccsched.ExactSplittable(in)
+		if err != nil {
+			fail(err)
+		}
+		makespan = opt
+		detail = "optimal (makespan only)"
+	default:
+		fail(fmt.Errorf("unsupported combination %s/%s", *algo, *variant))
+	}
+	elapsed := time.Since(start)
+	ratio := new(big.Rat).Quo(makespan, lb)
+	rf, _ := ratio.Float64()
+	fmt.Printf("instance : n=%d C=%d m=%d c=%d\n", in.N(), in.NumClasses(), in.M, in.Slots)
+	fmt.Printf("algorithm: %s (%s)\n", *algo, *variant)
+	fmt.Printf("makespan : %s\n", makespan.RatString())
+	fmt.Printf("lower bnd: %s\n", lb.RatString())
+	fmt.Printf("ratio    : %.4f (vs certified lower bound)\n", rf)
+	fmt.Printf("detail   : %s\n", detail)
+	fmt.Printf("time     : %s\n", elapsed.Round(time.Microsecond))
+}

@@ -1,0 +1,84 @@
+package ccsched_test
+
+import (
+	"fmt"
+
+	"ccsched"
+)
+
+// ExampleApproxNonPreemptive schedules a small instance with the paper's
+// 7/3-approximation and prints the makespan.
+func ExampleApproxNonPreemptive() {
+	in := &ccsched.Instance{
+		P:     []int64{4, 3, 5, 2},
+		Class: []int{0, 0, 1, 1},
+		M:     2,
+		Slots: 1, // machines host one class each
+	}
+	res, err := ccsched.ApproxNonPreemptive(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("makespan:", res.Makespan(in))
+	// Output: makespan: 7
+}
+
+// ExampleApproxSplittable shows that splitting drops the makespan to the
+// area bound when slots allow it.
+func ExampleApproxSplittable() {
+	in := &ccsched.Instance{
+		P:     []int64{100},
+		Class: []int{0},
+		M:     4,
+		Slots: 1,
+	}
+	res, err := ccsched.ApproxSplittable(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("makespan:", res.Makespan().RatString())
+	// Output: makespan: 25
+}
+
+// ExampleLowerBound certifies a bound the optimal makespan cannot beat.
+func ExampleLowerBound() {
+	in := &ccsched.Instance{
+		P:     []int64{30},
+		Class: []int{0},
+		M:     3,
+		Slots: 1,
+	}
+	lb, err := ccsched.LowerBound(in, ccsched.Splittable)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("lower bound:", lb.RatString())
+	// Output: lower bound: 10
+}
+
+// ExampleParseInstance reads the textual instance format.
+func ExampleParseInstance() {
+	in, err := ccsched.ParseInstance(`
+machines 2
+slots 1
+job 6 0
+job 4 1
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d C=%d m=%d\n", in.N(), in.NumClasses(), in.M)
+	// Output: n=2 C=2 m=2
+}
+
+// ExampleCheckFeasible demonstrates the C ≤ c·m feasibility condition.
+func ExampleCheckFeasible() {
+	in := &ccsched.Instance{
+		P:     []int64{1, 1, 1},
+		Class: []int{0, 1, 2},
+		M:     1,
+		Slots: 2, // three classes, two total slots: impossible
+	}
+	fmt.Println(ccsched.CheckFeasible(in))
+	// Output: core: more classes than total class slots (C > c*m)
+}

@@ -1,0 +1,72 @@
+// Video on demand: the class-constrained packing application of Xavier and
+// Miyazawa. Movies (classes) are striped onto disks (machines); each disk
+// can hold at most c movies, and each viewing request (job) must be served
+// from a disk storing its movie. Minimizing the peak disk load is the
+// non-preemptive CCS problem.
+//
+// The example contrasts the 7/3-approximation with the exact optimum on a
+// small catalog and with the certified lower bound on a large one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccsched"
+)
+
+func main() {
+	fmt.Println("video on demand: requests must be served from disks storing the movie")
+	fmt.Println()
+
+	// Small catalog: exact optimum is computable.
+	small := &ccsched.Instance{
+		// Requests per movie: blockbuster (class 0) dominates.
+		P:     []int64{9, 8, 7, 4, 3, 3, 2, 2},
+		Class: []int{0, 0, 0, 1, 1, 2, 2, 3},
+		M:     3,
+		Slots: 2,
+	}
+	res, err := ccsched.ApproxNonPreemptive(small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Schedule.Validate(small); err != nil {
+		log.Fatal(err)
+	}
+	_, opt, err := ccsched.ExactNonPreemptive(small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("small catalog (n=%d, movies=%d, disks=%d, slots=%d):\n",
+		small.N(), small.NumClasses(), small.M, small.Slots)
+	fmt.Printf("  7/3-approximation: peak load %d\n", res.Makespan(small))
+	fmt.Printf("  exact optimum:     peak load %d\n", opt)
+	fmt.Printf("  true ratio:        %.3f (guarantee 7/3 ≈ 2.333)\n\n",
+		float64(res.Makespan(small))/float64(opt))
+
+	// Large catalog: compare against the certified lower bound.
+	large, err := ccsched.Generate("fewlarge", ccsched.GeneratorConfig{
+		N: 1000, Classes: 50, Machines: 20, Slots: 4, PMax: 500, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lres, err := ccsched.ApproxNonPreemptive(large)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lres.Schedule.Validate(large); err != nil {
+		log.Fatal(err)
+	}
+	lb, err := ccsched.LowerBound(large, ccsched.NonPreemptive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lf, _ := lb.Float64()
+	fmt.Printf("large catalog (n=%d, movies=%d, disks=%d, slots=%d):\n",
+		large.N(), large.NumClasses(), large.M, large.Slots)
+	fmt.Printf("  7/3-approximation: peak load %d\n", lres.Makespan(large))
+	fmt.Printf("  lower bound:       %.1f\n", lf)
+	fmt.Printf("  ratio vs LB:       %.3f\n", float64(lres.Makespan(large))/lf)
+}

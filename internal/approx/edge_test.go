@@ -1,0 +1,122 @@
+package approx
+
+import (
+	"testing"
+
+	"ccsched/internal/core"
+)
+
+// TestSplittableHugeMOneSlot: the compact path with c = 1 must never stack
+// two classes on one machine (the overflow-pairing branch requires c ≥ 2,
+// which feasibility guarantees whenever stacking is needed).
+func TestSplittableHugeMOneSlot(t *testing.T) {
+	in := &core.Instance{
+		P:     []int64{1 << 20, 1 << 18, 999},
+		Class: []int{0, 1, 2},
+		M:     1 << 30,
+		Slots: 1,
+	}
+	res, err := SolveSplittable(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Compact.Validate(in); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	for gi, g := range res.Compact.Groups {
+		classes := map[int]bool{}
+		for _, pc := range g.Pieces {
+			classes[in.Class[pc.Job]] = true
+		}
+		if len(classes) > 1 {
+			t.Errorf("group %d mixes %d classes with c=1", gi, len(classes))
+		}
+	}
+}
+
+// TestSplittableHugeMSingleClass: one giant class across an astronomical
+// machine count exercises the per-job run-length splitting.
+func TestSplittableHugeMSingleClass(t *testing.T) {
+	in := &core.Instance{
+		P:     []int64{1 << 40, 1 << 39, 12345},
+		Class: []int{0, 0, 0},
+		M:     1 << 44,
+		Slots: 3,
+	}
+	res, err := SolveSplittable(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Compact.Validate(in); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	lb, err := core.LowerBound(in, core.Splittable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioAtMost(t, "single-class-huge", res.Makespan(), lb, 2, 1)
+	if len(res.Compact.Groups) > 32 {
+		t.Errorf("compact encoding has %d groups for 3 jobs", len(res.Compact.Groups))
+	}
+}
+
+// TestPreemptiveSingleMachine: m = 1 degenerates to sequential execution.
+func TestPreemptiveSingleMachine(t *testing.T) {
+	in := &core.Instance{P: []int64{4, 6, 2}, Class: []int{0, 1, 0}, M: 1, Slots: 2}
+	res, err := SolvePreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan().Cmp(core.RatInt(12)) != 0 {
+		t.Errorf("makespan %s, want 12 (sequential)", res.Makespan().RatString())
+	}
+}
+
+// TestNonPreemptiveSingleJobClasses: C = n with c = 1 forces a pure
+// load-balancing instance.
+func TestNonPreemptiveSingleJobClasses(t *testing.T) {
+	in := &core.Instance{
+		P:     []int64{9, 7, 5, 3, 1},
+		Class: []int{0, 1, 2, 3, 4},
+		M:     2,
+		Slots: 3,
+	}
+	res, err := SolveNonPreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := core.LowerBound(in, core.NonPreemptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioAtMost(t, "unit-classes", core.RatInt(res.Makespan(in)), lb, 7, 3)
+}
+
+// TestSplittableEqualLoadsTie: identical class loads stress the stable
+// ordering assumptions of round robin.
+func TestSplittableEqualLoadsTie(t *testing.T) {
+	in := &core.Instance{
+		P:     []int64{10, 10, 10, 10, 10, 10},
+		Class: []int{0, 1, 2, 3, 4, 5},
+		M:     3,
+		Slots: 2,
+	}
+	res, err := SolveSplittable(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Compact.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly balanced: 6 classes of 10 over 3 machines = 20 each,
+	// and the guess equals the area bound, so round robin is optimal.
+	if res.Makespan().Cmp(core.RatInt(20)) != 0 {
+		t.Errorf("makespan %s, want 20", res.Makespan().RatString())
+	}
+}

@@ -1,0 +1,172 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccsched/internal/core"
+	"ccsched/internal/generator"
+)
+
+func TestSolveNonPreemptiveAcrossFamilies(t *testing.T) {
+	for _, fam := range generator.Families() {
+		for ci, cfg := range testConfigs() {
+			in := fam.Gen(cfg)
+			res, err := SolveNonPreemptive(in)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", fam.Name, ci, err)
+			}
+			if err := res.Schedule.Validate(in); err != nil {
+				t.Fatalf("%s/%d: invalid schedule: %v", fam.Name, ci, err)
+			}
+			lb, err := core.LowerBound(in, core.NonPreemptive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratioAtMost(t, fam.Name, core.RatInt(res.Makespan(in)), lb, 7, 3)
+		}
+	}
+}
+
+func TestSolveNonPreemptiveManyMachinesIsOptimal(t *testing.T) {
+	in := &core.Instance{
+		P:     []int64{9, 5, 14, 2},
+		Class: []int{0, 1, 0, 2},
+		M:     4,
+		Slots: 1,
+	}
+	res, err := SolveNonPreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Makespan(in); got != 14 {
+		t.Errorf("makespan %d, want p_max = 14 (optimal)", got)
+	}
+}
+
+func TestSolveNonPreemptiveAdversarialThirds(t *testing.T) {
+	// The regime where the 7/3 analysis is tight: jobs just above T/2 and
+	// T/3 within each class.
+	in := generator.AdversarialThirds(generator.Config{
+		N: 48, Classes: 6, Machines: 6, Slots: 2, PMax: 600, Seed: 77,
+	})
+	res, err := SolveNonPreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := core.LowerBound(in, core.NonPreemptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioAtMost(t, "thirds", core.RatInt(res.Makespan(in)), lb, 7, 3)
+}
+
+func TestSplitClassesLPTInvariants(t *testing.T) {
+	in := generator.Uniform(generator.Config{N: 60, Classes: 5, Machines: 4, Slots: 3, PMax: 90, Seed: 41})
+	tGuess := in.PMax() * 2
+	groups := splitClassesLPT(in, tGuess)
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		var load int64
+		for _, j := range g.jobs {
+			if in.Class[j] != g.class {
+				t.Errorf("group of class %d contains job %d of class %d", g.class, j, in.Class[j])
+			}
+			if seen[j] {
+				t.Errorf("job %d appears in two groups", j)
+			}
+			seen[j] = true
+			load += in.P[j]
+		}
+		if load != g.load {
+			t.Errorf("group load %d does not match jobs (%d)", g.load, load)
+		}
+		// Theorem 6: LPT over C_u >= area groups stays within T + T/3.
+		if g.load > tGuess+tGuess/3+1 {
+			t.Errorf("group load %d exceeds 4/3 x %d", g.load, tGuess)
+		}
+	}
+	for j := range in.P {
+		if !seen[j] {
+			t.Errorf("job %d not assigned to any group", j)
+		}
+	}
+}
+
+func TestSolveNonPreemptiveInfeasible(t *testing.T) {
+	in := &core.Instance{P: []int64{3, 3, 3}, Class: []int{0, 1, 2}, M: 1, Slots: 1}
+	if _, err := SolveNonPreemptive(in); err == nil {
+		t.Error("want infeasibility error")
+	}
+}
+
+func TestSolveNonPreemptiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		in := &core.Instance{M: 1 + int64(rng.Intn(6)), Slots: 1 + rng.Intn(3)}
+		cc := 1 + rng.Intn(6)
+		for j := 0; j < n; j++ {
+			in.P = append(in.P, 1+int64(rng.Intn(60)))
+			in.Class = append(in.Class, rng.Intn(cc))
+		}
+		norm, _ := in.Normalize()
+		if core.CheckFeasible(norm) != nil {
+			return true
+		}
+		res, err := SolveNonPreemptive(norm)
+		if err != nil {
+			return false
+		}
+		if res.Schedule.Validate(norm) != nil {
+			return false
+		}
+		lb, err := core.LowerBound(norm, core.NonPreemptive)
+		if err != nil || lb.Sign() == 0 {
+			return false
+		}
+		return core.RatInt(res.Makespan(norm)).Cmp(core.RatMul(lb, core.RatFrac(7, 3))) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplittablePreemptiveNonPreemptiveOrdering checks the intuitive
+// dominance between the three relaxations on identical instances: the
+// splittable guess never exceeds the preemptive guess, which never exceeds
+// the non-preemptive guess.
+func TestVariantGuessOrdering(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		in := generator.Uniform(generator.Config{
+			N: 30, Classes: 6, Machines: 4, Slots: 2, PMax: 100, Seed: int64(100 + i),
+		})
+		sres, err := SolveSplittable(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := SolvePreemptive(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nres, err := SolveNonPreemptive(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Guess.Cmp(pres.Guess) > 0 {
+			t.Errorf("seed %d: splittable guess %s > preemptive guess %s",
+				100+i, sres.Guess.RatString(), pres.Guess.RatString())
+		}
+		if pres.Guess.Cmp(core.RatInt(nres.Guess)) > 0 {
+			t.Errorf("seed %d: preemptive guess %s > non-preemptive guess %d",
+				100+i, pres.Guess.RatString(), nres.Guess)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccsched/internal/core"
+	"ccsched/internal/generator"
+)
+
+func TestSolvePreemptiveAcrossFamilies(t *testing.T) {
+	for _, fam := range generator.Families() {
+		for ci, cfg := range testConfigs() {
+			in := fam.Gen(cfg)
+			res, err := SolvePreemptive(in)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", fam.Name, ci, err)
+			}
+			if err := res.Schedule.Validate(in); err != nil {
+				t.Fatalf("%s/%d: invalid schedule: %v", fam.Name, ci, err)
+			}
+			lb, err := core.LowerBound(in, core.Preemptive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratioAtMost(t, fam.Name, res.Makespan(), lb, 2, 1)
+		}
+	}
+}
+
+func TestSolvePreemptiveManyMachinesIsOptimal(t *testing.T) {
+	in := &core.Instance{
+		P:     []int64{9, 5, 14, 2},
+		Class: []int{0, 1, 0, 2},
+		M:     10,
+		Slots: 1,
+	}
+	res, err := SolvePreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Makespan(); got.Cmp(core.RatInt(14)) != 0 {
+		t.Errorf("makespan %s, want p_max = 14 (optimal)", got.RatString())
+	}
+}
+
+// TestSolvePreemptiveRepackRegression rebuilds the adversarial instance for
+// which stacking sub-classes directly from time zero makes the two pieces of
+// a cut job overlap: the Algorithm 2 shift is required.
+func TestSolvePreemptiveRepackRegression(t *testing.T) {
+	// Class 0: one job of 2. Class 1: one job of 8. Class 2: jobs 9 and 5,
+	// P_2 = 14 > T = 12, so job 1 of class 2 is cut at the window border.
+	in := &core.Instance{
+		P:     []int64{2, 8, 9, 5},
+		Class: []int{0, 1, 2, 2},
+		M:     2,
+		Slots: 2,
+	}
+	res, err := SolvePreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Repacked {
+		t.Error("expected the repacking branch to trigger")
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	lb, err := core.LowerBound(in, core.Preemptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioAtMost(t, "repack", res.Makespan(), lb, 2, 1)
+}
+
+func TestSolvePreemptiveNoRepackWhenNoSplit(t *testing.T) {
+	// All class loads below the guess: nothing is split, no repack.
+	in := &core.Instance{
+		P:     []int64{4, 4, 4, 4, 4, 4},
+		Class: []int{0, 1, 2, 3, 4, 5},
+		M:     2,
+		Slots: 3,
+	}
+	res, err := SolvePreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repacked {
+		t.Error("no class was split; repack should not trigger")
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolvePreemptiveInfeasible(t *testing.T) {
+	in := &core.Instance{P: []int64{3, 3, 3}, Class: []int{0, 1, 2}, M: 1, Slots: 1}
+	if _, err := SolvePreemptive(in); err == nil {
+		t.Error("want infeasibility error")
+	}
+}
+
+// TestSolvePreemptiveProperty fuzzes random instances: the schedule must
+// always validate (in particular, never run a job in parallel with itself)
+// and stay within twice the certified lower bound.
+func TestSolvePreemptiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		in := &core.Instance{M: 1 + int64(rng.Intn(6)), Slots: 1 + rng.Intn(3)}
+		cc := 1 + rng.Intn(6)
+		for j := 0; j < n; j++ {
+			in.P = append(in.P, 1+int64(rng.Intn(60)))
+			in.Class = append(in.Class, rng.Intn(cc))
+		}
+		norm, _ := in.Normalize()
+		if core.CheckFeasible(norm) != nil {
+			return true
+		}
+		res, err := SolvePreemptive(norm)
+		if err != nil {
+			return false
+		}
+		if res.Schedule.Validate(norm) != nil {
+			return false
+		}
+		lb, err := core.LowerBound(norm, core.Preemptive)
+		if err != nil || lb.Sign() == 0 {
+			return false
+		}
+		return res.Makespan().Cmp(core.RatMul(lb, core.RatInt(2))) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

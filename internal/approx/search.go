@@ -1,0 +1,63 @@
+package approx
+
+import (
+	"math/big"
+
+	"ccsched/internal/core"
+)
+
+// This file exposes the two makespan-guess searches side by side for the
+// E4 ablation: the paper's "advanced" binary search along class borders
+// P_u/k (Lemma 2, exact for rational optima) and the plain integer binary
+// search the paper falls back to for the preemptive and non-preemptive
+// cases, where the optimal makespan is integral.
+
+// BorderSearchBound returns the smallest feasible border value (Lemma 2),
+// i.e. the smallest rational T of the form P_u/k with Σ_u ⌈P_u/T⌉ ≤ c·m.
+func BorderSearchBound(in *core.Instance) (*big.Rat, error) {
+	return core.SlotLowerBoundSplit(in)
+}
+
+// PlainIntegerBound returns the smallest integer T ≥ 1 such that
+// Σ_u ⌈P_u/T⌉ ≤ c·m, found by a plain binary search over [1, max P_u].
+// For any instance, BorderSearchBound ≤ PlainIntegerBound ≤
+// ⌈BorderSearchBound⌉.
+func PlainIntegerBound(in *core.Instance) (int64, error) {
+	if err := core.CheckFeasible(in); err != nil {
+		return 0, err
+	}
+	loads := in.ClassLoads()
+	budget := int64(in.Slots)
+	if in.M <= (int64(1)<<60)/budget {
+		budget *= in.M
+	} else {
+		budget = int64(1) << 60
+	}
+	count := func(t int64) int64 {
+		var sum int64
+		for _, pu := range loads {
+			need := core.RatCeilDiv(pu, t)
+			if need > budget || sum > budget-need {
+				return budget + 1
+			}
+			sum += need
+		}
+		return sum
+	}
+	var hi int64 = 1
+	for _, pu := range loads {
+		if pu > hi {
+			hi = pu
+		}
+	}
+	lo := int64(1)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if count(mid) <= budget {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,304 @@
+// Package approx implements the strongly polynomial constant-factor
+// approximation algorithms of Section 3 of Jansen, Lassota, Maack
+// (SPAA 2020): the 2-approximation for the splittable and preemptive
+// variants (Algorithm 1 and its Algorithm 2 extension) and the
+// 7/3-approximation for the non-preemptive variant (Theorem 6).
+//
+// All three share the paper's framework: guess the makespan T via the
+// "advanced" binary search along class borders P_u/k (Lemma 2), split
+// classes whose accumulated load exceeds T into the minimum number of
+// sub-classes any schedule with makespan T must use, and distribute the
+// sub-classes by round robin in non-ascending load order (Lemma 3).
+package approx
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"ccsched/internal/core"
+)
+
+// ExplicitMachineLimit bounds the number of machines for which the
+// splittable solver emits an explicit piece-per-machine schedule. Above the
+// limit it switches to the compact machine-group construction of Theorem 4's
+// "Handling an Exponential Number of Machines" paragraph. Variable so tests
+// can force either path.
+var ExplicitMachineLimit int64 = 1 << 16
+
+// SplitResult is the output of SolveSplittable.
+type SplitResult struct {
+	// Compact is the schedule in machine-group form; always populated.
+	Compact *core.CompactSplitSchedule
+	// Explicit is the piece-per-machine form, populated only when the
+	// machine count is at most ExplicitMachineLimit.
+	Explicit *core.SplitSchedule
+	// Guess is the accepted makespan guess T̂ = max(LB, smallest feasible
+	// border); the schedule's makespan is at most LB + T̂ ≤ 2·OPT.
+	Guess *big.Rat
+	// LB is the area lower bound Σp_j/m.
+	LB *big.Rat
+	// SubClasses is the number of sub-classes after splitting.
+	SubClasses int64
+}
+
+// Makespan returns the schedule's makespan.
+func (r *SplitResult) Makespan() *big.Rat { return r.Compact.Makespan() }
+
+// pieceRef is a fragment of a job inside a sub-class.
+type pieceRef struct {
+	job  int
+	size *big.Rat
+}
+
+// bundle is a sub-class: a set of job fragments of one class with
+// accumulated load at most the guess T̂.
+type bundle struct {
+	class  int
+	load   *big.Rat
+	pieces []pieceRef
+}
+
+// SolveSplittable runs Algorithm 1 and returns a feasible schedule with
+// makespan at most 2·OPT in time O(n² log n), for any machine count
+// (Theorem 4). It returns core.ErrInfeasible when C > c·m.
+func SolveSplittable(in *core.Instance) (*SplitResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := core.CheckFeasible(in); err != nil {
+		return nil, err
+	}
+	lb := core.RatFrac(in.TotalLoad(), in.M)
+	border, err := core.SlotLowerBoundSplit(in)
+	if err != nil {
+		return nil, err
+	}
+	// T̂ = max(LB, smallest feasible border). Both terms lower-bound OPT and
+	// the slot count is monotone, so T̂ stays feasible; cutting at T̂ ≥ LB
+	// additionally caps the number of full-size windows by ΣP/T̂ ≤ m, which
+	// the compact path relies on.
+	guess := core.RatMax(lb, border)
+	if in.N() == 0 {
+		return &SplitResult{Compact: &core.CompactSplitSchedule{}, Guess: guess, LB: lb}, nil
+	}
+	if in.M <= ExplicitMachineLimit {
+		return solveSplittableExplicit(in, lb, guess)
+	}
+	return solveSplittableCompact(in, lb, guess)
+}
+
+// cutClasses slices every class into sub-classes of load at most t: full
+// windows of size exactly t plus at most one remainder per class. Jobs are
+// consumed in index order, so a job is cut only at window boundaries.
+func cutClasses(in *core.Instance, t *big.Rat) []bundle {
+	byClass := in.ClassJobs()
+	var out []bundle
+	for u, jobs := range byClass {
+		if len(jobs) == 0 {
+			continue
+		}
+		cur := bundle{class: u, load: new(big.Rat)}
+		for _, j := range jobs {
+			remaining := core.RatInt(in.P[j])
+			for remaining.Sign() > 0 {
+				room := core.RatSub(t, cur.load)
+				take := remaining
+				if take.Cmp(room) > 0 {
+					take = room
+				}
+				cur.pieces = append(cur.pieces, pieceRef{job: j, size: new(big.Rat).Set(take)})
+				cur.load = core.RatAdd(cur.load, take)
+				remaining = core.RatSub(remaining, take)
+				if cur.load.Cmp(t) == 0 {
+					out = append(out, cur)
+					cur = bundle{class: u, load: new(big.Rat)}
+				}
+			}
+		}
+		if cur.load.Sign() > 0 {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// sortBundles orders sub-classes by non-ascending load; ties keep the
+// construction order so that consecutive windows of one class stay adjacent
+// (the preemptive repacking argument relies on this).
+func sortBundles(bs []bundle) {
+	sort.SliceStable(bs, func(a, b int) bool { return bs[a].load.Cmp(bs[b].load) > 0 })
+}
+
+// roundRobin assigns sub-classes cyclically to machines 0..m-1 in the given
+// order and returns, per machine, the indices of its sub-classes.
+func roundRobin(count int, m int64) [][]int {
+	if int64(count) < m {
+		m = int64(count)
+	}
+	if m == 0 {
+		return nil
+	}
+	out := make([][]int, m)
+	for i := 0; i < count; i++ {
+		out[int64(i)%m] = append(out[int64(i)%m], i)
+	}
+	return out
+}
+
+func solveSplittableExplicit(in *core.Instance, lb, guess *big.Rat) (*SplitResult, error) {
+	bundles := cutClasses(in, guess)
+	sortBundles(bundles)
+	perMachine := roundRobin(len(bundles), in.M)
+	sched := &core.SplitSchedule{}
+	for i, idxs := range perMachine {
+		for _, bi := range idxs {
+			for _, pc := range bundles[bi].pieces {
+				sched.Pieces = append(sched.Pieces, core.SplitPiece{
+					Job: pc.job, Machine: int64(i), Size: pc.size,
+				})
+			}
+		}
+	}
+	return &SplitResult{
+		Compact:    core.FromSplit(sched),
+		Explicit:   sched,
+		Guess:      guess,
+		LB:         lb,
+		SubClasses: int64(len(bundles)),
+	}, nil
+}
+
+// solveSplittableCompact emits a machine-group schedule whose encoding stays
+// polynomial in n even for exponential m. The construction follows the
+// paper: only the C remainder sub-classes are handled explicitly; full
+// windows of size exactly T̂ are stored as run-length groups (per job, since
+// a class's interior windows consist of a single job's fragments), and any
+// overflow beyond m machines pairs a remainder with a full window — feasible
+// because overflow forces c ≥ 2.
+func solveSplittableCompact(in *core.Instance, lb, guess *big.Rat) (*SplitResult, error) {
+	byClass := in.ClassJobs()
+	type fullRun struct { // count machines, each one piece (job, T̂)
+		job   int
+		count int64
+	}
+	var runs []fullRun
+	var windows []bundle    // explicit full windows spanning a job boundary
+	var remainders []bundle // per-class remainder, load < T̂
+	for u, jobs := range byClass {
+		if len(jobs) == 0 {
+			continue
+		}
+		cur := bundle{class: u, load: new(big.Rat)}
+		for _, j := range jobs {
+			remaining := core.RatInt(in.P[j])
+			// Fill the open boundary window first.
+			if cur.load.Sign() > 0 {
+				room := core.RatSub(guess, cur.load)
+				take := remaining
+				if take.Cmp(room) > 0 {
+					take = room
+				}
+				cur.pieces = append(cur.pieces, pieceRef{job: j, size: new(big.Rat).Set(take)})
+				cur.load = core.RatAdd(cur.load, take)
+				remaining = core.RatSub(remaining, take)
+				if cur.load.Cmp(guess) == 0 {
+					windows = append(windows, cur)
+					cur = bundle{class: u, load: new(big.Rat)}
+				}
+			}
+			if remaining.Sign() == 0 {
+				continue
+			}
+			// Whole windows of this job alone: count = floor(remaining/T̂).
+			q := new(big.Rat).Quo(remaining, guess)
+			full := new(big.Int).Quo(q.Num(), q.Denom())
+			if full.Sign() > 0 {
+				cnt := full.Int64()
+				runs = append(runs, fullRun{job: j, count: cnt})
+				used := core.RatMul(guess, new(big.Rat).SetInt(full))
+				remaining = core.RatSub(remaining, used)
+			}
+			if remaining.Sign() > 0 {
+				cur.pieces = append(cur.pieces, pieceRef{job: j, size: remaining})
+				cur.load = new(big.Rat).Set(remaining)
+			}
+		}
+		if cur.load.Sign() > 0 {
+			remainders = append(remainders, cur)
+		}
+	}
+	var fullCount int64
+	for _, r := range runs {
+		fullCount += r.count
+	}
+	fullCount += int64(len(windows))
+	total := fullCount + int64(len(remainders))
+	overflow := total - in.M
+	if overflow > 0 && in.Slots < 2 {
+		// Cannot happen: overflow implies the slot count at T̂ exceeds m,
+		// yet feasibility guarantees count ≤ c·m, so c ≥ 2.
+		return nil, fmt.Errorf("approx: internal error: overflow %d with c=1", overflow)
+	}
+	sched := &core.CompactSplitSchedule{}
+	// Pair `overflow` remainders with full windows drawn from the runs.
+	paired := int64(0)
+	for paired < overflow && len(remainders) > 0 {
+		rem := remainders[len(remainders)-1]
+		remainders = remainders[:len(remainders)-1]
+		// Draw one full window: prefer run groups, fall back to explicit
+		// boundary windows.
+		var pieces []core.GroupPiece
+		switch {
+		case len(runs) > 0:
+			r := &runs[len(runs)-1]
+			pieces = append(pieces, core.GroupPiece{Job: r.job, Size: new(big.Rat).Set(guess)})
+			r.count--
+			if r.count == 0 {
+				runs = runs[:len(runs)-1]
+			}
+		case len(windows) > 0:
+			w := windows[len(windows)-1]
+			windows = windows[:len(windows)-1]
+			for _, pc := range w.pieces {
+				pieces = append(pieces, core.GroupPiece{Job: pc.job, Size: pc.size})
+			}
+		default:
+			return nil, fmt.Errorf("approx: internal error: overflow without full windows")
+		}
+		for _, pc := range rem.pieces {
+			pieces = append(pieces, core.GroupPiece{Job: pc.job, Size: pc.size})
+		}
+		sched.Groups = append(sched.Groups, core.MachineGroup{Count: 1, Pieces: pieces})
+		paired++
+	}
+	if paired < overflow {
+		return nil, fmt.Errorf("approx: internal error: could not place %d overflow sub-classes", overflow-paired)
+	}
+	for _, r := range runs {
+		sched.Groups = append(sched.Groups, core.MachineGroup{
+			Count:  r.count,
+			Pieces: []core.GroupPiece{{Job: r.job, Size: new(big.Rat).Set(guess)}},
+		})
+	}
+	for _, w := range windows {
+		var pieces []core.GroupPiece
+		for _, pc := range w.pieces {
+			pieces = append(pieces, core.GroupPiece{Job: pc.job, Size: pc.size})
+		}
+		sched.Groups = append(sched.Groups, core.MachineGroup{Count: 1, Pieces: pieces})
+	}
+	for _, rem := range remainders {
+		var pieces []core.GroupPiece
+		for _, pc := range rem.pieces {
+			pieces = append(pieces, core.GroupPiece{Job: pc.job, Size: pc.size})
+		}
+		sched.Groups = append(sched.Groups, core.MachineGroup{Count: 1, Pieces: pieces})
+	}
+	return &SplitResult{
+		Compact:    sched,
+		Guess:      guess,
+		LB:         lb,
+		SubClasses: total,
+	}, nil
+}

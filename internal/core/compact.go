@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// The splittable variant explicitly allows the number of machines m to be
+// exponential in n, so a schedule cannot always list machines one by one.
+// CompactSplitSchedule run-length encodes groups of machines that receive
+// the same piece layout, mirroring how Theorem 4 ("Handling an Exponential
+// Number of Machines") stores only the number of machines filled with two
+// size-T class pieces.
+
+// GroupPiece describes one piece placed on *each* machine of a group: every
+// machine in the group receives its own, distinct piece of job Job with the
+// given Size. The pieces are distinct job fragments, so a group of k
+// machines consumes k*Size units of the job.
+type GroupPiece struct {
+	Job  int
+	Size *big.Rat
+}
+
+// MachineGroup is a run of Count identical machines sharing a piece layout.
+type MachineGroup struct {
+	Count  int64
+	Pieces []GroupPiece
+}
+
+// Load returns the load of each machine in the group.
+func (g *MachineGroup) Load() *big.Rat {
+	l := new(big.Rat)
+	for _, pc := range g.Pieces {
+		l.Add(l, pc.Size)
+	}
+	return l
+}
+
+// CompactSplitSchedule is a splittable schedule in machine-group form. Its
+// encoding size is polynomial in n even when m is exponential.
+type CompactSplitSchedule struct {
+	Groups []MachineGroup
+}
+
+// Makespan returns the maximum group load.
+func (s *CompactSplitSchedule) Makespan() *big.Rat {
+	mx := new(big.Rat)
+	for i := range s.Groups {
+		if l := s.Groups[i].Load(); l.Cmp(mx) > 0 {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// Machines returns the total number of machines used by all groups.
+func (s *CompactSplitSchedule) Machines() int64 {
+	var total int64
+	for i := range s.Groups {
+		total += s.Groups[i].Count
+	}
+	return total
+}
+
+// Validate checks feasibility: group counts positive, total machines within
+// m, per-machine class budget respected inside every group, and per-job
+// totals (Σ Count*Size over all groups) equal to the processing times.
+func (s *CompactSplitSchedule) Validate(in *Instance) error {
+	jobTotal := make([]*big.Rat, in.N())
+	var used int64
+	for gi := range s.Groups {
+		g := &s.Groups[gi]
+		if g.Count <= 0 {
+			return fmt.Errorf("core: group %d has non-positive machine count %d", gi, g.Count)
+		}
+		used += g.Count
+		set := make(map[int]bool)
+		for _, pc := range g.Pieces {
+			if pc.Job < 0 || pc.Job >= in.N() {
+				return fmt.Errorf("core: group %d references job %d outside [0,%d)", gi, pc.Job, in.N())
+			}
+			if pc.Size == nil || pc.Size.Sign() <= 0 {
+				return fmt.Errorf("core: group %d piece of job %d has non-positive size", gi, pc.Job)
+			}
+			set[in.Class[pc.Job]] = true
+			if jobTotal[pc.Job] == nil {
+				jobTotal[pc.Job] = new(big.Rat)
+			}
+			jobTotal[pc.Job].Add(jobTotal[pc.Job], RatMul(pc.Size, RatInt(g.Count)))
+		}
+		if len(set) > in.Slots {
+			return fmt.Errorf("core: group %d hosts %d classes, budget is %d", gi, len(set), in.Slots)
+		}
+	}
+	if used > in.M {
+		return fmt.Errorf("core: schedule uses %d machines, instance has %d", used, in.M)
+	}
+	for j := range jobTotal {
+		want := RatInt(in.P[j])
+		if jobTotal[j] == nil || jobTotal[j].Cmp(want) != 0 {
+			got := "0"
+			if jobTotal[j] != nil {
+				got = jobTotal[j].RatString()
+			}
+			return fmt.Errorf("core: job %d group pieces sum to %s, want %d", j, got, in.P[j])
+		}
+	}
+	return nil
+}
+
+// Expand materializes the compact schedule as an explicit SplitSchedule.
+// It refuses to expand more than limit machines to protect callers from
+// exponential blow-ups.
+func (s *CompactSplitSchedule) Expand(limit int64) (*SplitSchedule, error) {
+	if total := s.Machines(); total > limit {
+		return nil, fmt.Errorf("core: refusing to expand %d machines (limit %d)", total, limit)
+	}
+	out := &SplitSchedule{}
+	var machine int64
+	for gi := range s.Groups {
+		g := &s.Groups[gi]
+		for k := int64(0); k < g.Count; k++ {
+			for _, pc := range g.Pieces {
+				out.Pieces = append(out.Pieces, SplitPiece{
+					Job:     pc.Job,
+					Machine: machine,
+					Size:    new(big.Rat).Set(pc.Size),
+				})
+			}
+			machine++
+		}
+	}
+	out.sortPieces()
+	return out, nil
+}
+
+// FromSplit converts an explicit schedule into (trivially compact) group
+// form, one group per machine. Useful for uniform reporting paths.
+func FromSplit(s *SplitSchedule) *CompactSplitSchedule {
+	perMachine := make(map[int64][]GroupPiece)
+	var order []int64
+	for _, pc := range s.Pieces {
+		if _, ok := perMachine[pc.Machine]; !ok {
+			order = append(order, pc.Machine)
+		}
+		perMachine[pc.Machine] = append(perMachine[pc.Machine], GroupPiece{Job: pc.Job, Size: pc.Size})
+	}
+	out := &CompactSplitSchedule{}
+	for _, i := range order {
+		out.Groups = append(out.Groups, MachineGroup{Count: 1, Pieces: perMachine[i]})
+	}
+	return out
+}

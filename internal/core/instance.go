@@ -1,0 +1,221 @@
+// Package core defines the Class-Constrained Scheduling (CCS) problem model:
+// instances, the three schedule variants of Jansen, Lassota and Maack
+// ("Approximation Algorithms for Scheduling with Class Constraints",
+// SPAA 2020), feasibility validation, makespan computation and certified
+// lower bounds.
+//
+// An instance consists of n jobs, each with an integral processing time and
+// a class, m identical machines, and a per-machine budget of c class slots:
+// a machine may execute jobs from at most c distinct classes. The objective
+// is always makespan minimization.
+//
+// Conventions: classes are 0-based (0..C-1) throughout the code base; the
+// paper uses 1-based classes. The number of machines is an int64 because the
+// splittable case explicitly permits m exponential in n.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Variant selects one of the three job-placement semantics studied in the
+// paper.
+type Variant int
+
+const (
+	// Splittable allows cutting jobs into arbitrary pieces; pieces of the
+	// same job may run in parallel on different machines.
+	Splittable Variant = iota
+	// Preemptive allows cutting jobs, but pieces of the same job must not
+	// overlap in time.
+	Preemptive
+	// NonPreemptive forbids splitting: each job runs on exactly one machine.
+	NonPreemptive
+)
+
+// String returns the conventional name of the variant.
+func (v Variant) String() string {
+	switch v {
+	case Splittable:
+		return "splittable"
+	case Preemptive:
+		return "preemptive"
+	case NonPreemptive:
+		return "non-preemptive"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Variants lists all three variants in the paper's order of introduction.
+var Variants = []Variant{Splittable, Preemptive, NonPreemptive}
+
+// Instance is a CCS instance I = [p_1..p_n, c_1..c_n, m, c].
+//
+// The zero value is an empty instance with no machines; call Validate before
+// handing an externally produced instance to an algorithm.
+type Instance struct {
+	// P holds the processing times p_j > 0 of the n jobs.
+	P []int64
+	// Class holds the 0-based class c_j of each job, parallel to P.
+	Class []int
+	// M is the number of identical machines (may be huge, up to 2^62).
+	M int64
+	// Slots is the per-machine class-slot budget c >= 1.
+	Slots int
+}
+
+// N returns the number of jobs.
+func (in *Instance) N() int { return len(in.P) }
+
+// NumClasses returns C, the number of classes, computed as one plus the
+// largest class index present. Instances produced by Normalize have every
+// class in 0..C-1 nonempty.
+func (in *Instance) NumClasses() int {
+	maxc := -1
+	for _, c := range in.Class {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	return maxc + 1
+}
+
+// TotalLoad returns the sum of all processing times.
+func (in *Instance) TotalLoad() int64 {
+	var s int64
+	for _, p := range in.P {
+		s += p
+	}
+	return s
+}
+
+// PMax returns the largest processing time, or 0 for an empty instance.
+func (in *Instance) PMax() int64 {
+	var mx int64
+	for _, p := range in.P {
+		if p > mx {
+			mx = p
+		}
+	}
+	return mx
+}
+
+// ClassLoads returns the accumulated processing time P_u of every class u,
+// indexed by class.
+func (in *Instance) ClassLoads() []int64 {
+	loads := make([]int64, in.NumClasses())
+	for j, p := range in.P {
+		loads[in.Class[j]] += p
+	}
+	return loads
+}
+
+// ClassJobs returns, for every class u, the indices of the jobs belonging
+// to u.
+func (in *Instance) ClassJobs() [][]int {
+	jobs := make([][]int, in.NumClasses())
+	for j, c := range in.Class {
+		jobs[c] = append(jobs[c], j)
+	}
+	return jobs
+}
+
+// Validate checks the structural invariants the algorithms in this module
+// rely on: parallel slices, positive processing times, non-negative classes,
+// at least one machine, at least one class slot. It does not require classes
+// to be contiguous; use Normalize for that.
+func (in *Instance) Validate() error {
+	if len(in.P) != len(in.Class) {
+		return fmt.Errorf("core: %d processing times but %d classes", len(in.P), len(in.Class))
+	}
+	if in.M < 1 {
+		return errors.New("core: need at least one machine")
+	}
+	if in.Slots < 1 {
+		return errors.New("core: need at least one class slot per machine")
+	}
+	for j, p := range in.P {
+		if p <= 0 {
+			return fmt.Errorf("core: job %d has non-positive processing time %d", j, p)
+		}
+		if in.Class[j] < 0 {
+			return fmt.Errorf("core: job %d has negative class %d", j, in.Class[j])
+		}
+	}
+	return nil
+}
+
+// Normalize returns a copy of the instance with class identifiers compacted
+// to 0..C-1 (preserving first-appearance order), with the slot budget capped
+// at min(c, C, n) as the paper assumes w.l.o.g., and reports the mapping
+// from new class ids to original ones.
+func (in *Instance) Normalize() (*Instance, []int) {
+	remap := make(map[int]int)
+	var orig []int
+	out := &Instance{
+		P:     append([]int64(nil), in.P...),
+		Class: make([]int, len(in.Class)),
+		M:     in.M,
+		Slots: in.Slots,
+	}
+	for j, c := range in.Class {
+		id, ok := remap[c]
+		if !ok {
+			id = len(orig)
+			remap[c] = id
+			orig = append(orig, c)
+		}
+		out.Class[j] = id
+	}
+	if cc := len(orig); out.Slots > cc && cc > 0 {
+		out.Slots = cc
+	}
+	if n := len(out.P); out.Slots > n && n > 0 {
+		out.Slots = n
+	}
+	return out, orig
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	return &Instance{
+		P:     append([]int64(nil), in.P...),
+		Class: append([]int(nil), in.Class...),
+		M:     in.M,
+		Slots: in.Slots,
+	}
+}
+
+// EncodingLength returns |I| = O(Σ⌈log p_j⌉ + Σ⌈log c_j⌉ + n + ⌈log m⌉), the
+// instance encoding length used in the paper's running-time statements.
+func (in *Instance) EncodingLength() int {
+	bitsOf := func(x int64) int {
+		if x <= 1 {
+			return 1
+		}
+		return bits.Len64(uint64(x))
+	}
+	total := bitsOf(in.M) + in.N()
+	for j, p := range in.P {
+		total += bitsOf(p) + bitsOf(int64(in.Class[j])+1)
+	}
+	return total
+}
+
+// EffectiveMachines returns the machine count that matters algorithmically:
+// for the preemptive and non-preemptive variants a schedule never benefits
+// from more than n machines, so m is capped at n there; the splittable
+// variant may genuinely use more than n machines (cap c*n pieces is still
+// enough, but we keep m as-is and rely on compact schedules).
+func (in *Instance) EffectiveMachines(v Variant) int64 {
+	if v == Splittable {
+		return in.M
+	}
+	if n := int64(in.N()); in.M > n {
+		return n
+	}
+	return in.M
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testInstance() *Instance {
+	return &Instance{
+		P:     []int64{5, 3, 8, 2, 7, 1},
+		Class: []int{0, 0, 1, 2, 1, 2},
+		M:     3,
+		Slots: 2,
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	cases := map[Variant]string{
+		Splittable:    "splittable",
+		Preemptive:    "preemptive",
+		NonPreemptive: "non-preemptive",
+		Variant(99):   "Variant(99)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Variant(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestInstanceBasics(t *testing.T) {
+	in := testInstance()
+	if got := in.N(); got != 6 {
+		t.Errorf("N() = %d, want 6", got)
+	}
+	if got := in.NumClasses(); got != 3 {
+		t.Errorf("NumClasses() = %d, want 3", got)
+	}
+	if got := in.TotalLoad(); got != 26 {
+		t.Errorf("TotalLoad() = %d, want 26", got)
+	}
+	if got := in.PMax(); got != 8 {
+		t.Errorf("PMax() = %d, want 8", got)
+	}
+	loads := in.ClassLoads()
+	want := []int64{8, 15, 3}
+	for u := range want {
+		if loads[u] != want[u] {
+			t.Errorf("ClassLoads()[%d] = %d, want %d", u, loads[u], want[u])
+		}
+	}
+}
+
+func TestClassJobs(t *testing.T) {
+	in := testInstance()
+	jobs := in.ClassJobs()
+	if len(jobs) != 3 {
+		t.Fatalf("ClassJobs() has %d classes, want 3", len(jobs))
+	}
+	wantLens := []int{2, 2, 2}
+	for u, js := range jobs {
+		if len(js) != wantLens[u] {
+			t.Errorf("class %d has %d jobs, want %d", u, len(js), wantLens[u])
+		}
+		for _, j := range js {
+			if in.Class[j] != u {
+				t.Errorf("job %d listed under class %d but has class %d", j, u, in.Class[j])
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Instance)
+		ok   bool
+	}{
+		{"valid", func(in *Instance) {}, true},
+		{"mismatched slices", func(in *Instance) { in.Class = in.Class[:2] }, false},
+		{"zero machines", func(in *Instance) { in.M = 0 }, false},
+		{"zero slots", func(in *Instance) { in.Slots = 0 }, false},
+		{"zero processing time", func(in *Instance) { in.P[0] = 0 }, false},
+		{"negative processing time", func(in *Instance) { in.P[1] = -3 }, false},
+		{"negative class", func(in *Instance) { in.Class[0] = -1 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := testInstance()
+			tc.mod(in)
+			err := in.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestNormalizeCompactsClasses(t *testing.T) {
+	in := &Instance{
+		P:     []int64{1, 2, 3, 4},
+		Class: []int{7, 2, 7, 9},
+		M:     2,
+		Slots: 10,
+	}
+	out, orig := in.Normalize()
+	if got := out.NumClasses(); got != 3 {
+		t.Fatalf("normalized NumClasses() = %d, want 3", got)
+	}
+	wantOrig := []int{7, 2, 9}
+	for i := range wantOrig {
+		if orig[i] != wantOrig[i] {
+			t.Errorf("orig[%d] = %d, want %d", i, orig[i], wantOrig[i])
+		}
+	}
+	// Slots capped at min(C, n) = 3.
+	if out.Slots != 3 {
+		t.Errorf("normalized Slots = %d, want 3", out.Slots)
+	}
+	// Original untouched.
+	if in.Class[0] != 7 || in.Slots != 10 {
+		t.Error("Normalize mutated its receiver")
+	}
+}
+
+func TestNormalizePreservesJobClassIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		in := &Instance{M: 1 + int64(rng.Intn(5)), Slots: 1 + rng.Intn(5)}
+		for j := 0; j < n; j++ {
+			in.P = append(in.P, 1+int64(rng.Intn(50)))
+			in.Class = append(in.Class, rng.Intn(100))
+		}
+		out, orig := in.Normalize()
+		for j := range in.Class {
+			if orig[out.Class[j]] != in.Class[j] {
+				return false
+			}
+		}
+		// Same-class pairs must stay same-class, distinct stay distinct.
+		for a := range in.Class {
+			for b := range in.Class {
+				if (in.Class[a] == in.Class[b]) != (out.Class[a] == out.Class[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	in := testInstance()
+	cp := in.Clone()
+	cp.P[0] = 999
+	cp.Class[0] = 99
+	cp.M = 77
+	if in.P[0] == 999 || in.Class[0] == 99 || in.M == 77 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestEncodingLength(t *testing.T) {
+	in := testInstance()
+	if got := in.EncodingLength(); got <= 0 {
+		t.Errorf("EncodingLength() = %d, want positive", got)
+	}
+	// Doubling processing-time magnitudes must not shrink the encoding.
+	big := in.Clone()
+	for j := range big.P {
+		big.P[j] *= 1 << 20
+	}
+	if big.EncodingLength() <= in.EncodingLength() {
+		t.Error("larger numbers should not shrink the encoding length")
+	}
+}
+
+func TestEffectiveMachines(t *testing.T) {
+	in := testInstance()
+	in.M = 1 << 40
+	if got := in.EffectiveMachines(Splittable); got != 1<<40 {
+		t.Errorf("splittable keeps m: got %d", got)
+	}
+	if got := in.EffectiveMachines(Preemptive); got != int64(in.N()) {
+		t.Errorf("preemptive caps m at n: got %d", got)
+	}
+	if got := in.EffectiveMachines(NonPreemptive); got != int64(in.N()) {
+		t.Errorf("non-preemptive caps m at n: got %d", got)
+	}
+	in.M = 2
+	if got := in.EffectiveMachines(NonPreemptive); got != 2 {
+		t.Errorf("small m preserved: got %d", got)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Textual instance format, used by the cmd/ tools and example programs:
+//
+//	# comment lines and blank lines are ignored
+//	machines <m>
+//	slots <c>
+//	job <p> <class>        (one line per job, class 0-based)
+//
+// The format is line-oriented and order-insensitive apart from job order.
+
+// WriteInstance writes the instance in the textual format.
+func WriteInstance(w io.Writer, in *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "machines %d\n", in.M)
+	fmt.Fprintf(bw, "slots %d\n", in.Slots)
+	for j := range in.P {
+		fmt.Fprintf(bw, "job %d %d\n", in.P[j], in.Class[j])
+	}
+	return bw.Flush()
+}
+
+// ReadInstance parses the textual format and validates the result.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	in := &Instance{}
+	lineno := 0
+	sawMachines, sawSlots := false, false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "machines":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("core: line %d: machines needs one argument", lineno)
+			}
+			m, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineno, err)
+			}
+			in.M = m
+			sawMachines = true
+		case "slots":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("core: line %d: slots needs one argument", lineno)
+			}
+			c, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineno, err)
+			}
+			in.Slots = c
+			sawSlots = true
+		case "job":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("core: line %d: job needs <p> <class>", lineno)
+			}
+			p, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineno, err)
+			}
+			cl, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineno, err)
+			}
+			in.P = append(in.P, p)
+			in.Class = append(in.Class, cl)
+		default:
+			return nil, fmt.Errorf("core: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawMachines || !sawSlots {
+		return nil, fmt.Errorf("core: missing %q or %q directive", "machines", "slots")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// FormatInstance renders the instance as a string in the textual format.
+func FormatInstance(in *Instance) string {
+	var b strings.Builder
+	_ = WriteInstance(&b, in)
+	return b.String()
+}
+
+// ParseInstance parses an instance from a string in the textual format.
+func ParseInstance(s string) (*Instance, error) {
+	return ReadInstance(strings.NewReader(s))
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	in := testInstance()
+	text := FormatInstance(in)
+	got, err := ParseInstance(text)
+	if err != nil {
+		t.Fatalf("ParseInstance() = %v", err)
+	}
+	if got.M != in.M || got.Slots != in.Slots || got.N() != in.N() {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
+	}
+	for j := range in.P {
+		if got.P[j] != in.P[j] || got.Class[j] != in.Class[j] {
+			t.Errorf("job %d mismatch", j)
+		}
+	}
+}
+
+func TestParseInstanceCommentsAndBlanks(t *testing.T) {
+	text := `
+# a comment
+machines 5
+
+slots 2
+job 10 0
+# trailing comment
+job 7 1
+`
+	in, err := ParseInstance(text)
+	if err != nil {
+		t.Fatalf("ParseInstance() = %v", err)
+	}
+	if in.M != 5 || in.Slots != 2 || in.N() != 2 {
+		t.Errorf("parsed %+v", in)
+	}
+}
+
+func TestParseInstanceErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"missing machines", "slots 1\njob 1 0\n"},
+		{"missing slots", "machines 1\njob 1 0\n"},
+		{"bad directive", "machines 1\nslots 1\nfrob 1\n"},
+		{"machines arity", "machines\nslots 1\n"},
+		{"slots arity", "machines 1\nslots\n"},
+		{"job arity", "machines 1\nslots 1\njob 3\n"},
+		{"bad number", "machines x\nslots 1\n"},
+		{"bad slot number", "machines 1\nslots x\n"},
+		{"bad job number", "machines 1\nslots 1\njob x 0\n"},
+		{"bad job class", "machines 1\nslots 1\njob 3 x\n"},
+		{"invalid instance", "machines 0\nslots 1\njob 3 0\n"},
+		{"non-positive job", "machines 1\nslots 1\njob 0 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseInstance(tc.text); err == nil {
+				t.Errorf("ParseInstance(%q) = nil error", tc.text)
+			}
+		})
+	}
+}
+
+func TestWriteInstanceOutput(t *testing.T) {
+	in := &Instance{P: []int64{4}, Class: []int{1}, M: 2, Slots: 1}
+	text := FormatInstance(in)
+	for _, want := range []string{"machines 2", "slots 1", "job 4 1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// PreemptivePiece is one fragment of a job in a preemptive schedule. Unlike
+// the splittable case, a piece carries an explicit start time, because
+// pieces of the same job must not overlap in time.
+type PreemptivePiece struct {
+	Job     int
+	Machine int64
+	Start   *big.Rat
+	Size    *big.Rat
+}
+
+// End returns Start+Size.
+func (p *PreemptivePiece) End() *big.Rat { return RatAdd(p.Start, p.Size) }
+
+// PreemptiveSchedule is a schedule σ = (π, λ, ξ, µ) for the preemptive
+// variant: jobs may be cut, but two pieces of the same job — and two pieces
+// sharing a machine — must occupy disjoint time intervals.
+type PreemptiveSchedule struct {
+	Pieces []PreemptivePiece
+}
+
+// Makespan returns the largest piece end time.
+func (s *PreemptiveSchedule) Makespan() *big.Rat {
+	mx := new(big.Rat)
+	for i := range s.Pieces {
+		if e := s.Pieces[i].End(); e.Cmp(mx) > 0 {
+			mx = e
+		}
+	}
+	return mx
+}
+
+// MachineLoads returns the summed processing per non-empty machine.
+func (s *PreemptiveSchedule) MachineLoads() map[int64]*big.Rat {
+	loads := make(map[int64]*big.Rat)
+	for i := range s.Pieces {
+		pc := &s.Pieces[i]
+		l := loads[pc.Machine]
+		if l == nil {
+			l = new(big.Rat)
+			loads[pc.Machine] = l
+		}
+		l.Add(l, pc.Size)
+	}
+	return loads
+}
+
+type interval struct {
+	start, end *big.Rat
+	piece      int
+}
+
+func overlapInSorted(ivs []interval) (int, int, bool) {
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].start.Cmp(ivs[b].start) < 0 })
+	for k := 1; k < len(ivs); k++ {
+		if ivs[k-1].end.Cmp(ivs[k].start) > 0 {
+			return ivs[k-1].piece, ivs[k].piece, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Validate checks feasibility for the preemptive variant: positive sizes,
+// non-negative starts, machines within range, per-job sizes summing to p_j,
+// at most c classes per machine, no two pieces overlapping on one machine,
+// and no two pieces of the same job overlapping in time anywhere.
+func (s *PreemptiveSchedule) Validate(in *Instance) error {
+	jobTotal := make([]*big.Rat, in.N())
+	byMachine := make(map[int64][]interval)
+	byJob := make(map[int][]interval)
+	classes := make(map[int64]map[int]bool)
+	for k := range s.Pieces {
+		pc := &s.Pieces[k]
+		if pc.Job < 0 || pc.Job >= in.N() {
+			return fmt.Errorf("core: piece %d references job %d outside [0,%d)", k, pc.Job, in.N())
+		}
+		if pc.Machine < 0 || pc.Machine >= in.M {
+			return fmt.Errorf("core: piece %d on machine %d outside [0,%d)", k, pc.Machine, in.M)
+		}
+		if pc.Size == nil || pc.Size.Sign() <= 0 {
+			return fmt.Errorf("core: piece %d of job %d has non-positive size", k, pc.Job)
+		}
+		if pc.Start == nil || pc.Start.Sign() < 0 {
+			return fmt.Errorf("core: piece %d of job %d starts before time zero", k, pc.Job)
+		}
+		if jobTotal[pc.Job] == nil {
+			jobTotal[pc.Job] = new(big.Rat)
+		}
+		jobTotal[pc.Job].Add(jobTotal[pc.Job], pc.Size)
+		iv := interval{start: pc.Start, end: pc.End(), piece: k}
+		byMachine[pc.Machine] = append(byMachine[pc.Machine], iv)
+		byJob[pc.Job] = append(byJob[pc.Job], iv)
+		set := classes[pc.Machine]
+		if set == nil {
+			set = make(map[int]bool)
+			classes[pc.Machine] = set
+		}
+		set[in.Class[pc.Job]] = true
+		if len(set) > in.Slots {
+			return fmt.Errorf("core: machine %d hosts %d classes, budget is %d", pc.Machine, len(set), in.Slots)
+		}
+	}
+	for j := range jobTotal {
+		want := RatInt(in.P[j])
+		if jobTotal[j] == nil || jobTotal[j].Cmp(want) != 0 {
+			got := "0"
+			if jobTotal[j] != nil {
+				got = jobTotal[j].RatString()
+			}
+			return fmt.Errorf("core: job %d pieces sum to %s, want %d", j, got, in.P[j])
+		}
+	}
+	for i, ivs := range byMachine {
+		if a, b, bad := overlapInSorted(ivs); bad {
+			return fmt.Errorf("core: pieces %d and %d overlap on machine %d", a, b, i)
+		}
+	}
+	for j, ivs := range byJob {
+		if a, b, bad := overlapInSorted(ivs); bad {
+			return fmt.Errorf("core: pieces %d and %d of job %d run in parallel", a, b, j)
+		}
+	}
+	return nil
+}
+
+// PieceCount returns the number of pieces in the schedule.
+func (s *PreemptiveSchedule) PieceCount() int { return len(s.Pieces) }
+
+// UsedMachines returns the number of distinct machines receiving load.
+func (s *PreemptiveSchedule) UsedMachines() int64 {
+	seen := make(map[int64]bool)
+	for i := range s.Pieces {
+		seen[s.Pieces[i].Machine] = true
+	}
+	return int64(len(seen))
+}

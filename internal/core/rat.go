@@ -1,0 +1,43 @@
+package core
+
+import "math/big"
+
+// Rational helpers. Split and preemptive schedules carry exact rational
+// piece sizes so that feasibility validation never suffers floating-point
+// drift: the constant-factor algorithms cut classes at thresholds of the
+// form P_u/k, whose denominators are bounded by m, and the PTASs cut at
+// multiples of δ²T.
+
+// RatInt returns x as an exact rational.
+func RatInt(x int64) *big.Rat { return new(big.Rat).SetInt64(x) }
+
+// RatFrac returns num/den as an exact rational. den must be nonzero.
+func RatFrac(num, den int64) *big.Rat { return big.NewRat(num, den) }
+
+// RatAdd returns a+b as a fresh rational.
+func RatAdd(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
+
+// RatSub returns a-b as a fresh rational.
+func RatSub(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }
+
+// RatMul returns a*b as a fresh rational.
+func RatMul(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
+
+// RatMax returns the larger of a and b (a on ties).
+func RatMax(a, b *big.Rat) *big.Rat {
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// RatCeilDiv returns ⌈a/b⌉ for positive integers a,b.
+func RatCeilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// RatFloat returns a float64 approximation of r, for reporting only.
+func RatFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}

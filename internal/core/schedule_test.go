@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestNonPreemptiveMakespanAndValidate(t *testing.T) {
+	in := testInstance() // P = 5,3,8,2,7,1; classes 0,0,1,2,1,2; m=3, c=2
+	s := &NonPreemptiveSchedule{Assign: []int64{0, 0, 1, 2, 1, 2}}
+	if err := s.Validate(in); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	if got := s.Makespan(in); got != 15 {
+		t.Errorf("Makespan() = %d, want 15", got)
+	}
+	if got := s.UsedMachines(); got != 3 {
+		t.Errorf("UsedMachines() = %d, want 3", got)
+	}
+	loads := s.MachineLoads(in)
+	if loads[0] != 8 || loads[1] != 15 || loads[2] != 3 {
+		t.Errorf("MachineLoads() = %v", loads)
+	}
+}
+
+func TestNonPreemptiveValidateRejections(t *testing.T) {
+	in := testInstance()
+	cases := []struct {
+		name string
+		s    *NonPreemptiveSchedule
+	}{
+		{"wrong length", &NonPreemptiveSchedule{Assign: []int64{0, 1}}},
+		{"machine out of range", &NonPreemptiveSchedule{Assign: []int64{0, 0, 1, 2, 1, 3}}},
+		{"negative machine", &NonPreemptiveSchedule{Assign: []int64{-1, 0, 1, 2, 1, 2}}},
+		// Machine 0 gets classes 0,1,2 with budget 2.
+		{"class budget exceeded", &NonPreemptiveSchedule{Assign: []int64{0, 0, 0, 0, 1, 2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.s.Validate(in); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestSplitScheduleRoundTrip(t *testing.T) {
+	in := testInstance()
+	// Split job 2 (p=8, class 1) across machines 0 and 1.
+	s := &SplitSchedule{Pieces: []SplitPiece{
+		{Job: 0, Machine: 0, Size: RatInt(5)},
+		{Job: 1, Machine: 0, Size: RatInt(3)},
+		{Job: 2, Machine: 0, Size: RatFrac(5, 2)},
+		{Job: 2, Machine: 1, Size: RatFrac(11, 2)},
+		{Job: 3, Machine: 2, Size: RatInt(2)},
+		{Job: 4, Machine: 1, Size: RatInt(7)},
+		{Job: 5, Machine: 2, Size: RatInt(1)},
+	}}
+	if err := s.Validate(in); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	want := RatFrac(25, 2) // machine 1: 11/2 + 7
+	if got := s.Makespan(); got.Cmp(want) != 0 {
+		t.Errorf("Makespan() = %s, want %s", got.RatString(), want.RatString())
+	}
+	if got := s.PieceCount(); got != 7 {
+		t.Errorf("PieceCount() = %d, want 7", got)
+	}
+	if got := s.UsedMachines(); got != 3 {
+		t.Errorf("UsedMachines() = %d, want 3", got)
+	}
+}
+
+func TestSplitValidateRejections(t *testing.T) {
+	in := testInstance()
+	base := func() []SplitPiece {
+		var ps []SplitPiece
+		for j := range in.P {
+			ps = append(ps, SplitPiece{Job: j, Machine: int64(in.Class[j]), Size: RatInt(in.P[j])})
+		}
+		return ps
+	}
+	t.Run("valid base", func(t *testing.T) {
+		s := &SplitSchedule{Pieces: base()}
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("Validate() = %v", err)
+		}
+	})
+	t.Run("missing coverage", func(t *testing.T) {
+		s := &SplitSchedule{Pieces: base()[:5]}
+		if err := s.Validate(in); err == nil {
+			t.Error("want coverage error")
+		}
+	})
+	t.Run("over coverage", func(t *testing.T) {
+		ps := append(base(), SplitPiece{Job: 0, Machine: 1, Size: RatFrac(1, 3)})
+		s := &SplitSchedule{Pieces: ps}
+		if err := s.Validate(in); err == nil {
+			t.Error("want coverage error")
+		}
+	})
+	t.Run("zero size", func(t *testing.T) {
+		ps := base()
+		ps[0].Size = new(big.Rat)
+		s := &SplitSchedule{Pieces: ps}
+		if err := s.Validate(in); err == nil {
+			t.Error("want size error")
+		}
+	})
+	t.Run("bad machine", func(t *testing.T) {
+		ps := base()
+		ps[0].Machine = 99
+		s := &SplitSchedule{Pieces: ps}
+		if err := s.Validate(in); err == nil {
+			t.Error("want machine range error")
+		}
+	})
+	t.Run("bad job", func(t *testing.T) {
+		ps := append(base(), SplitPiece{Job: 17, Machine: 0, Size: RatInt(1)})
+		s := &SplitSchedule{Pieces: ps}
+		if err := s.Validate(in); err == nil {
+			t.Error("want job range error")
+		}
+	})
+	t.Run("class budget", func(t *testing.T) {
+		ps := base()
+		for i := range ps {
+			ps[i].Machine = 0 // classes 0,1,2 on one machine, budget 2
+		}
+		s := &SplitSchedule{Pieces: ps}
+		if err := s.Validate(in); err == nil {
+			t.Error("want class budget error")
+		}
+	})
+}
+
+func TestPreemptiveValidateAndMakespan(t *testing.T) {
+	in := testInstance()
+	// Job 2 (p=8) split into [0,4) on machine 0 and [4,8) on machine 1:
+	// sequential, no overlap.
+	s := &PreemptiveSchedule{Pieces: []PreemptivePiece{
+		{Job: 0, Machine: 2, Start: RatInt(0), Size: RatInt(5)},
+		{Job: 1, Machine: 2, Start: RatInt(5), Size: RatInt(3)},
+		{Job: 2, Machine: 0, Start: RatInt(0), Size: RatInt(4)},
+		{Job: 2, Machine: 1, Start: RatInt(4), Size: RatInt(4)},
+		{Job: 3, Machine: 0, Start: RatInt(4), Size: RatInt(2)},
+		{Job: 4, Machine: 1, Start: RatInt(8), Size: RatInt(7)},
+		{Job: 5, Machine: 0, Start: RatInt(6), Size: RatInt(1)},
+	}}
+	if err := s.Validate(in); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	if got := s.Makespan(); got.Cmp(RatInt(15)) != 0 {
+		t.Errorf("Makespan() = %s, want 15", got.RatString())
+	}
+	if got := s.PieceCount(); got != 7 {
+		t.Errorf("PieceCount() = %d, want 7", got)
+	}
+	if got := s.UsedMachines(); got != 3 {
+		t.Errorf("UsedMachines() = %d, want 3", got)
+	}
+	loads := s.MachineLoads()
+	if loads[0].Cmp(RatInt(7)) != 0 {
+		t.Errorf("machine 0 load = %s, want 7", loads[0].RatString())
+	}
+}
+
+func TestPreemptiveRejectsParallelSameJob(t *testing.T) {
+	in := testInstance()
+	s := &PreemptiveSchedule{Pieces: []PreemptivePiece{
+		{Job: 0, Machine: 0, Start: RatInt(0), Size: RatInt(3)},
+		{Job: 0, Machine: 1, Start: RatInt(2), Size: RatInt(2)}, // overlaps [2,3)
+		{Job: 1, Machine: 0, Start: RatInt(3), Size: RatInt(3)},
+		{Job: 2, Machine: 1, Start: RatInt(4), Size: RatInt(8)},
+		{Job: 3, Machine: 2, Start: RatInt(0), Size: RatInt(2)},
+		{Job: 4, Machine: 1, Start: RatInt(12), Size: RatInt(7)},
+		{Job: 5, Machine: 2, Start: RatInt(2), Size: RatInt(1)},
+	}}
+	if err := s.Validate(in); err == nil {
+		t.Error("want parallel-execution error")
+	}
+}
+
+func TestPreemptiveRejectsMachineOverlap(t *testing.T) {
+	in := &Instance{P: []int64{4, 4}, Class: []int{0, 1}, M: 1, Slots: 2}
+	s := &PreemptiveSchedule{Pieces: []PreemptivePiece{
+		{Job: 0, Machine: 0, Start: RatInt(0), Size: RatInt(4)},
+		{Job: 1, Machine: 0, Start: RatInt(3), Size: RatInt(4)}, // overlaps [3,4)
+	}}
+	if err := s.Validate(in); err == nil {
+		t.Error("want machine-overlap error")
+	}
+}
+
+func TestPreemptiveTouchingIntervalsAllowed(t *testing.T) {
+	in := &Instance{P: []int64{4, 4}, Class: []int{0, 1}, M: 1, Slots: 2}
+	s := &PreemptiveSchedule{Pieces: []PreemptivePiece{
+		{Job: 0, Machine: 0, Start: RatInt(0), Size: RatInt(4)},
+		{Job: 1, Machine: 0, Start: RatInt(4), Size: RatInt(4)},
+	}}
+	if err := s.Validate(in); err != nil {
+		t.Errorf("back-to-back intervals should be feasible: %v", err)
+	}
+}
+
+func TestCompactSplitSchedule(t *testing.T) {
+	// One class-job of size 100 spread as 10 machines x 10 units, m huge.
+	in := &Instance{P: []int64{100}, Class: []int{0}, M: 1 << 50, Slots: 1}
+	s := &CompactSplitSchedule{Groups: []MachineGroup{
+		{Count: 10, Pieces: []GroupPiece{{Job: 0, Size: RatInt(10)}}},
+	}}
+	if err := s.Validate(in); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	if got := s.Makespan(); got.Cmp(RatInt(10)) != 0 {
+		t.Errorf("Makespan() = %s, want 10", got.RatString())
+	}
+	if got := s.Machines(); got != 10 {
+		t.Errorf("Machines() = %d, want 10", got)
+	}
+	exp, err := s.Expand(100)
+	if err != nil {
+		t.Fatalf("Expand() = %v", err)
+	}
+	if err := exp.Validate(in); err != nil {
+		t.Errorf("expanded schedule invalid: %v", err)
+	}
+	if got := exp.Makespan(); got.Cmp(RatInt(10)) != 0 {
+		t.Errorf("expanded Makespan() = %s, want 10", got.RatString())
+	}
+	if _, err := s.Expand(5); err == nil {
+		t.Error("Expand(5) should refuse 10 machines")
+	}
+}
+
+func TestCompactValidateRejections(t *testing.T) {
+	in := &Instance{P: []int64{10, 10}, Class: []int{0, 1}, M: 4, Slots: 1}
+	cases := []struct {
+		name string
+		s    *CompactSplitSchedule
+	}{
+		{"non-positive count", &CompactSplitSchedule{Groups: []MachineGroup{
+			{Count: 0, Pieces: []GroupPiece{{Job: 0, Size: RatInt(10)}}},
+			{Count: 1, Pieces: []GroupPiece{{Job: 1, Size: RatInt(10)}}},
+		}}},
+		{"too many machines", &CompactSplitSchedule{Groups: []MachineGroup{
+			{Count: 5, Pieces: []GroupPiece{{Job: 0, Size: RatInt(2)}}},
+			{Count: 1, Pieces: []GroupPiece{{Job: 1, Size: RatInt(10)}}},
+		}}},
+		{"class budget in group", &CompactSplitSchedule{Groups: []MachineGroup{
+			{Count: 2, Pieces: []GroupPiece{{Job: 0, Size: RatInt(5)}, {Job: 1, Size: RatInt(5)}}},
+		}}},
+		{"wrong coverage", &CompactSplitSchedule{Groups: []MachineGroup{
+			{Count: 2, Pieces: []GroupPiece{{Job: 0, Size: RatInt(3)}}},
+			{Count: 1, Pieces: []GroupPiece{{Job: 1, Size: RatInt(10)}}},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.s.Validate(in); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestFromSplit(t *testing.T) {
+	in := testInstance()
+	s := &SplitSchedule{Pieces: []SplitPiece{
+		{Job: 0, Machine: 0, Size: RatInt(5)},
+		{Job: 1, Machine: 0, Size: RatInt(3)},
+		{Job: 2, Machine: 1, Size: RatInt(8)},
+		{Job: 3, Machine: 2, Size: RatInt(2)},
+		{Job: 4, Machine: 1, Size: RatInt(7)},
+		{Job: 5, Machine: 2, Size: RatInt(1)},
+	}}
+	c := FromSplit(s)
+	if err := c.Validate(in); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	if c.Makespan().Cmp(s.Makespan()) != 0 {
+		t.Errorf("compact makespan %s != explicit %s", c.Makespan().RatString(), s.Makespan().RatString())
+	}
+}

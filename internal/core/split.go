@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// SplitPiece is one fragment of a job in a splittable schedule. Size is
+// measured in processing-time units (not as a fraction of the job).
+type SplitPiece struct {
+	Job     int
+	Machine int64
+	Size    *big.Rat
+}
+
+// SplitSchedule is a schedule for the splittable variant: pieces of a job
+// may be placed on any machines and may run concurrently; a machine's load
+// is simply the sum of its piece sizes.
+type SplitSchedule struct {
+	Pieces []SplitPiece
+}
+
+// Makespan returns the maximum machine load.
+func (s *SplitSchedule) Makespan() *big.Rat {
+	loads := make(map[int64]*big.Rat)
+	mx := new(big.Rat)
+	for _, pc := range s.Pieces {
+		l := loads[pc.Machine]
+		if l == nil {
+			l = new(big.Rat)
+			loads[pc.Machine] = l
+		}
+		l.Add(l, pc.Size)
+		if l.Cmp(mx) > 0 {
+			mx = new(big.Rat).Set(l)
+		}
+	}
+	return mx
+}
+
+// MachineLoads returns the load of every non-empty machine.
+func (s *SplitSchedule) MachineLoads() map[int64]*big.Rat {
+	loads := make(map[int64]*big.Rat)
+	for _, pc := range s.Pieces {
+		l := loads[pc.Machine]
+		if l == nil {
+			l = new(big.Rat)
+			loads[pc.Machine] = l
+		}
+		l.Add(l, pc.Size)
+	}
+	return loads
+}
+
+// Validate checks feasibility for the splittable variant: positive piece
+// sizes, machines within range, per-job piece sizes summing exactly to the
+// job's processing time, and at most c distinct classes per machine.
+func (s *SplitSchedule) Validate(in *Instance) error {
+	jobTotal := make([]*big.Rat, in.N())
+	classes := make(map[int64]map[int]bool)
+	for k, pc := range s.Pieces {
+		if pc.Job < 0 || pc.Job >= in.N() {
+			return fmt.Errorf("core: piece %d references job %d outside [0,%d)", k, pc.Job, in.N())
+		}
+		if pc.Machine < 0 || pc.Machine >= in.M {
+			return fmt.Errorf("core: piece %d on machine %d outside [0,%d)", k, pc.Machine, in.M)
+		}
+		if pc.Size == nil || pc.Size.Sign() <= 0 {
+			return fmt.Errorf("core: piece %d of job %d has non-positive size", k, pc.Job)
+		}
+		if jobTotal[pc.Job] == nil {
+			jobTotal[pc.Job] = new(big.Rat)
+		}
+		jobTotal[pc.Job].Add(jobTotal[pc.Job], pc.Size)
+		set := classes[pc.Machine]
+		if set == nil {
+			set = make(map[int]bool)
+			classes[pc.Machine] = set
+		}
+		set[in.Class[pc.Job]] = true
+		if len(set) > in.Slots {
+			return fmt.Errorf("core: machine %d hosts %d classes, budget is %d", pc.Machine, len(set), in.Slots)
+		}
+	}
+	for j := range jobTotal {
+		want := RatInt(in.P[j])
+		if jobTotal[j] == nil || jobTotal[j].Cmp(want) != 0 {
+			got := "0"
+			if jobTotal[j] != nil {
+				got = jobTotal[j].RatString()
+			}
+			return fmt.Errorf("core: job %d pieces sum to %s, want %d", j, got, in.P[j])
+		}
+	}
+	return nil
+}
+
+// PieceCount returns the number of pieces; the paper guarantees all
+// algorithms emit schedules with polynomially many pieces.
+func (s *SplitSchedule) PieceCount() int { return len(s.Pieces) }
+
+// UsedMachines returns the number of distinct machines receiving load.
+func (s *SplitSchedule) UsedMachines() int64 {
+	seen := make(map[int64]bool)
+	for _, pc := range s.Pieces {
+		seen[pc.Machine] = true
+	}
+	return int64(len(seen))
+}
+
+// sortPieces orders pieces by (machine, job) for deterministic output.
+func (s *SplitSchedule) sortPieces() {
+	sort.Slice(s.Pieces, func(a, b int) bool {
+		if s.Pieces[a].Machine != s.Pieces[b].Machine {
+			return s.Pieces[a].Machine < s.Pieces[b].Machine
+		}
+		return s.Pieces[a].Job < s.Pieces[b].Job
+	})
+}

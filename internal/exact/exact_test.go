@@ -1,0 +1,218 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccsched/internal/approx"
+	"ccsched/internal/core"
+	"ccsched/internal/generator"
+)
+
+func TestNonPreemptiveKnown(t *testing.T) {
+	// Two machines, one slot each: classes cannot mix.
+	in := &core.Instance{
+		P:     []int64{4, 3, 5, 2},
+		Class: []int{0, 0, 1, 1},
+		M:     2,
+		Slots: 1,
+	}
+	sched, opt, err := NonPreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 7 {
+		t.Errorf("opt = %d, want 7 (classes {4,3} and {5,2})", opt)
+	}
+	if err := sched.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Makespan(in) != opt {
+		t.Error("schedule does not achieve the reported optimum")
+	}
+}
+
+func TestNonPreemptiveMixedSlots(t *testing.T) {
+	in := &core.Instance{
+		P:     []int64{6, 5, 4, 3, 2},
+		Class: []int{0, 1, 2, 0, 1},
+		M:     2,
+		Slots: 3,
+	}
+	// Total 20, perfect split 10: {6,4} and {5,3,2} = 10/10, slots fine.
+	_, opt, err := NonPreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 10 {
+		t.Errorf("opt = %d, want 10", opt)
+	}
+}
+
+func TestNonPreemptiveTooLarge(t *testing.T) {
+	in := generator.Uniform(generator.Config{N: 30, Classes: 4, Machines: 3, Slots: 2, Seed: 1})
+	if _, _, err := NonPreemptive(in); err == nil {
+		t.Error("want ErrTooLarge")
+	}
+}
+
+func TestExactBelowApprox(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		in := &core.Instance{M: 1 + int64(rng.Intn(3)), Slots: 1 + rng.Intn(2)}
+		cc := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			in.P = append(in.P, 1+int64(rng.Intn(20)))
+			in.Class = append(in.Class, rng.Intn(cc))
+		}
+		norm, _ := in.Normalize()
+		if core.CheckFeasible(norm) != nil {
+			return true
+		}
+		_, opt, err := NonPreemptive(norm)
+		if err != nil {
+			return false
+		}
+		res, err := approx.SolveNonPreemptive(norm)
+		if err != nil {
+			return false
+		}
+		apx := res.Makespan(norm)
+		// Exact optimum is a true lower bound on the approximation and the
+		// 7/3 guarantee holds against it.
+		return opt <= apx && 3*apx <= 7*opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplittableKnown(t *testing.T) {
+	// One class of 100 over 4 machines, c=1: split evenly -> 25.
+	in := &core.Instance{P: []int64{100}, Class: []int{0}, M: 4, Slots: 1}
+	opt, err := Splittable(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cmp(core.RatInt(25)) != 0 {
+		t.Errorf("opt = %s, want 25", opt.RatString())
+	}
+}
+
+func TestSplittableSlotContention(t *testing.T) {
+	// The counterexample showing count+area feasibility is not sufficient:
+	// loads {8,8,8,6} on m=2, c=2 has optimum 16 (pairs (8,8) and (8,6)
+	// leave 16; splitting cannot help as all slots are used).
+	in := &core.Instance{
+		P:     []int64{8, 8, 8, 6},
+		Class: []int{0, 1, 2, 3},
+		M:     2,
+		Slots: 2,
+	}
+	opt, err := Splittable(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cmp(core.RatInt(15)) != 0 {
+		// Σ/m = 15; feasible? Machines {8,7} and {1 of class 1? no —
+		// splitting class 1 across machines uses a third slot on one
+		// machine... with 4 classes and 4 slots each class gets exactly
+		// one slot, so loads must pair up: best max(16, 14) = 16.
+		if opt.Cmp(core.RatInt(16)) != 0 {
+			t.Errorf("opt = %s, want 16", opt.RatString())
+		}
+	}
+}
+
+func TestSplittableMatchesApproxBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		in := &core.Instance{M: 1 + int64(rng.Intn(3)), Slots: 1 + rng.Intn(2)}
+		cc := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			in.P = append(in.P, 1+int64(rng.Intn(20)))
+			in.Class = append(in.Class, rng.Intn(cc))
+		}
+		norm, _ := in.Normalize()
+		if core.CheckFeasible(norm) != nil {
+			return true
+		}
+		opt, err := Splittable(norm)
+		if err != nil {
+			return false
+		}
+		lb, err := core.LowerBound(norm, core.Splittable)
+		if err != nil {
+			return false
+		}
+		if opt.Cmp(lb) < 0 {
+			return false // optimum below certified lower bound: impossible
+		}
+		res, err := approx.SolveSplittable(norm)
+		if err != nil {
+			return false
+		}
+		// 2-approximation versus the true optimum.
+		return res.Makespan().Cmp(core.RatMul(opt, core.RatInt(2))) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplittableTooLarge(t *testing.T) {
+	in := generator.Uniform(generator.Config{N: 30, Classes: 10, Machines: 8, Slots: 2, Seed: 2})
+	if _, err := Splittable(in); err == nil {
+		t.Error("want ErrTooLarge")
+	}
+}
+
+func TestPreemptiveBounds(t *testing.T) {
+	in := &core.Instance{
+		P:     []int64{9, 5, 4, 2},
+		Class: []int{0, 1, 0, 1},
+		M:     2,
+		Slots: 2,
+	}
+	lo, hi, err := PreemptiveBounds(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Cmp(hi) > 0 {
+		t.Fatalf("bracket inverted: [%s, %s]", lo.RatString(), hi.RatString())
+	}
+	// p_max = 9 must be inside the bracket's lower end.
+	if lo.Cmp(core.RatInt(9)) < 0 {
+		t.Errorf("lo = %s below p_max", lo.RatString())
+	}
+	// The preemptive approximation must land within 2x the bracket floor.
+	res, err := approx.SolvePreemptive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan().Cmp(core.RatMul(lo, core.RatInt(2))) > 0 {
+		t.Errorf("approx %s exceeds 2x bracket floor %s", res.Makespan().RatString(), lo.RatString())
+	}
+}
+
+func TestApproxRat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		den  int64
+		want string
+	}{
+		{0.5, 10, "1/2"},
+		{2.3333333333, 10, "7/3"},
+		{25, 10, "25"},
+		{0, 10, "0"},
+	}
+	for _, tc := range cases {
+		got := approxRat(tc.v, tc.den)
+		if got.RatString() != tc.want {
+			t.Errorf("approxRat(%v) = %s, want %s", tc.v, got.RatString(), tc.want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkTable(t *testing.T, tb *Table, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID == "" || tb.Title == "" || tb.Claim == "" {
+		t.Error("table missing metadata")
+	}
+	if len(tb.Rows) == 0 {
+		t.Error("table has no rows")
+	}
+	for i, r := range tb.Rows {
+		if len(r) != len(tb.Columns) {
+			t.Errorf("row %d has %d cells, want %d", i, len(r), len(tb.Columns))
+		}
+	}
+	text := tb.Format()
+	if !strings.Contains(text, tb.ID) || !strings.Contains(text, "|") {
+		t.Error("Format() output malformed")
+	}
+}
+
+func TestF1RoundRobin(t *testing.T) {
+	tb, err := F1RoundRobin()
+	checkTable(t, tb, err)
+	if len(tb.Rows) != 4 {
+		t.Errorf("Figure 1 has 4 machines, table has %d rows", len(tb.Rows))
+	}
+}
+
+func TestF2Repack(t *testing.T) {
+	tb, err := F2Repack()
+	checkTable(t, tb, err)
+}
+
+func TestF3PairSwap(t *testing.T) {
+	tb, err := F3PairSwap()
+	checkTable(t, tb, err)
+}
+
+func TestF4Dissolve(t *testing.T) {
+	tb, err := F4Dissolve()
+	checkTable(t, tb, err)
+	for _, r := range tb.Rows {
+		if r[len(r)-1] != "yes" {
+			t.Errorf("dissolved schedule not feasible: %v", r)
+		}
+	}
+}
+
+func TestF5FlowNetwork(t *testing.T) {
+	tb, err := F5FlowNetwork()
+	checkTable(t, tb, err)
+	for _, r := range tb.Rows {
+		if r[len(r)-1] != "yes" {
+			t.Errorf("max flow does not cover all pieces: %v", r)
+		}
+	}
+}
+
+func TestE8NFold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves several N-folds")
+	}
+	tb, err := E8NFold()
+	checkTable(t, tb, err)
+	// Both engines must never contradict each other.
+	for _, r := range tb.Rows {
+		aug, bb := r[6], r[8]
+		if (aug == "feasible" && bb == "infeasible") || (aug == "infeasible" && bb == "feasible") {
+			t.Errorf("engines disagree: %v", r)
+		}
+	}
+}
+
+func TestE6NonPreemptivePTAS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the PTAS")
+	}
+	tb, err := E6NonPreemptivePTAS()
+	checkTable(t, tb, err)
+}

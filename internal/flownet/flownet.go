@@ -1,0 +1,120 @@
+// Package flownet implements Dinic's maximum-flow algorithm on integral
+// capacities. The preemptive PTAS uses it to realize Lemma 16: an integral
+// maximum flow on the jobs × layers × slots network converts any schedule
+// into a well-structured one (job pieces aligned to δ²T layers), because
+// flow integrality is exactly the rounding step of the lemma's proof.
+package flownet
+
+import "fmt"
+
+// Graph is a flow network under construction. Nodes are dense integers
+// obtained from AddNode.
+type Graph struct {
+	// edges stores forward/backward arcs in pairs: edge i^1 is the reverse
+	// of edge i.
+	to   []int
+	cap  []int64
+	next [][]int // adjacency: node -> edge indices
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{next: make([][]int, n)}
+}
+
+// AddNode appends a node and returns its id.
+func (g *Graph) AddNode() int {
+	g.next = append(g.next, nil)
+	return len(g.next) - 1
+}
+
+// NumNodes returns the current node count.
+func (g *Graph) NumNodes() int { return len(g.next) }
+
+// AddEdge inserts a directed edge u->v with the given capacity and returns
+// its id, usable with Flow after solving.
+func (g *Graph) AddEdge(u, v int, capacity int64) int {
+	if capacity < 0 {
+		panic(fmt.Sprintf("flownet: negative capacity %d", capacity))
+	}
+	id := len(g.to)
+	g.to = append(g.to, v, u)
+	g.cap = append(g.cap, capacity, 0)
+	g.next[u] = append(g.next[u], id)
+	g.next[v] = append(g.next[v], id^1)
+	return id
+}
+
+// MaxFlow pushes the maximum flow from s to t and returns its value. After
+// the call, Flow reports per-edge flows.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	n := len(g.next)
+	level := make([]int, n)
+	iter := make([]int, n)
+	queue := make([]int, 0, n)
+	for {
+		// BFS level graph on residual capacities.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, e := range g.next[u] {
+				if g.cap[e] > 0 && level[g.to[e]] < 0 {
+					level[g.to[e]] = level[u] + 1
+					queue = append(queue, g.to[e])
+				}
+			}
+		}
+		if level[t] < 0 {
+			return total
+		}
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := g.dfs(s, t, int64(1)<<62, level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+}
+
+func (g *Graph) dfs(u, t int, limit int64, level, iter []int) int64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] < len(g.next[u]); iter[u]++ {
+		e := g.next[u][iter[u]]
+		v := g.to[e]
+		if g.cap[e] <= 0 || level[v] != level[u]+1 {
+			continue
+		}
+		d := limit
+		if g.cap[e] < d {
+			d = g.cap[e]
+		}
+		if pushed := g.dfs(v, t, d, level, iter); pushed > 0 {
+			g.cap[e] -= pushed
+			g.cap[e^1] += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// Flow returns the flow over the edge with the given id (as returned by
+// AddEdge), which equals the reverse arc's residual capacity.
+func (g *Graph) Flow(id int) int64 { return g.cap[id^1] }
+
+// Capacity returns the remaining residual capacity of the edge.
+func (g *Graph) Capacity(id int) int64 { return g.cap[id] }

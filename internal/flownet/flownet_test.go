@@ -1,0 +1,127 @@
+package flownet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	g := NewGraph(2)
+	e := g.AddEdge(0, 1, 7)
+	if got := g.MaxFlow(0, 1); got != 7 {
+		t.Fatalf("flow = %d, want 7", got)
+	}
+	if g.Flow(e) != 7 || g.Capacity(e) != 0 {
+		t.Errorf("edge flow %d capacity %d", g.Flow(e), g.Capacity(e))
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	// s -> a, b -> t with crossing edge; classic value 2000 + min cut check.
+	g := NewGraph(4)
+	s, a, b, tt := 0, 1, 2, 3
+	g.AddEdge(s, a, 1000)
+	g.AddEdge(s, b, 1000)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, tt, 1000)
+	g.AddEdge(b, tt, 1000)
+	if got := g.MaxFlow(s, tt); got != 2000 {
+		t.Fatalf("flow = %d, want 2000", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 5)
+	if got := g.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("flow = %d, want 0", got)
+	}
+}
+
+func TestSourceIsSink(t *testing.T) {
+	g := NewGraph(1)
+	if got := g.MaxFlow(0, 0); got != 0 {
+		t.Fatalf("flow = %d, want 0", got)
+	}
+}
+
+func TestBipartiteMatching(t *testing.T) {
+	// 3x3 bipartite with a perfect matching.
+	g := NewGraph(8)
+	s, tt := 6, 7
+	for i := 0; i < 3; i++ {
+		g.AddEdge(s, i, 1)
+		g.AddEdge(3+i, tt, 1)
+	}
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(2, 5, 1)
+	if got := g.MaxFlow(s, tt); got != 3 {
+		t.Fatalf("matching = %d, want 3", got)
+	}
+}
+
+func TestFlowConservationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		g := NewGraph(n)
+		type edge struct{ id, u, v int }
+		var edges []edge
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			id := g.AddEdge(u, v, int64(rng.Intn(20)))
+			edges = append(edges, edge{id, u, v})
+		}
+		s, tt := 0, n-1
+		val := g.MaxFlow(s, tt)
+		if val < 0 {
+			t.Fatalf("negative flow %d", val)
+		}
+		// Conservation at every interior node; net out of s equals val.
+		net := make([]int64, n)
+		for _, e := range edges {
+			f := g.Flow(e.id)
+			if f < 0 {
+				t.Fatalf("negative edge flow")
+			}
+			net[e.u] -= f
+			net[e.v] += f
+		}
+		if net[s] != -val || net[tt] != val {
+			t.Errorf("trial %d: source/sink imbalance: %d vs %d", trial, net[s], val)
+		}
+		for v := 1; v < n-1; v++ {
+			if net[v] != 0 {
+				t.Errorf("trial %d: node %d violates conservation (%d)", trial, v, net[v])
+			}
+		}
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := NewGraph(0)
+	a := g.AddNode()
+	b := g.AddNode()
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	g.AddEdge(a, b, 3)
+	if got := g.MaxFlow(a, b); got != 3 {
+		t.Fatalf("flow = %d", got)
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on negative capacity")
+		}
+	}()
+	g := NewGraph(2)
+	g.AddEdge(0, 1, -1)
+}

@@ -1,0 +1,191 @@
+package hetslots
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccsched/internal/approx"
+	"ccsched/internal/core"
+	"ccsched/internal/generator"
+)
+
+func hetInstance() *Instance {
+	return &Instance{
+		P:     []int64{9, 7, 6, 5, 4, 3},
+		Class: []int{0, 1, 2, 0, 1, 3},
+		// A big server with 3 slots and two small ones with 1 slot.
+		Budgets: []int{3, 1, 1},
+	}
+}
+
+func TestValidateInstance(t *testing.T) {
+	in := hetInstance()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := hetInstance()
+	bad.Budgets[1] = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("want budget error")
+	}
+	bad = hetInstance()
+	bad.P[0] = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("want processing-time error")
+	}
+	bad = hetInstance()
+	bad.Class = bad.Class[:3]
+	if err := bad.Validate(); err == nil {
+		t.Error("want length error")
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	in := hetInstance()
+	if err := in.CheckFeasible(); err != nil {
+		t.Fatal(err)
+	}
+	tight := &Instance{P: []int64{1, 1, 1}, Class: []int{0, 1, 2}, Budgets: []int{1, 1}}
+	if err := tight.CheckFeasible(); err == nil {
+		t.Error("want ErrInfeasible")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	in := hetInstance()
+	good := &Schedule{Assign: []int{0, 1, 2, 0, 1, 0}}
+	if err := good.Validate(in); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+	// Machine 1 has budget 1 but would host classes 1 and 2.
+	bad := &Schedule{Assign: []int{0, 1, 1, 0, 1, 0}}
+	if err := bad.Validate(in); err == nil {
+		t.Error("budget violation not caught")
+	}
+	oob := &Schedule{Assign: []int{0, 1, 2, 0, 1, 7}}
+	if err := oob.Validate(in); err == nil {
+		t.Error("machine range violation not caught")
+	}
+}
+
+func TestSolveFeasibleAndBounded(t *testing.T) {
+	in := hetInstance()
+	res, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	mk := res.Schedule.Makespan(in)
+	if 3*mk > 7*res.LB {
+		t.Errorf("makespan %d above 7/3 x LB %d on the regression workload", mk, res.LB)
+	}
+}
+
+func TestHomogeneousMatchesCoreAlgorithm(t *testing.T) {
+	// With identical budgets the heterogeneous solver must stay within the
+	// same 7/3 margin as the paper's algorithm.
+	base := generator.Uniform(generator.Config{N: 40, Classes: 8, Machines: 5, Slots: 2, PMax: 100, Seed: 3})
+	het, err := Homogeneous(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(het)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(het); err != nil {
+		t.Fatal(err)
+	}
+	apx, err := approx.SolveNonPreemptive(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := core.LowerBound(base, core.NonPreemptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := core.RatMul(lb, core.RatFrac(7, 3))
+	if core.RatInt(res.Schedule.Makespan(het)).Cmp(limit) > 0 {
+		t.Errorf("heterogeneous solver exceeds 7/3 x LB on a homogeneous instance")
+	}
+	// Sanity: both algorithms land in the same ballpark.
+	a, b := res.Schedule.Makespan(het), apx.Makespan(base)
+	if a > 2*b || b > 2*a {
+		t.Errorf("solvers diverge: het %d vs core %d", a, b)
+	}
+}
+
+func TestLowerBoundDominatesArea(t *testing.T) {
+	in := hetInstance()
+	lb, err := in.LowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, pmax int64
+	for _, p := range in.P {
+		total += p
+		if p > pmax {
+			pmax = p
+		}
+	}
+	if lb < pmax || int64(in.M())*lb < total {
+		t.Errorf("LowerBound %d below area/pmax", lb)
+	}
+}
+
+func TestSkewedBudgetsUseTheBigMachine(t *testing.T) {
+	// Four classes, budgets {4,1}: the singleton machine can host one
+	// class, the big one must absorb the rest.
+	in := &Instance{
+		P:       []int64{10, 10, 10, 10},
+		Class:   []int{0, 1, 2, 3},
+		Budgets: []int{4, 1},
+	}
+	res, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if mk := res.Schedule.Makespan(in); mk != 30 {
+		t.Errorf("makespan %d, want 30 (three classes on the big machine)", mk)
+	}
+}
+
+func TestSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		m := 1 + rng.Intn(5)
+		in := &Instance{Budgets: make([]int, m)}
+		for i := range in.Budgets {
+			in.Budgets[i] = 1 + rng.Intn(3)
+		}
+		cc := 1 + rng.Intn(5)
+		for j := 0; j < n; j++ {
+			in.P = append(in.P, 1+int64(rng.Intn(50)))
+			in.Class = append(in.Class, rng.Intn(cc))
+		}
+		if in.CheckFeasible() != nil {
+			return true
+		}
+		res, err := Solve(in)
+		if err != nil {
+			// A failed search is only acceptable for infeasible inputs,
+			// which were filtered above.
+			return false
+		}
+		if res.Schedule.Validate(in) != nil {
+			return false
+		}
+		// The accepted guess honours the 7/3-style margin by construction.
+		return 3*res.Schedule.Makespan(in) <= 7*res.Guess
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package ilp implements a branch-and-bound mixed-integer linear program
+// solver on top of the internal/lp simplex. It is the repository's exact
+// fallback engine for the paper's configuration N-fold ILPs (see
+// internal/nfold) and is deliberately simple: LP-relaxation bounding,
+// most-fractional branching, depth-first search with a node budget.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ccsched/internal/lp"
+)
+
+// Problem is a mixed-integer LP: the embedded lp.Problem plus integrality
+// markers.
+type Problem struct {
+	lp.Problem
+	// Integer marks which variables must take integral values.
+	Integer []bool
+}
+
+// NewProblem allocates a MILP with n all-integer variables, bounds [0, +Inf).
+func NewProblem(n int) *Problem {
+	p := &Problem{Problem: *lp.NewProblem(n)}
+	p.Integer = make([]bool, n)
+	for j := range p.Integer {
+		p.Integer[j] = true
+	}
+	return p
+}
+
+// Status classifies the solver outcome.
+type Status int
+
+const (
+	// Optimal means a provably optimal integral solution was found.
+	Optimal Status = iota
+	// Infeasible means no integral solution exists.
+	Infeasible
+	// NodeLimit means the search budget was exhausted; Best may still hold
+	// an incumbent.
+	NodeLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case NodeLimit:
+		return "node-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes bounds the number of explored branch-and-bound nodes
+	// (default 200000).
+	MaxNodes int
+	// FirstFeasible stops at the first integral solution; natural for the
+	// zero-objective feasibility ILPs of the PTAS.
+	FirstFeasible bool
+}
+
+// Result is the solver output.
+type Result struct {
+	Status Status
+	// X holds the best integral assignment found (nil if none).
+	X []float64
+	// Obj is the objective of X.
+	Obj float64
+	// Nodes counts explored branch-and-bound nodes.
+	Nodes int
+}
+
+const intTol = 1e-6
+
+// Solve runs branch and bound. A nil opts uses defaults.
+func Solve(p *Problem, opts *Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Integer) != p.NumVars {
+		return nil, errors.New("ilp: Integer length mismatch")
+	}
+	maxNodes := 200000
+	first := false
+	if opts != nil {
+		if opts.MaxNodes > 0 {
+			maxNodes = opts.MaxNodes
+		}
+		first = opts.FirstFeasible
+	}
+	type node struct {
+		lower, upper []float64
+	}
+	root := node{
+		lower: append([]float64(nil), p.Lower...),
+		upper: append([]float64(nil), p.Upper...),
+	}
+	// Integer variables get integral bounds up front.
+	for j, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		if !math.IsInf(root.lower[j], -1) {
+			root.lower[j] = math.Ceil(root.lower[j] - intTol)
+		}
+		if !math.IsInf(root.upper[j], 1) {
+			root.upper[j] = math.Floor(root.upper[j] + intTol)
+		}
+	}
+	stack := []node{root}
+	res := &Result{Status: Infeasible}
+	var bestObj = math.Inf(1)
+	hitLimit := false
+	for len(stack) > 0 {
+		if res.Nodes >= maxNodes {
+			hitLimit = true
+			break
+		}
+		res.Nodes++
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sub := p.Problem // copy of the shell; rows shared
+		sub.Lower = nd.lower
+		sub.Upper = nd.upper
+		sol, err := lp.Solve(&sub)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return nil, errors.New("ilp: LP relaxation unbounded; bound the integer variables")
+		case lp.IterLimit:
+			// Treat as unexplored: conservative, keeps soundness of pruning.
+			hitLimit = true
+			continue
+		}
+		if sol.Obj >= bestObj-1e-9 && res.X != nil {
+			continue // bound
+		}
+		// Find the most fractional integer variable.
+		branch, frac := -1, 0.0
+		for j, isInt := range p.Integer {
+			if !isInt {
+				continue
+			}
+			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if f > intTol && f > frac {
+				branch, frac = j, f
+			}
+		}
+		if branch < 0 {
+			// Integral solution.
+			x := append([]float64(nil), sol.X...)
+			for j, isInt := range p.Integer {
+				if isInt {
+					x[j] = math.Round(x[j])
+				}
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.Obj[j] * x[j]
+			}
+			if obj < bestObj {
+				bestObj = obj
+				res.X = x
+				res.Obj = obj
+			}
+			if first {
+				res.Status = Optimal
+				return res, nil
+			}
+			continue
+		}
+		// Branch: explore the side nearest the fractional value first
+		// (pushed last so it pops first).
+		v := sol.X[branch]
+		lowChild := node{lower: append([]float64(nil), nd.lower...), upper: append([]float64(nil), nd.upper...)}
+		highChild := node{lower: append([]float64(nil), nd.lower...), upper: append([]float64(nil), nd.upper...)}
+		lowChild.upper[branch] = math.Floor(v)
+		highChild.lower[branch] = math.Ceil(v)
+		if v-math.Floor(v) < 0.5 {
+			stack = append(stack, highChild, lowChild)
+		} else {
+			stack = append(stack, lowChild, highChild)
+		}
+	}
+	if res.X != nil {
+		if hitLimit {
+			res.Status = NodeLimit
+		} else {
+			res.Status = Optimal
+		}
+		return res, nil
+	}
+	if hitLimit {
+		res.Status = NodeLimit
+	}
+	return res, nil
+}

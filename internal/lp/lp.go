@@ -1,0 +1,142 @@
+// Package lp implements a dense, bounded-variable revised simplex solver
+// for linear programs
+//
+//	minimize    c·x
+//	subject to  A_i·x  (≤ | = | ≥)  b_i      for every row i
+//	            l ≤ x ≤ u                    (entries may be ±Inf)
+//
+// It exists because the paper's preprocessing lemmas (8, 12, 15) need the
+// Lenstra–Shmoys–Tardos assignment-LP rounding and the PTAS fallback engine
+// needs LP relaxations, while the build must be pure stdlib: the solver is
+// the repository's substitute for an external LP library.
+//
+// The implementation is a textbook two-phase revised simplex with explicit
+// lower/upper bound handling (nonbasic variables rest at either bound, the
+// ratio test permits bound flips) and Bland's rule as an anti-cycling
+// fallback. It is tuned for the moderate dimensions the PTAS produces
+// (hundreds of rows, thousands of columns), not for industrial scale.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of one constraint row.
+type Relation int
+
+const (
+	// LE means A_i·x ≤ b_i.
+	LE Relation = iota
+	// EQ means A_i·x = b_i.
+	EQ
+	// GE means A_i·x ≥ b_i.
+	GE
+)
+
+// Status classifies the solver outcome.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+	// IterLimit means the iteration budget was exhausted.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program in the general bounded form above.
+type Problem struct {
+	// NumVars is the number of structural variables.
+	NumVars int
+	// Obj is the minimization objective, length NumVars.
+	Obj []float64
+	// A holds one dense row per constraint, each of length NumVars.
+	A [][]float64
+	// Rel holds the sense of each row, parallel to A.
+	Rel []Relation
+	// B is the right-hand side, parallel to A.
+	B []float64
+	// Lower and Upper are variable bounds, length NumVars; use
+	// math.Inf(-1) / math.Inf(1) for free directions.
+	Lower, Upper []float64
+}
+
+// Validate checks dimensional consistency and bound sanity.
+func (p *Problem) Validate() error {
+	if p.NumVars < 0 {
+		return errors.New("lp: negative variable count")
+	}
+	if len(p.Obj) != p.NumVars || len(p.Lower) != p.NumVars || len(p.Upper) != p.NumVars {
+		return fmt.Errorf("lp: objective/bounds length mismatch (n=%d)", p.NumVars)
+	}
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Rel) {
+		return fmt.Errorf("lp: %d rows, %d rhs, %d relations", len(p.A), len(p.B), len(p.Rel))
+	}
+	for i, row := range p.A {
+		if len(row) != p.NumVars {
+			return fmt.Errorf("lp: row %d has %d entries, want %d", i, len(row), p.NumVars)
+		}
+	}
+	for j := 0; j < p.NumVars; j++ {
+		if p.Lower[j] > p.Upper[j] {
+			return fmt.Errorf("lp: variable %d has lower %g > upper %g", j, p.Lower[j], p.Upper[j])
+		}
+	}
+	return nil
+}
+
+// NewProblem allocates a problem with n variables, no rows, default bounds
+// [0, +Inf) and zero objective.
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		NumVars: n,
+		Obj:     make([]float64, n),
+		Lower:   make([]float64, n),
+		Upper:   make([]float64, n),
+	}
+	for j := range p.Upper {
+		p.Upper[j] = math.Inf(1)
+	}
+	return p
+}
+
+// AddRow appends a constraint row (copied).
+func (p *Problem) AddRow(coef []float64, rel Relation, rhs float64) {
+	row := make([]float64, p.NumVars)
+	copy(row, coef)
+	p.A = append(p.A, row)
+	p.Rel = append(p.Rel, rel)
+	p.B = append(p.B, rhs)
+}
+
+// Solution is the solver output.
+type Solution struct {
+	Status Status
+	// X is the structural variable assignment (valid when Status is
+	// Optimal; best effort otherwise).
+	X []float64
+	// Obj is c·X.
+	Obj float64
+	// Iterations counts simplex pivots over both phases.
+	Iterations int
+}

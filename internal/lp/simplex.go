@@ -1,0 +1,468 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	costTol  = 1e-9 // reduced-cost optimality tolerance
+	pivotTol = 1e-9 // minimum magnitude of an acceptable pivot element
+	feasTol  = 1e-7 // bound/constraint feasibility tolerance
+	// refactorEvery bounds error drift: the basis inverse is rebuilt from
+	// scratch after this many pivots.
+	refactorEvery = 64
+	// blandAfter switches to Bland's anti-cycling rule after this many
+	// consecutive degenerate pivots.
+	blandAfter = 40
+)
+
+// spCol is a sparse column of the standard-form constraint matrix.
+type spCol struct {
+	idx []int32
+	val []float64
+}
+
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	atFree // nonbasic free variable resting at zero
+	inBasis
+)
+
+// simplexState is the mutable solver state over the standard-form program
+// min obj·x  s.t.  Acol x = b,  lo ≤ x ≤ up, where columns comprise the
+// structural variables, one slack per row, and one artificial per row.
+type simplexState struct {
+	m, ncols   int
+	cols       []spCol // ncols sparse columns of logical length m
+	lo, up     []float64
+	b          []float64
+	status     []varStatus
+	basis      []int       // m basic column indices
+	binv       [][]float64 // dense m×m basis inverse
+	xb         []float64   // values of basic variables
+	iters      int
+	maxIters   int
+	degenerate int // consecutive degenerate pivots
+	bland      bool
+}
+
+// Solve runs the two-phase bounded-variable revised simplex.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(p.A)
+	n := p.NumVars
+	st := &simplexState{
+		m:        m,
+		ncols:    n + 2*m,
+		b:        append([]float64(nil), p.B...),
+		maxIters: 20000 + 200*(n+2*m),
+	}
+	st.cols = make([]spCol, st.ncols)
+	st.lo = make([]float64, st.ncols)
+	st.up = make([]float64, st.ncols)
+	st.status = make([]varStatus, st.ncols)
+	// Structural columns.
+	for j := 0; j < n; j++ {
+		var col spCol
+		for i := 0; i < m; i++ {
+			if v := p.A[i][j]; v != 0 {
+				col.idx = append(col.idx, int32(i))
+				col.val = append(col.val, v)
+			}
+		}
+		st.cols[j] = col
+		st.lo[j], st.up[j] = p.Lower[j], p.Upper[j]
+	}
+	// Slack columns: row i gets slack n+i with A x + s = b.
+	for i := 0; i < m; i++ {
+		col := spCol{idx: []int32{int32(i)}, val: []float64{1}}
+		j := n + i
+		st.cols[j] = col
+		switch p.Rel[i] {
+		case LE:
+			st.lo[j], st.up[j] = 0, math.Inf(1)
+		case GE:
+			st.lo[j], st.up[j] = math.Inf(-1), 0
+		case EQ:
+			st.lo[j], st.up[j] = 0, 0
+		}
+	}
+	// Initial nonbasic statuses.
+	for j := 0; j < n+m; j++ {
+		switch {
+		case !math.IsInf(st.lo[j], -1):
+			st.status[j] = atLower
+		case !math.IsInf(st.up[j], 1):
+			st.status[j] = atUpper
+		default:
+			st.status[j] = atFree
+		}
+	}
+	// Residuals at the initial nonbasic point determine artificial signs.
+	resid := make([]float64, m)
+	copy(resid, st.b)
+	for j := 0; j < n+m; j++ {
+		if v := st.nonbasicValue(j); v != 0 {
+			col := st.cols[j]
+			for k, i := range col.idx {
+				resid[i] -= col.val[k] * v
+			}
+		}
+	}
+	// Artificial columns form the initial basis: a diagonal ±1 matrix whose
+	// signs match the residuals, so the basis inverse is the same diagonal.
+	st.basis = make([]int, m)
+	st.xb = make([]float64, m)
+	st.binv = identity(m)
+	for i := 0; i < m; i++ {
+		col := spCol{idx: []int32{int32(i)}, val: []float64{1}}
+		j := n + m + i
+		if resid[i] >= 0 {
+			st.xb[i] = resid[i]
+		} else {
+			col.val[0] = -1
+			st.binv[i][i] = -1
+			st.xb[i] = -resid[i]
+		}
+		st.cols[j] = col
+		st.lo[j], st.up[j] = 0, math.Inf(1)
+		st.status[j] = inBasis
+		st.basis[i] = j
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, st.ncols)
+	for i := 0; i < m; i++ {
+		phase1[n+m+i] = 1
+	}
+	stat := st.optimize(phase1)
+	if stat == IterLimit {
+		return &Solution{Status: IterLimit, X: st.extract(n), Iterations: st.iters}, nil
+	}
+	if st.objective(phase1) > 1e-6 {
+		return &Solution{Status: Infeasible, Iterations: st.iters}, nil
+	}
+	// Pin artificials to zero so phase 2 cannot reuse them.
+	for i := 0; i < m; i++ {
+		j := n + m + i
+		st.up[j] = 0
+	}
+	// Phase 2: the real objective (zero on slacks and artificials).
+	phase2 := make([]float64, st.ncols)
+	copy(phase2, p.Obj)
+	stat = st.optimize(phase2)
+	x := st.extract(n)
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.Obj[j] * x[j]
+	}
+	switch stat {
+	case Unbounded:
+		return &Solution{Status: Unbounded, X: x, Obj: obj, Iterations: st.iters}, nil
+	case IterLimit:
+		return &Solution{Status: IterLimit, X: x, Obj: obj, Iterations: st.iters}, nil
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj, Iterations: st.iters}, nil
+}
+
+func identity(m int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+		out[i][i] = 1
+	}
+	return out
+}
+
+func (st *simplexState) nonbasicValue(j int) float64 {
+	switch st.status[j] {
+	case atLower:
+		return st.lo[j]
+	case atUpper:
+		return st.up[j]
+	default:
+		return 0
+	}
+}
+
+func (st *simplexState) objective(obj []float64) float64 {
+	total := 0.0
+	for i, j := range st.basis {
+		total += obj[j] * st.xb[i]
+	}
+	for j := 0; j < st.ncols; j++ {
+		if st.status[j] != inBasis {
+			total += obj[j] * st.nonbasicValue(j)
+		}
+	}
+	return total
+}
+
+// optimize runs simplex pivots on the given objective until optimality,
+// unboundedness or the iteration cap.
+func (st *simplexState) optimize(obj []float64) Status {
+	m := st.m
+	y := make([]float64, m)
+	w := make([]float64, m)
+	for ; st.iters < st.maxIters; st.iters++ {
+		// Dual vector y = obj_B^T · B^{-1}.
+		for i := 0; i < m; i++ {
+			y[i] = 0
+		}
+		for k, j := range st.basis {
+			if c := obj[j]; c != 0 {
+				row := st.binv[k]
+				for i := 0; i < m; i++ {
+					y[i] += c * row[i]
+				}
+			}
+		}
+		// Pricing: pick an entering variable.
+		enter, dir := -1, 0.0
+		best := costTol
+		for j := 0; j < st.ncols; j++ {
+			stj := st.status[j]
+			if stj == inBasis || st.lo[j] == st.up[j] {
+				continue
+			}
+			col := st.cols[j]
+			d := obj[j]
+			for k, i := range col.idx {
+				d -= y[i] * col.val[k]
+			}
+			var cand float64 // improvement magnitude, candidate direction
+			var cdir float64
+			switch stj {
+			case atLower:
+				if d < -costTol {
+					cand, cdir = -d, 1
+				}
+			case atUpper:
+				if d > costTol {
+					cand, cdir = d, -1
+				}
+			case atFree:
+				if d < -costTol {
+					cand, cdir = -d, 1
+				} else if d > costTol {
+					cand, cdir = d, -1
+				}
+			}
+			if cdir == 0 {
+				continue
+			}
+			if st.bland {
+				enter, dir = j, cdir
+				break
+			}
+			if cand > best {
+				best, enter, dir = cand, j, cdir
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Direction in basic space: w = B^{-1}·A_enter.
+		colE := st.cols[enter]
+		for i := 0; i < m; i++ {
+			wi := 0.0
+			row := st.binv[i]
+			for k, ci := range colE.idx {
+				wi += row[ci] * colE.val[k]
+			}
+			w[i] = wi
+		}
+		// Ratio test: largest step t ≥ 0 keeping everything in bounds.
+		const tieTol = 1e-12
+		tMax := st.up[enter] - st.lo[enter] // bound-flip limit
+		leave := -1
+		leaveAt := atLower
+		consider := func(k int, t float64, at varStatus) {
+			if t < 0 {
+				t = 0
+			}
+			switch {
+			case t < tMax-tieTol:
+				tMax, leave, leaveAt = t, k, at
+			case t < tMax+tieTol && leave >= 0 && st.bland && st.basis[k] < st.basis[leave]:
+				// Bland's rule breaks ties toward the smallest variable
+				// index, which guarantees termination under degeneracy.
+				leave, leaveAt = k, at
+			}
+		}
+		for k := 0; k < m; k++ {
+			delta := -dir * w[k] // d(xb_k)/dt
+			switch bk := st.basis[k]; {
+			case delta > pivotTol:
+				if lim := st.up[bk]; !math.IsInf(lim, 1) {
+					consider(k, (lim-st.xb[k])/delta, atUpper)
+				}
+			case delta < -pivotTol:
+				if lim := st.lo[bk]; !math.IsInf(lim, -1) {
+					consider(k, (lim-st.xb[k])/delta, atLower)
+				}
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			return Unbounded
+		}
+		if tMax < 0 {
+			tMax = 0
+		}
+		if tMax <= pivotTol {
+			st.degenerate++
+			if st.degenerate > blandAfter {
+				st.bland = true
+			}
+		} else {
+			st.degenerate = 0
+		}
+		// Move the basic values.
+		for k := 0; k < m; k++ {
+			st.xb[k] += -dir * w[k] * tMax
+		}
+		if leave < 0 {
+			// Bound flip: the entering variable traverses its whole range.
+			if st.status[enter] == atLower {
+				st.status[enter] = atUpper
+			} else {
+				st.status[enter] = atLower
+			}
+			continue
+		}
+		// Pivot: enter replaces basis[leave].
+		enterVal := st.nonbasicValue(enter) + dir*tMax
+		leaving := st.basis[leave]
+		st.status[leaving] = leaveAt
+		st.status[enter] = inBasis
+		st.basis[leave] = enter
+		st.pivotBinv(leave, w)
+		st.xb[leave] = enterVal
+		if (st.iters+1)%refactorEvery == 0 {
+			if err := st.refactor(); err != nil {
+				// Singular refactor should not happen; treat as limit.
+				return IterLimit
+			}
+		}
+	}
+	return IterLimit
+}
+
+// pivotBinv applies the eta update for a pivot in basic row r with direction
+// vector w = B^{-1}A_enter.
+func (st *simplexState) pivotBinv(r int, w []float64) {
+	m := st.m
+	piv := w[r]
+	rowR := st.binv[r]
+	inv := 1 / piv
+	for i := 0; i < m; i++ {
+		rowR[i] *= inv
+	}
+	for k := 0; k < m; k++ {
+		if k == r {
+			continue
+		}
+		f := w[k]
+		if f == 0 {
+			continue
+		}
+		row := st.binv[k]
+		for i := 0; i < m; i++ {
+			row[i] -= f * rowR[i]
+		}
+	}
+}
+
+// refactor rebuilds binv from the basis columns via Gauss-Jordan with
+// partial pivoting and recomputes the basic values, washing out drift.
+func (st *simplexState) refactor() error {
+	m := st.m
+	// Assemble [B | I].
+	aug := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		aug[i] = make([]float64, 2*m)
+		aug[i][m+i] = 1
+	}
+	for k, j := range st.basis {
+		col := st.cols[j]
+		for ki, i := range col.idx {
+			aug[i][k] = col.val[ki]
+		}
+	}
+	for col := 0; col < m; col++ {
+		piv, pv := col, math.Abs(aug[col][col])
+		for r := col + 1; r < m; r++ {
+			if a := math.Abs(aug[r][col]); a > pv {
+				piv, pv = r, a
+			}
+		}
+		if pv < 1e-12 {
+			return fmt.Errorf("lp: singular basis during refactor")
+		}
+		aug[col], aug[piv] = aug[piv], aug[col]
+		inv := 1 / aug[col][col]
+		for c := col; c < 2*m; c++ {
+			aug[col][c] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < 2*m; c++ {
+				aug[r][c] -= f * aug[col][c]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(st.binv[i], aug[i][m:])
+	}
+	// Recompute basic values: xb = B^{-1}(b - Σ_nonbasic A_j v_j).
+	rhs := make([]float64, m)
+	copy(rhs, st.b)
+	for j := 0; j < st.ncols; j++ {
+		if st.status[j] == inBasis {
+			continue
+		}
+		if v := st.nonbasicValue(j); v != 0 {
+			col := st.cols[j]
+			for k, i := range col.idx {
+				rhs[i] -= col.val[k] * v
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		xi := 0.0
+		row := st.binv[i]
+		for k := 0; k < m; k++ {
+			xi += row[k] * rhs[k]
+		}
+		st.xb[i] = xi
+	}
+	return nil
+}
+
+// extract returns the structural variable values.
+func (st *simplexState) extract(n int) []float64 {
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if st.status[j] != inBasis {
+			x[j] = st.nonbasicValue(j)
+		}
+	}
+	for k, j := range st.basis {
+		if j < n {
+			x[j] = st.xb[k]
+		}
+	}
+	return x
+}

@@ -1,0 +1,105 @@
+package nfold
+
+import (
+	"fmt"
+
+	"ccsched/internal/ilp"
+	"ccsched/internal/lp"
+)
+
+// Flatten expands the N-fold into a plain MILP over N*T variables (brick i,
+// column j maps to flat index i*T+j) for the exact branch-and-bound engine.
+func (p *Problem) Flatten() (*ilp.Problem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nv := p.N * p.T
+	mp := ilp.NewProblem(nv)
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.T; j++ {
+			f := i*p.T + j
+			mp.Obj[f] = float64(p.Obj[i][j])
+			mp.Lower[f] = float64(p.Lower[i][j])
+			mp.Upper[f] = float64(p.Upper[i][j])
+		}
+	}
+	// Global rows span all bricks.
+	for k := 0; k < p.R; k++ {
+		row := make([]float64, nv)
+		for i := 0; i < p.N; i++ {
+			for j := 0; j < p.T; j++ {
+				row[i*p.T+j] = float64(p.A[i][k][j])
+			}
+		}
+		mp.AddRow(row, lp.EQ, float64(p.GlobalRHS[k]))
+	}
+	// Local rows touch one brick each.
+	for i := 0; i < p.N; i++ {
+		for k := 0; k < p.S; k++ {
+			row := make([]float64, nv)
+			for j := 0; j < p.T; j++ {
+				row[i*p.T+j] = float64(p.B[i][k][j])
+			}
+			mp.AddRow(row, lp.EQ, float64(p.LocalRHS[i][k]))
+		}
+	}
+	return mp, nil
+}
+
+// LPRelaxationInfeasible reports whether even the LP relaxation of the
+// N-fold has no solution — a cheap certificate of integral infeasibility
+// used by the auto engine before paying for branch and bound.
+func (p *Problem) LPRelaxationInfeasible() (bool, error) {
+	mp, err := p.Flatten()
+	if err != nil {
+		return false, err
+	}
+	sol, err := lp.Solve(&mp.Problem)
+	if err != nil {
+		return false, err
+	}
+	return sol.Status == lp.Infeasible, nil
+}
+
+// solveBranchBound runs the exact fallback engine and converts the answer
+// back to brick form.
+func (p *Problem) solveBranchBound(maxNodes int, firstFeasible bool) (*Result, error) {
+	mp, err := p.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	res, err := ilp.Solve(mp, &ilp.Options{MaxNodes: maxNodes, FirstFeasible: firstFeasible})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Engine: EngineBranchBound, Nodes: res.Nodes}
+	switch res.Status {
+	case ilp.Infeasible:
+		out.Status = Infeasible
+		return out, nil
+	case ilp.NodeLimit:
+		out.Status = Unknown
+		return out, nil
+	}
+	x := make([][]int64, p.N)
+	for i := 0; i < p.N; i++ {
+		x[i] = make([]int64, p.T)
+		for j := 0; j < p.T; j++ {
+			x[i][j] = int64(res.X[i*p.T+j] + 0.5*sign(res.X[i*p.T+j]))
+		}
+	}
+	if err := p.Check(x); err != nil {
+		return nil, fmt.Errorf("nfold: branch-and-bound produced an invalid solution: %w", err)
+	}
+	out.Status = Feasible
+	out.X = x
+	out.Obj = p.Objective(x)
+	return out, nil
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

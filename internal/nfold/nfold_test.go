@@ -1,0 +1,290 @@
+package nfold
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tinyProblem builds a 2-brick N-fold:
+// global:  x11 + x21 = 3            (one global row, first var of each brick)
+// local:   x_i1 + x_i2 = 2          (per brick)
+// bounds:  0 <= x <= 3.
+func tinyProblem() *Problem {
+	a := [][]int64{{1, 0}}
+	b := [][]int64{{1, 1}}
+	p := NewUniform(2, a, b)
+	p.GlobalRHS[0] = 3
+	for i := 0; i < 2; i++ {
+		p.LocalRHS[i][0] = 2
+		for j := 0; j < 2; j++ {
+			p.Upper[i][j] = 3
+		}
+	}
+	return p
+}
+
+func TestValidateAndParams(t *testing.T) {
+	p := tinyProblem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	par := p.Params()
+	if par.N != 2 || par.R != 1 || par.S != 1 || par.T != 2 || par.Delta != 1 || par.Vars != 4 {
+		t.Errorf("params = %+v", par)
+	}
+	if p.TheoreticalCostLog2() <= 0 {
+		t.Error("theoretical cost should be positive")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	p := tinyProblem()
+	p.GlobalRHS = nil
+	if err := p.Validate(); err == nil {
+		t.Error("want rhs error")
+	}
+	p = tinyProblem()
+	p.Lower[0][0] = 5
+	if err := p.Validate(); err == nil {
+		t.Error("want bound error")
+	}
+	p = tinyProblem()
+	p.B[1] = [][]int64{{1}}
+	if err := p.Validate(); err == nil {
+		t.Error("want width error")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	p := tinyProblem()
+	good := [][]int64{{1, 1}, {2, 0}}
+	if err := p.Check(good); err != nil {
+		t.Errorf("Check(good) = %v", err)
+	}
+	bad := [][]int64{{1, 1}, {1, 0}} // local row of brick 2 violated
+	if err := p.Check(bad); err == nil {
+		t.Error("Check(bad) = nil")
+	}
+	oob := [][]int64{{4, -2}, {2, 0}}
+	if err := p.Check(oob); err == nil {
+		t.Error("Check(oob) = nil")
+	}
+}
+
+func TestSolveBothEngines(t *testing.T) {
+	for _, eng := range []Engine{EngineAugment, EngineBranchBound, EngineAuto} {
+		p := tinyProblem()
+		res, err := Solve(p, &Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if res.Status != Feasible {
+			t.Fatalf("%s: status = %v", eng, res.Status)
+		}
+		if err := p.Check(res.X); err != nil {
+			t.Errorf("%s: invalid solution: %v", eng, err)
+		}
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := tinyProblem()
+	p.GlobalRHS[0] = 100 // beyond the upper bounds
+	res, err := Solve(p, &Options{Engine: EngineBranchBound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+	// Auto must also conclude infeasible (augment stalls, exact decides).
+	res, err = Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("auto status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestSolveWithObjective(t *testing.T) {
+	// Minimize x11: optimum uses brick 2 to cover the global row... but the
+	// global row only sees brick-first variables, so x11 + x21 = 3 with
+	// local sums 2 forces x11 >= 1. Optimal obj = 1.
+	p := tinyProblem()
+	p.Obj[0][0] = 1
+	res, err := Solve(p, &Options{Engine: EngineBranchBound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Feasible || res.Obj != 1 {
+		t.Fatalf("status=%v obj=%d x=%v", res.Status, res.Obj, res.X)
+	}
+}
+
+func TestConfigurationStyleProblem(t *testing.T) {
+	// A miniature of the paper's splittable N-fold: 3 classes (bricks),
+	// 2 modules (sizes 2, 3), configurations {2}, {3}, {2,2}, {2,3} on
+	// m = 3 machines. Brick variables: x_K (4), y_q (2).
+	// Global: Σ x = m; per module q: Σ_K K_q x_K − Σ y_q = 0.
+	// Local: Σ_q q·y_q = load_u  (loads 3, 4, 2 — note 4 = 2+2).
+	a := [][]int64{
+		// x{2} x{3} x{22} x{23} y2 y3
+		{1, 1, 1, 1, 0, 0},  // Σ x_K = m
+		{1, 0, 2, 1, -1, 0}, // module 2 coverage
+		{0, 1, 0, 1, 0, -1}, // module 3 coverage
+	}
+	b := [][]int64{
+		{0, 0, 0, 0, 2, 3}, // Σ q y_q = load_u
+	}
+	p := NewUniform(3, a, b)
+	p.GlobalRHS[0] = 3
+	loads := []int64{3, 4, 2}
+	for i := 0; i < 3; i++ {
+		p.LocalRHS[i][0] = loads[i]
+		for j := 0; j < 6; j++ {
+			p.Upper[i][j] = 6
+		}
+	}
+	for _, eng := range []Engine{EngineAugment, EngineBranchBound} {
+		res, err := Solve(p, &Options{Engine: eng, FirstFeasible: true})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if res.Status == Unknown && eng == EngineAugment {
+			t.Logf("%s: stalled (allowed for the heuristic)", eng)
+			continue
+		}
+		if res.Status != Feasible {
+			t.Fatalf("%s: status = %v", eng, res.Status)
+		}
+		if err := p.Check(res.X); err != nil {
+			t.Errorf("%s: invalid solution: %v", eng, err)
+		}
+	}
+}
+
+func TestDeltaAndEncoding(t *testing.T) {
+	p := tinyProblem()
+	if got := p.Delta(); got != 1 {
+		t.Errorf("Delta = %d, want 1", got)
+	}
+	p.A[0][0][1] = -7
+	if got := p.Delta(); got != 7 {
+		t.Errorf("Delta = %d, want 7", got)
+	}
+	if p.EncodingLength() < 3 {
+		t.Errorf("EncodingLength = %d, want >= 3 (number 7)", p.EncodingLength())
+	}
+}
+
+func TestParallelCoeffs(t *testing.T) {
+	cases := []struct {
+		u, v []int64
+		a, b int64
+		ok   bool
+	}{
+		{[]int64{2, 4}, []int64{1, 2}, 1, 2, true},
+		{[]int64{3}, []int64{2}, 2, 3, true},
+		{[]int64{0, 0}, []int64{0, 0}, 1, 1, true},
+		{[]int64{1, 0}, []int64{0, 1}, 0, 0, false},
+		{[]int64{1, 2}, []int64{2, 3}, 0, 0, false},
+		{[]int64{0, 1}, []int64{0, 0}, 0, 0, false},
+		{[]int64{-2}, []int64{4}, 2, -1, true}, // a*(-2) = b*4 -> a=2,b=-1... check sign normalization
+	}
+	for i, tc := range cases {
+		a, b, ok := parallelCoeffs(tc.u, tc.v, 8)
+		if ok != tc.ok {
+			t.Errorf("case %d: ok = %v, want %v", i, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		// Verify the defining identity rather than exact coefficients.
+		for k := range tc.u {
+			if a*tc.u[k] != b*tc.v[k] {
+				t.Errorf("case %d: %d*%d != %d*%d", i, a, tc.u[k], b, tc.v[k])
+			}
+		}
+		if a <= 0 {
+			t.Errorf("case %d: a = %d not positive", i, a)
+		}
+	}
+}
+
+// TestRandomAgreement cross-checks the engines on random small N-folds:
+// whenever branch and bound says feasible, auto must produce a verified
+// solution; when it says infeasible, augmentation must not claim otherwise.
+func TestRandomAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		r := 1 + rng.Intn(2)
+		s := 1 + rng.Intn(2)
+		tt := 2 + rng.Intn(3)
+		a := make([][]int64, r)
+		for k := range a {
+			a[k] = make([]int64, tt)
+			for j := range a[k] {
+				a[k][j] = int64(rng.Intn(5) - 2)
+			}
+		}
+		b := make([][]int64, s)
+		for k := range b {
+			b[k] = make([]int64, tt)
+			for j := range b[k] {
+				b[k][j] = int64(rng.Intn(5) - 2)
+			}
+		}
+		p := NewUniform(n, a, b)
+		for k := range p.GlobalRHS {
+			p.GlobalRHS[k] = int64(rng.Intn(7) - 3)
+		}
+		for i := 0; i < n; i++ {
+			for k := range p.LocalRHS[i] {
+				p.LocalRHS[i][k] = int64(rng.Intn(7) - 3)
+			}
+			for j := 0; j < tt; j++ {
+				p.Upper[i][j] = int64(rng.Intn(4))
+			}
+		}
+		exact, err := Solve(p, &Options{Engine: EngineBranchBound, FirstFeasible: true})
+		if err != nil {
+			return false
+		}
+		aug, err := Solve(p, &Options{Engine: EngineAugment})
+		if err != nil {
+			return false
+		}
+		switch exact.Status {
+		case Feasible:
+			if p.Check(exact.X) != nil {
+				return false
+			}
+			// Augment may stall (Unknown) but must not claim infeasible,
+			// and any Feasible answer must verify.
+			if aug.Status == Feasible && p.Check(aug.X) != nil {
+				return false
+			}
+			if aug.Status == Infeasible {
+				return false
+			}
+		case Infeasible:
+			if aug.Status == Feasible {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Feasible.String() != "feasible" || Infeasible.String() != "infeasible" || Unknown.String() != "unknown" {
+		t.Error("unexpected status strings")
+	}
+}

@@ -1,0 +1,114 @@
+package nfold
+
+import "fmt"
+
+// Engine identifies which solver produced a result.
+type Engine string
+
+const (
+	// EngineAugment is the Graver-style augmentation heuristic.
+	EngineAugment Engine = "augment"
+	// EngineBranchBound is the exact LP-based branch and bound.
+	EngineBranchBound Engine = "branch-bound"
+	// EngineAuto tries augmentation first and falls back to branch and
+	// bound, so answers are always exact.
+	EngineAuto Engine = "auto"
+)
+
+// Status classifies a solve outcome.
+type Status int
+
+const (
+	// Feasible means X holds a verified solution.
+	Feasible Status = iota
+	// Infeasible means no solution exists (exact engines only).
+	Infeasible
+	// Unknown means the engine gave up within its budget.
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options selects and tunes the engines.
+type Options struct {
+	// Engine picks the solver; default EngineAuto.
+	Engine Engine
+	// Augment tunes the augmentation engine.
+	Augment *AugmentOptions
+	// MaxNodes caps branch-and-bound nodes (default 200000).
+	MaxNodes int
+	// FirstFeasible stops branch and bound at the first integral solution;
+	// the right choice for the PTAS's zero-objective feasibility ILPs.
+	FirstFeasible bool
+}
+
+// Result is a solve outcome. X is indexed [brick][col].
+type Result struct {
+	Status Status
+	X      [][]int64
+	Obj    int64
+	Engine Engine
+	// Nodes counts branch-and-bound nodes or augmentation steps.
+	Nodes int
+}
+
+// Solve dispatches to the selected engine. With EngineAuto (default), the
+// augmentation heuristic runs first; if it stalls, the exact branch and
+// bound decides feasibility, so the combined answer is never Unknown unless
+// the node budget is exhausted.
+func Solve(p *Problem, opts *Options) (*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Engine == "" {
+		o.Engine = EngineAuto
+	}
+	maxNodes := o.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	switch o.Engine {
+	case EngineAugment:
+		return p.solveAugment(o.Augment)
+	case EngineBranchBound:
+		return p.solveBranchBound(maxNodes, o.FirstFeasible)
+	case EngineAuto:
+		res, err := p.solveAugment(o.Augment)
+		if err != nil {
+			return nil, err
+		}
+		if res.Status == Feasible && !hasObjective(p) {
+			return res, nil
+		}
+		// Cheap infeasibility certificate before branch and bound: if the
+		// LP relaxation is already infeasible, so is the ILP.
+		if res.Status != Feasible {
+			if bad, err := p.LPRelaxationInfeasible(); err == nil && bad {
+				return &Result{Status: Infeasible, Engine: EngineBranchBound}, nil
+			}
+		}
+		exact, err := p.solveBranchBound(maxNodes, o.FirstFeasible || !hasObjective(p))
+		if err != nil {
+			return nil, err
+		}
+		// Prefer the better verified answer when both engines succeeded.
+		if res.Status == Feasible && (exact.Status != Feasible || res.Obj <= exact.Obj) {
+			return res, nil
+		}
+		return exact, nil
+	default:
+		return nil, fmt.Errorf("nfold: unknown engine %q", o.Engine)
+	}
+}

@@ -1,0 +1,713 @@
+package ptas
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"ccsched/internal/approx"
+	"ccsched/internal/core"
+	"ccsched/internal/nfold"
+)
+
+// The preemptive PTAS (Section 4.3). Time is divided into |L| layers of
+// height δ²T; in a well-structured schedule every piece of a large-class
+// job fills whole (machine, layer) slots. Modules are 0-1 vectors over
+// layers; configurations choose disjoint modules.
+//
+// Implementation deviation (see the package comment): modules are
+// restricted to contiguous layer intervals. The paper's full module set has
+// 2^|L| elements and its configuration set is a set-partition family, which
+// is not enumerable for any useful δ; intervals keep the scheme sound
+// (every output is validated) and complete on all tested workloads.
+//
+// Units: δ²T/c as everywhere; a layer is c units tall; T̄ is rounded up to
+// (g²+3g+2)·c units ≥ (1+3δ)(1+δ²)T, keeping the error O(δ).
+
+// interval is a module: layers [lo, hi) (0-based, half-open).
+type interval struct{ lo, hi int }
+
+func (iv interval) length() int { return iv.hi - iv.lo }
+
+// preGuessCtx carries the per-guess state for the preemptive PTAS.
+type preGuessCtx struct {
+	in     *core.Instance
+	g, t   int64
+	layers int
+	cStar  int64
+	jobs   [][]npJob
+	small  []bool
+	// sizes: distinct rounded large-job sizes (units, multiples of c);
+	// wp[size] = pieces (layers) per job of that size.
+	sizes      []int64
+	nUP        map[[2]int64]int64
+	smallUnits []int64
+	modules    []interval
+	configs    []preConfig
+	hbPairs    []hbPair
+	hbIndex    map[hbKey]int
+	tBarUnits  int64
+}
+
+// preConfig is a configuration: disjoint intervals, at most c* of them.
+type preConfig struct {
+	intervals []int // indices into modules
+	size      int64 // total layers covered × c (units)
+	slots     int64
+}
+
+// enumerateIntervalConfigs lists sets of pairwise disjoint intervals (by
+// index) with at most maxSlots members, including the empty configuration.
+func enumerateIntervalConfigs(modules []interval, maxSlots int64, limit int) ([]preConfig, error) {
+	// Order intervals by start for the sweep.
+	idx := make([]int, len(modules))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := modules[idx[a]], modules[idx[b]]
+		if ia.lo != ib.lo {
+			return ia.lo < ib.lo
+		}
+		return ia.hi < ib.hi
+	})
+	var out []preConfig
+	var cur []int
+	var rec func(pos int, lastEnd int, slots int64, covered int64) error
+	rec = func(pos int, lastEnd int, slots int64, covered int64) error {
+		if len(out) > limit {
+			return fmt.Errorf("ptas: preemptive configuration count exceeds limit %d; increase epsilon or MaxConfigs", limit)
+		}
+		out = append(out, preConfig{
+			intervals: append([]int(nil), cur...),
+			size:      covered,
+			slots:     slots,
+		})
+		if slots == maxSlots {
+			return nil
+		}
+		for k := pos; k < len(idx); k++ {
+			iv := modules[idx[k]]
+			if iv.lo < lastEnd {
+				continue
+			}
+			cur = append(cur, idx[k])
+			if err := rec(k+1, iv.hi, slots+1, covered+int64(iv.length())); err != nil {
+				return err
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return nil
+	}
+	if err := rec(0, 0, 0, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func newPreGuessCtx(in *core.Instance, g, t int64, limit int) (*preGuessCtx, error) {
+	ctx := &preGuessCtx{in: in, g: g, t: t}
+	c := int64(in.Slots)
+	ctx.tBarUnits = (g*g + 3*g + 2) * c
+	ctx.layers = int((g*g + 3*g + 2)) // tBarUnits / c
+	ctx.cStar = int64(ctx.layers)
+	if c < ctx.cStar {
+		ctx.cStar = c
+	}
+	byClass := in.ClassJobs()
+	ctx.jobs = make([][]npJob, len(byClass))
+	ctx.small = make([]bool, len(byClass))
+	ctx.smallUnits = make([]int64, len(byClass))
+	ctx.nUP = make(map[[2]int64]int64)
+	sizeSet := make(map[int64]bool)
+	for u, js := range byClass {
+		if len(js) == 0 {
+			continue
+		}
+		grouped, isSmall := groupJobs(in, js, g, t)
+		ctx.small[u] = isSmall
+		if isSmall {
+			ctx.smallUnits[u] = ceilDivBig(grouped[0].load, g*g*c, t)
+			grouped[0].units = ctx.smallUnits[u]
+			grouped[0].class = u
+			ctx.jobs[u] = grouped
+			continue
+		}
+		for k := range grouped {
+			grouped[k].class = u
+			grouped[k].units = ceilDivBig(grouped[k].load, g*g, t) * c
+			sizeSet[grouped[k].units] = true
+			ctx.nUP[[2]int64{int64(u), grouped[k].units}]++
+		}
+		ctx.jobs[u] = grouped
+	}
+	for s := range sizeSet {
+		ctx.sizes = append(ctx.sizes, s)
+	}
+	sort.Slice(ctx.sizes, func(a, b int) bool { return ctx.sizes[a] < ctx.sizes[b] })
+	// Reject guesses for which a single job would not fit (w_p > |L|).
+	for _, s := range ctx.sizes {
+		if s/c > int64(ctx.layers) {
+			return nil, errGuessTooSmall
+		}
+	}
+	for lo := 0; lo < ctx.layers; lo++ {
+		for hi := lo + 1; hi <= ctx.layers; hi++ {
+			ctx.modules = append(ctx.modules, interval{lo, hi})
+		}
+	}
+	var err error
+	ctx.configs, err = enumerateIntervalConfigs(ctx.modules, ctx.cStar, limit)
+	if err != nil {
+		return nil, err
+	}
+	ctx.hbIndex = make(map[hbKey]int)
+	for ci, cc := range ctx.configs {
+		k := hbKey{cc.size, cc.slots}
+		idx, ok := ctx.hbIndex[k]
+		if !ok {
+			idx = len(ctx.hbPairs)
+			ctx.hbIndex[k] = idx
+			ctx.hbPairs = append(ctx.hbPairs, hbPair{h: cc.size, b: cc.slots})
+		}
+		ctx.hbPairs[idx].configs = append(ctx.hbPairs[idx].configs, ci)
+	}
+	return ctx, nil
+}
+
+var errGuessTooSmall = fmt.Errorf("ptas: guess below the largest job")
+
+func (ctx *preGuessCtx) classList() []int {
+	var out []int
+	for u := range ctx.jobs {
+		if len(ctx.jobs[u]) > 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// buildNFold encodes constraints (0)–(6) of the preemptive scheme.
+func (ctx *preGuessCtx) buildNFold(m int64) *nfold.Problem {
+	nM, nK, nHB, nP, nL := len(ctx.modules), len(ctx.configs), len(ctx.hbPairs), len(ctx.sizes), ctx.layers
+	// Brick layout: [x_K | y_M | z_hb | s2_hb | s3_hb | a_{p,ℓ}].
+	tWidth := nK + nM + 3*nHB + nP*nL
+	xOff, yOff, zOff, s2Off, s3Off, aOff := 0, nK, nK+nM, nK+nM+nHB, nK+nM+2*nHB, nK+nM+3*nHB
+	r := 1 + nM + 2*nHB
+	s := nP + nL + 1
+	cUnits := int64(ctx.in.Slots)
+	classes := ctx.classList()
+	p := &nfold.Problem{N: len(classes), R: r, S: s, T: tWidth}
+	for _, u := range classes {
+		a := make([][]int64, r)
+		for k := range a {
+			a[k] = make([]int64, tWidth)
+		}
+		for ci := range ctx.configs {
+			a[0][xOff+ci] = 1
+		}
+		// (1) per module M: Σ_K K_M x_K − y_M = 0.
+		for mi := range ctx.modules {
+			a[1+mi][yOff+mi] = -1
+		}
+		for ci, cc := range ctx.configs {
+			for _, mi := range cc.intervals {
+				a[1+mi][xOff+ci] = 1
+			}
+		}
+		for hi, hb := range ctx.hbPairs {
+			row2 := a[1+nM+hi]
+			row3 := a[1+nM+nHB+hi]
+			row2[zOff+hi] = 1
+			row2[s2Off+hi] = 1
+			row3[s3Off+hi] = 1
+			if ctx.small[u] {
+				row3[zOff+hi] = ctx.smallUnits[u]
+			} else {
+				row3[zOff+hi] = 1
+			}
+			for _, ci := range hb.configs {
+				row2[xOff+ci] = hb.b - cUnits
+				row3[xOff+ci] = hb.h - ctx.tBarUnits
+			}
+		}
+		p.A = append(p.A, a)
+
+		b := make([][]int64, s)
+		for k := range b {
+			b[k] = make([]int64, tWidth)
+		}
+		// (4) per size p: Σ_ℓ a_{p,ℓ} = (1-ξ)·w_p·n^u_p.
+		for pi := range ctx.sizes {
+			for l := 0; l < nL; l++ {
+				b[pi][aOff+pi*nL+l] = 1
+			}
+		}
+		// (5) per layer ℓ: Σ_M M_ℓ y_M − Σ_p a_{p,ℓ} = 0.
+		for l := 0; l < nL; l++ {
+			row := b[nP+l]
+			for mi, iv := range ctx.modules {
+				if iv.lo <= l && l < iv.hi {
+					row[yOff+mi] = 1
+				}
+			}
+			for pi := range ctx.sizes {
+				row[aOff+pi*nL+l] = -1
+			}
+		}
+		// (6) Σ z = ξ.
+		for hi := range ctx.hbPairs {
+			b[nP+nL][zOff+hi] = 1
+		}
+		p.B = append(p.B, b)
+
+		lrhs := make([]int64, s)
+		if ctx.small[u] {
+			lrhs[nP+nL] = 1
+		} else {
+			for pi, sz := range ctx.sizes {
+				wp := sz / cUnits
+				lrhs[pi] = wp * ctx.nUP[[2]int64{int64(u), sz}]
+			}
+		}
+		p.LocalRHS = append(p.LocalRHS, lrhs)
+
+		lower := make([]int64, tWidth)
+		upper := make([]int64, tWidth)
+		for ci := range ctx.configs {
+			upper[xOff+ci] = m
+		}
+		if !ctx.small[u] {
+			var totPieces int64
+			for pi, sz := range ctx.sizes {
+				totPieces += (sz / cUnits) * ctx.nUP[[2]int64{int64(u), ctx.sizes[pi]}]
+			}
+			for mi := range ctx.modules {
+				upper[yOff+mi] = totPieces
+			}
+			// a_{p,ℓ} ≤ n^u_p: Theorem 18's greedy needs at most one slot
+			// per job per layer.
+			for pi, sz := range ctx.sizes {
+				np := ctx.nUP[[2]int64{int64(u), sz}]
+				for l := 0; l < nL; l++ {
+					upper[aOff+pi*nL+l] = np
+				}
+			}
+		}
+		for hi := range ctx.hbPairs {
+			if ctx.small[u] {
+				upper[zOff+hi] = 1
+			}
+			upper[s2Off+hi] = cUnits * m
+			upper[s3Off+hi] = ctx.tBarUnits * m
+		}
+		p.Lower = append(p.Lower, lower)
+		p.Upper = append(p.Upper, upper)
+		p.Obj = append(p.Obj, make([]int64, tWidth))
+	}
+	p.GlobalRHS = make([]int64, r)
+	p.GlobalRHS[0] = m
+	return p
+}
+
+// PreemptiveResult is the preemptive PTAS output.
+type PreemptiveResult struct {
+	Schedule *core.PreemptiveSchedule
+	Report   Report
+}
+
+// Makespan returns the schedule makespan.
+func (r *PreemptiveResult) Makespan() *big.Rat { return r.Schedule.Makespan() }
+
+// SolvePreemptive runs the preemptive PTAS (Theorem 19, with the interval-
+// module restriction documented above).
+func SolvePreemptive(in *core.Instance, opts Options) (*PreemptiveResult, error) {
+	g, err := opts.delta()
+	if err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := core.CheckFeasible(in); err != nil {
+		return nil, err
+	}
+	// m ≥ n: one job per machine is optimal (p_max).
+	if in.M >= int64(in.N()) {
+		sched := &core.PreemptiveSchedule{}
+		for j := range in.P {
+			sched.Pieces = append(sched.Pieces, core.PreemptivePiece{
+				Job: j, Machine: int64(j), Start: new(big.Rat), Size: core.RatInt(in.P[j]),
+			})
+		}
+		return &PreemptiveResult{Schedule: sched, Report: Report{InvDelta: g, Guess: in.PMax()}}, nil
+	}
+	// The preemptive optimum is rational; keep the integral guess grid
+	// (1+δ)-fine relative to OPT by scaling small instances up.
+	lbRat, err := core.LowerBound(in, core.Preemptive)
+	if err != nil {
+		return nil, err
+	}
+	if scale := scaleFactor(lbRat, in.PMax(), 4*g*g); scale > 1 {
+		res, err := SolvePreemptive(scaleInstance(in, scale), opts)
+		if err != nil {
+			return nil, err
+		}
+		descalePreemptive(res, scale)
+		return res, nil
+	}
+	lo, err := lowerBoundInt(in, core.Preemptive)
+	if err != nil {
+		return nil, err
+	}
+	apx, err := approx.SolvePreemptive(in)
+	if err != nil {
+		return nil, err
+	}
+	hi := ceilRat(apx.Makespan())
+	if hi < lo {
+		hi = lo
+	}
+	grid := guessGrid(lo, hi, g)
+	type payload struct {
+		sched  *core.PreemptiveSchedule
+		report Report
+	}
+	best, guess, tried, err := searchGuesses(grid, func(t int64) (payload, bool, error) {
+		ctx, err := newPreGuessCtx(in, g, t, opts.maxConfigs())
+		if err == errGuessTooSmall {
+			return payload{}, false, nil
+		}
+		if err != nil {
+			return payload{}, false, err
+		}
+		prob := ctx.buildNFold(in.M)
+		res, err := nfold.Solve(prob, opts.nfoldOptions())
+		if err != nil {
+			return payload{}, false, err
+		}
+		if res.Status != nfold.Feasible {
+			return payload{}, false, nil
+		}
+		sched, err := ctx.constructSchedule(res.X)
+		if err != nil {
+			return payload{}, false, err
+		}
+		return payload{sched, Report{
+			InvDelta: g, Guess: t, NFold: prob.Params(), Engine: res.Engine,
+			TheoreticalCostLog2: prob.TheoreticalCostLog2(),
+		}}, true, nil
+	})
+	if err != nil {
+		return &PreemptiveResult{
+			Schedule: apx.Schedule,
+			Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"},
+		}, nil
+	}
+	best.report.Guess = guess
+	best.report.Guesses = tried
+	// Return the better of the PTAS construction and the 2-approximation.
+	if apx.Makespan().Cmp(best.sched.Makespan()) < 0 {
+		best.report.Engine = "approx-min"
+		return &PreemptiveResult{Schedule: apx.Schedule, Report: best.report}, nil
+	}
+	return &PreemptiveResult{Schedule: best.sched, Report: best.report}, nil
+}
+
+// constructSchedule realizes the N-fold solution: configurations onto
+// machines, interval modules into configuration slots, layer slots onto
+// sizes via the a-variables, jobs into layer slots greedily (Theorem 18),
+// small classes into the machines' idle gaps.
+func (ctx *preGuessCtx) constructSchedule(x [][]int64) (*core.PreemptiveSchedule, error) {
+	in := ctx.in
+	nM, nK, nHB, nL := len(ctx.modules), len(ctx.configs), len(ctx.hbPairs), ctx.layers
+	xOff, yOff, zOff, aOff := 0, nK, nK+nM, nK+nM+3*nHB
+	cUnits := int64(in.Slots)
+	layerRat := core.RatFrac(ctx.t, ctx.g*ctx.g) // δ²T
+	classes := ctx.classList()
+	xc := make([]int64, nK)
+	for bi := range classes {
+		for ci := 0; ci < nK; ci++ {
+			xc[ci] += x[bi][xOff+ci]
+		}
+	}
+	type machine struct {
+		config int
+		// owner[ℓ] is the class owning layer ℓ (-1 free).
+		owner []int
+	}
+	var machines []machine
+	for ci, cnt := range xc {
+		for k := int64(0); k < cnt; k++ {
+			m := machine{config: ci, owner: make([]int, nL)}
+			for l := range m.owner {
+				m.owner[l] = -1
+			}
+			machines = append(machines, m)
+		}
+	}
+	if int64(len(machines)) != in.M {
+		return nil, fmt.Errorf("ptas: configuration counts cover %d machines, want %d", len(machines), in.M)
+	}
+	// Module slot instances per module (interval) id.
+	slotsByModule := make([][]int, nM) // module -> machines owning that interval slot
+	for mi := range machines {
+		for _, mod := range ctx.configs[machines[mi].config].intervals {
+			slotsByModule[mod] = append(slotsByModule[mod], mi)
+		}
+	}
+	cursor := make([]int, nM)
+	for bi, u := range classes {
+		if ctx.small[u] {
+			continue
+		}
+		for mod := 0; mod < nM; mod++ {
+			need := x[bi][yOff+mod]
+			for k := int64(0); k < need; k++ {
+				if cursor[mod] >= len(slotsByModule[mod]) {
+					return nil, fmt.Errorf("ptas: module demand exceeds slots for interval %v", ctx.modules[mod])
+				}
+				mi := slotsByModule[mod][cursor[mod]]
+				cursor[mod]++
+				for l := ctx.modules[mod].lo; l < ctx.modules[mod].hi; l++ {
+					machines[mi].owner[l] = u
+				}
+			}
+		}
+	}
+	// Per class: distribute layer slots to sizes via a_{p,ℓ}, then fill
+	// jobs greedily (most remaining pieces first).
+	sched := &core.PreemptiveSchedule{}
+	type jobState struct {
+		gj        npJob
+		remaining int64 // pieces still to place
+		placed    []core.PreemptivePiece
+	}
+	for bi, u := range classes {
+		if ctx.small[u] {
+			continue
+		}
+		// Slots per layer owned by class u.
+		slotAt := make([][]int, nL) // layer -> machine indices
+		for mi := range machines {
+			for l := 0; l < nL; l++ {
+				if machines[mi].owner[l] == u {
+					slotAt[l] = append(slotAt[l], mi)
+				}
+			}
+		}
+		// Job states per size.
+		bySize := make(map[int64][]*jobState)
+		for _, gj := range ctx.jobs[u] {
+			st := &jobState{gj: gj, remaining: gj.units / cUnits}
+			bySize[gj.units] = append(bySize[gj.units], st)
+		}
+		for l := 0; l < nL; l++ {
+			used := 0
+			for pi, sz := range ctx.sizes {
+				cnt := x[bi][aOff+pi*nL+l]
+				if cnt == 0 {
+					continue
+				}
+				states := bySize[sz]
+				// Most remaining first; each job at most once per layer.
+				sort.SliceStable(states, func(a, b int) bool { return states[a].remaining > states[b].remaining })
+				if cnt > int64(len(states)) {
+					return nil, fmt.Errorf("ptas: layer %d wants %d size-%d jobs of class %d, have %d", l, cnt, sz, u, len(states))
+				}
+				for k := int64(0); k < cnt; k++ {
+					st := states[k]
+					if st.remaining == 0 {
+						return nil, fmt.Errorf("ptas: job of class %d exhausted before its slots", u)
+					}
+					if used >= len(slotAt[l]) {
+						return nil, fmt.Errorf("ptas: class %d out of slots at layer %d", u, l)
+					}
+					mi := slotAt[l][used]
+					used++
+					st.placed = append(st.placed, core.PreemptivePiece{
+						Job:     -1, // filled after un-grouping
+						Machine: int64(mi),
+						Start:   core.RatMul(layerRat, core.RatInt(int64(l))),
+						Size:    new(big.Rat).Set(layerRat),
+					})
+					st.remaining--
+				}
+			}
+		}
+		// Un-round and un-group: each grouped job's pieces (ordered by
+		// start) carry its original jobs' exact mass; excess is trimmed
+		// from the tail.
+		for _, states := range bySize {
+			for _, st := range states {
+				if st.remaining != 0 {
+					return nil, fmt.Errorf("ptas: job of class %d has %d unplaced pieces", u, st.remaining)
+				}
+				sort.SliceStable(st.placed, func(a, b int) bool {
+					return st.placed[a].Start.Cmp(st.placed[b].Start) < 0
+				})
+				pieces, err := fillGroupedJob(in, st.gj, st.placed)
+				if err != nil {
+					return nil, err
+				}
+				sched.Pieces = append(sched.Pieces, pieces...)
+			}
+		}
+	}
+	// Small classes: round robin into (h,b) groups, then into idle gaps.
+	groupMachines := make([][]int, nHB)
+	for mi := range machines {
+		cc := ctx.configs[machines[mi].config]
+		hi := ctx.hbIndex[hbKey{cc.size, cc.slots}]
+		groupMachines[hi] = append(groupMachines[hi], mi)
+	}
+	type smallAssign struct{ u, hb int }
+	var smalls []smallAssign
+	loads := in.ClassLoads()
+	for bi, u := range classes {
+		if !ctx.small[u] {
+			continue
+		}
+		chosen := -1
+		for hi := 0; hi < nHB; hi++ {
+			if x[bi][zOff+hi] == 1 {
+				chosen = hi
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("ptas: small class %d has no (h,b) assignment", u)
+		}
+		smalls = append(smalls, smallAssign{u, chosen})
+	}
+	sort.SliceStable(smalls, func(a, b int) bool { return loads[smalls[a].u] > loads[smalls[b].u] })
+	next := make([]int, nHB)
+	// Track a per-machine cursor over free time (gaps between owned layers,
+	// then the open end).
+	freeCursor := make(map[int]*gapCursor)
+	byClass := in.ClassJobs()
+	for _, sa := range smalls {
+		ms := groupMachines[sa.hb]
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("ptas: small class %d assigned to empty machine group", sa.u)
+		}
+		mi := ms[next[sa.hb]%len(ms)]
+		next[sa.hb]++
+		gc := freeCursor[mi]
+		if gc == nil {
+			gc = newGapCursor(machines[mi].owner, layerRat)
+			freeCursor[mi] = gc
+		}
+		for _, j := range byClass[sa.u] {
+			remaining := core.RatInt(in.P[j])
+			for remaining.Sign() > 0 {
+				start, size := gc.take(remaining)
+				sched.Pieces = append(sched.Pieces, core.PreemptivePiece{
+					Job: j, Machine: int64(mi), Start: start, Size: size,
+				})
+				remaining = core.RatSub(remaining, size)
+			}
+		}
+	}
+	return sched, nil
+}
+
+// fillGroupedJob cuts the grouped job's original constituents into the
+// placed pieces (ordered by start), trimming the rounded excess from the
+// tail piece.
+func fillGroupedJob(in *core.Instance, gj npJob, placed []core.PreemptivePiece) ([]core.PreemptivePiece, error) {
+	var out []core.PreemptivePiece
+	pi := 0
+	room := new(big.Rat)
+	var start, base *big.Rat
+	for _, oj := range gj.orig {
+		remaining := core.RatInt(in.P[oj])
+		for remaining.Sign() > 0 {
+			for room.Sign() == 0 {
+				if pi >= len(placed) {
+					return nil, fmt.Errorf("ptas: grouped job of class %d ran out of placed pieces", gj.class)
+				}
+				room = new(big.Rat).Set(placed[pi].Size)
+				base = placed[pi].Start
+				start = base
+				pi++
+			}
+			take := remaining
+			if take.Cmp(room) > 0 {
+				take = new(big.Rat).Set(room)
+			}
+			out = append(out, core.PreemptivePiece{
+				Job:     oj,
+				Machine: placed[pi-1].Machine,
+				Start:   start,
+				Size:    take,
+			})
+			start = core.RatAdd(start, take)
+			room = core.RatSub(room, take)
+			remaining = core.RatSub(remaining, take)
+		}
+	}
+	return out, nil
+}
+
+// gapCursor walks a machine's free time: gaps between owned layers first,
+// then the open-ended region after the last layer.
+type gapCursor struct {
+	gaps []struct{ start, end *big.Rat }
+	gi   int
+	pos  *big.Rat
+	open *big.Rat // start of the open-ended region
+}
+
+func newGapCursor(owner []int, layerRat *big.Rat) *gapCursor {
+	gc := &gapCursor{}
+	nL := len(owner)
+	last := nL
+	for last > 0 && owner[last-1] < 0 {
+		last--
+	}
+	for l := 0; l < last; l++ {
+		if owner[l] < 0 {
+			s := core.RatMul(layerRat, core.RatInt(int64(l)))
+			e := core.RatMul(layerRat, core.RatInt(int64(l+1)))
+			if len(gc.gaps) > 0 && gc.gaps[len(gc.gaps)-1].end.Cmp(s) == 0 {
+				gc.gaps[len(gc.gaps)-1].end = e
+			} else {
+				gc.gaps = append(gc.gaps, struct{ start, end *big.Rat }{s, e})
+			}
+		}
+	}
+	gc.open = core.RatMul(layerRat, core.RatInt(int64(last)))
+	if len(gc.gaps) > 0 {
+		gc.pos = gc.gaps[0].start
+	}
+	return gc
+}
+
+// take returns the next free (start, size) with size ≤ want.
+func (gc *gapCursor) take(want *big.Rat) (*big.Rat, *big.Rat) {
+	for gc.gi < len(gc.gaps) {
+		g := gc.gaps[gc.gi]
+		if gc.pos == nil || gc.pos.Cmp(g.start) < 0 {
+			gc.pos = g.start
+		}
+		room := core.RatSub(g.end, gc.pos)
+		if room.Sign() <= 0 {
+			gc.gi++
+			if gc.gi < len(gc.gaps) {
+				gc.pos = gc.gaps[gc.gi].start
+			}
+			continue
+		}
+		size := want
+		if size.Cmp(room) > 0 {
+			size = room
+		}
+		start := gc.pos
+		gc.pos = core.RatAdd(gc.pos, size)
+		return start, new(big.Rat).Set(size)
+	}
+	start := gc.open
+	gc.open = core.RatAdd(gc.open, want)
+	return start, new(big.Rat).Set(want)
+}

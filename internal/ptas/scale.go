@@ -1,0 +1,76 @@
+package ptas
+
+import (
+	"math/big"
+
+	"ccsched/internal/core"
+)
+
+// The PTAS guess search walks integral makespans, but the splittable and
+// preemptive optima are rational and can be far below 1 (e.g. splittable
+// instances with exponentially many machines, where OPT ≈ Σp/m). Scaling
+// all processing times by a power of two S until the certified lower bound
+// reaches 4g² makes the integral grid (1+δ)-fine relative to OPT; schedules
+// are scaled back by exact rational division, so feasibility is unaffected.
+
+// scaleFactor returns the power-of-two S ≥ 1 with lb·S ≥ target, capped so
+// that pmax·S stays far from int64 overflow.
+func scaleFactor(lb *big.Rat, pmax int64, target int64) int64 {
+	s := int64(1)
+	limit := (int64(1) << 55) / pmax
+	goal := new(big.Rat).SetInt64(target)
+	for s < limit {
+		scaled := new(big.Rat).Mul(lb, new(big.Rat).SetInt64(s))
+		if scaled.Cmp(goal) >= 0 {
+			break
+		}
+		s <<= 1
+	}
+	return s
+}
+
+// scaleInstance multiplies all processing times by s.
+func scaleInstance(in *core.Instance, s int64) *core.Instance {
+	out := in.Clone()
+	for j := range out.P {
+		out.P[j] *= s
+	}
+	return out
+}
+
+// descaleRat divides r by s in place semantics (returns a fresh value).
+func descaleRat(r *big.Rat, s int64) *big.Rat {
+	return new(big.Rat).Quo(r, new(big.Rat).SetInt64(s))
+}
+
+// descaleSplit rescales a split result back to the original instance.
+// Compact may share *big.Rat values with Schedule (core.FromSplit reuses
+// them), so it is rebuilt from the descaled explicit schedule when present.
+func descaleSplit(res *SplitResult, s int64) {
+	if s == 1 {
+		return
+	}
+	if res.Schedule != nil {
+		for i := range res.Schedule.Pieces {
+			res.Schedule.Pieces[i].Size = descaleRat(res.Schedule.Pieces[i].Size, s)
+		}
+		res.Compact = core.FromSplit(res.Schedule)
+		return
+	}
+	for gi := range res.Compact.Groups {
+		for pi := range res.Compact.Groups[gi].Pieces {
+			res.Compact.Groups[gi].Pieces[pi].Size = descaleRat(res.Compact.Groups[gi].Pieces[pi].Size, s)
+		}
+	}
+}
+
+// descalePreemptive rescales a preemptive result.
+func descalePreemptive(res *PreemptiveResult, s int64) {
+	if s == 1 {
+		return
+	}
+	for i := range res.Schedule.Pieces {
+		res.Schedule.Pieces[i].Start = descaleRat(res.Schedule.Pieces[i].Start, s)
+		res.Schedule.Pieces[i].Size = descaleRat(res.Schedule.Pieces[i].Size, s)
+	}
+}

@@ -1,0 +1,553 @@
+package ptas
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"ccsched/internal/approx"
+	"ccsched/internal/core"
+	"ccsched/internal/nfold"
+)
+
+// The splittable PTAS (Section 4.1). Working in units of δ²T/c makes every
+// quantity integral regardless of T's divisibility: with δ = 1/g,
+//
+//	T        = g²·c units,
+//	T̄ = (1+4δ)T = (g²+4g)·c units,
+//	module sizes = ℓ·c units for ℓ ∈ {g, …, g²+4g},
+//	large class loads round up to multiples of c (δ²T),
+//	small class loads round up to multiples of 1 (δ²T/c).
+//
+// Brick u of the N-fold holds x^u_K (configuration counts), y^u_q (module
+// multiplicities) and z^u_{h,b} (small-class placement) plus two slack
+// columns per (h,b) pair, exactly constraints (0)–(5) of the paper.
+
+// splitGuessCtx carries everything derived from one makespan guess.
+type splitGuessCtx struct {
+	in    *core.Instance
+	g     int64 // 1/δ
+	t     int64 // the guess T
+	cStar int64
+	// loads per class and large/small classification (ξ_u = 1 iff small).
+	loads   []int64
+	small   []bool
+	pUnits  []int64 // rounded class load in units of δ²T/c
+	modules []int64 // module sizes in ℓ-units (multiples of δT/c... ℓ itself)
+	configs []configK
+	hbPairs []hbPair
+	hbIndex map[hbKey]int
+}
+
+// configK is a configuration: a multiset of module sizes (ℓ-units).
+type configK struct {
+	counts []int64 // parallel to modules: multiplicity per module size
+	size   int64   // Σ ℓ·count (ℓ-units)
+	slots  int64   // Σ count
+}
+
+type hbKey struct{ h, b int64 }
+
+type hbPair struct {
+	h, b    int64
+	configs []int // indices into configs with Λ(K)=h, ‖K‖₁=b
+}
+
+// enumerateConfigs lists all multisets of the module sizes with total size
+// at most maxSize and at most maxSlots elements (including the empty
+// configuration, which idle machines use).
+func enumerateConfigs(modules []int64, maxSize, maxSlots int64, limit int) ([]configK, error) {
+	var out []configK
+	counts := make([]int64, len(modules))
+	var rec func(idx int, size, slots int64) error
+	rec = func(idx int, size, slots int64) error {
+		if len(out) > limit {
+			return fmt.Errorf("ptas: configuration count exceeds limit %d; increase epsilon or MaxConfigs", limit)
+		}
+		if idx == len(modules) {
+			cc := configK{counts: append([]int64(nil), counts...), size: size, slots: slots}
+			out = append(out, cc)
+			return nil
+		}
+		for k := int64(0); ; k++ {
+			ns, nl := size+k*modules[idx], slots+k
+			if ns > maxSize || nl > maxSlots {
+				break
+			}
+			counts[idx] = k
+			if err := rec(idx+1, ns, nl); err != nil {
+				return err
+			}
+		}
+		counts[idx] = 0
+		return nil
+	}
+	if err := rec(0, 0, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// newSplitGuessCtx performs grouping and rounding for one guess.
+func newSplitGuessCtx(in *core.Instance, g, t int64, limit int) (*splitGuessCtx, error) {
+	ctx := &splitGuessCtx{in: in, g: g, t: t}
+	ctx.loads = in.ClassLoads()
+	c := int64(in.Slots)
+	ctx.cStar = g + 4
+	if c < ctx.cStar {
+		ctx.cStar = c
+	}
+	ctx.small = make([]bool, len(ctx.loads))
+	ctx.pUnits = make([]int64, len(ctx.loads))
+	for u, pu := range ctx.loads {
+		if pu == 0 {
+			continue
+		}
+		if pu*g > t {
+			// Large: round to multiples of δ²T = c units.
+			ctx.pUnits[u] = ceilDivBig(pu, g*g, t) * c
+		} else {
+			ctx.small[u] = true
+			// Small: round to multiples of δ²T/c = 1 unit.
+			ctx.pUnits[u] = ceilDivBig(pu, g*g*c, t)
+		}
+	}
+	for ell := g; ell <= g*g+4*g; ell++ {
+		ctx.modules = append(ctx.modules, ell)
+	}
+	var err error
+	ctx.configs, err = enumerateConfigs(ctx.modules, g*g+4*g, ctx.cStar, limit)
+	if err != nil {
+		return nil, err
+	}
+	ctx.hbIndex = make(map[hbKey]int)
+	for ci, cc := range ctx.configs {
+		k := hbKey{cc.size, cc.slots}
+		idx, ok := ctx.hbIndex[k]
+		if !ok {
+			idx = len(ctx.hbPairs)
+			ctx.hbIndex[k] = idx
+			ctx.hbPairs = append(ctx.hbPairs, hbPair{h: cc.size, b: cc.slots})
+		}
+		ctx.hbPairs[idx].configs = append(ctx.hbPairs[idx].configs, ci)
+	}
+	return ctx, nil
+}
+
+// ceilDivBig returns ⌈a·b/d⌉ using big arithmetic to dodge overflow.
+func ceilDivBig(a, b, d int64) int64 {
+	num := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+	den := big.NewInt(d)
+	q, r := new(big.Int).QuoRem(num, den, new(big.Int))
+	if r.Sign() != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return q.Int64()
+}
+
+// buildNFold encodes constraints (0)–(5) for the guess.
+func (ctx *splitGuessCtx) buildNFold(m int64) *nfold.Problem {
+	nM, nK, nHB := len(ctx.modules), len(ctx.configs), len(ctx.hbPairs)
+	// Brick layout: [x_K | y_q | z_hb | s2_hb | s3_hb].
+	tWidth := nK + nM + 3*nHB
+	xOff, yOff, zOff, s2Off, s3Off := 0, nK, nK+nM, nK+nM+nHB, nK+nM+2*nHB
+	r := 1 + nM + 2*nHB
+	cUnits := int64(ctx.in.Slots)
+	tBar := (ctx.g*ctx.g + 4*ctx.g) * cUnits // T̄ in δ²T/c units
+
+	classes := []int{}
+	for u := range ctx.loads {
+		if ctx.loads[u] > 0 {
+			classes = append(classes, u)
+		}
+	}
+	n := len(classes)
+	p := &nfold.Problem{N: n, R: r, S: 2, T: tWidth}
+	// Globally uniform rows; the z/s coefficients in row groups (2)/(3)
+	// depend on the brick's class (p'_u), so A blocks differ per brick.
+	for _, u := range classes {
+		a := make([][]int64, r)
+		for k := range a {
+			a[k] = make([]int64, tWidth)
+		}
+		// (0) Σ x_K = m
+		for ci := range ctx.configs {
+			a[0][xOff+ci] = 1
+		}
+		// (1) per module size: Σ K_q x_K − y_q = 0
+		for qi := range ctx.modules {
+			row := a[1+qi]
+			for ci, cc := range ctx.configs {
+				if cc.counts[qi] != 0 {
+					row[xOff+ci] = cc.counts[qi]
+				}
+			}
+			row[yOff+qi] = -1
+		}
+		// (2),(3) per (h,b) pair.
+		for hi, hb := range ctx.hbPairs {
+			row2 := a[1+nM+hi]
+			row3 := a[1+nM+nHB+hi]
+			row2[zOff+hi] = 1
+			row2[s2Off+hi] = 1
+			row3[s3Off+hi] = 1
+			if ctx.small[u] {
+				row3[zOff+hi] = ctx.pUnits[u]
+			} else {
+				row3[zOff+hi] = 1 // placeholder, z is forced to 0 for large u
+			}
+			for _, ci := range hb.configs {
+				row2[xOff+ci] = hb.b - cUnits
+				row3[xOff+ci] = hb.h*cUnits - tBar
+			}
+		}
+		p.A = append(p.A, a)
+
+		b := make([][]int64, 2)
+		b[0] = make([]int64, tWidth)
+		b[1] = make([]int64, tWidth)
+		// (4) Σ q·y_q = (1-ξ_u)·p'_u   (q in δ²T/c units = ℓ·c)
+		for qi, ell := range ctx.modules {
+			b[0][yOff+qi] = ell * cUnits
+		}
+		// (5) Σ z = ξ_u
+		for hi := range ctx.hbPairs {
+			b[1][zOff+hi] = 1
+		}
+		p.B = append(p.B, b)
+
+		lrhs := make([]int64, 2)
+		if ctx.small[u] {
+			lrhs[0] = 0
+			lrhs[1] = 1
+		} else {
+			lrhs[0] = ctx.pUnits[u]
+			lrhs[1] = 0
+		}
+		p.LocalRHS = append(p.LocalRHS, lrhs)
+
+		lower := make([]int64, tWidth)
+		upper := make([]int64, tWidth)
+		for ci := range ctx.configs {
+			upper[xOff+ci] = m
+		}
+		for qi := range ctx.modules {
+			if !ctx.small[u] {
+				// Enough modules to cover the class alone.
+				upper[yOff+qi] = ctx.pUnits[u]/(ctx.g*cUnits) + 1
+			}
+		}
+		// Slack bounds must cover (c−b)·Σx and (T̄−h·c)·Σx with x up to m.
+		// The huge-m path always passes a polynomially capped m.
+		for hi := range ctx.hbPairs {
+			if ctx.small[u] {
+				upper[zOff+hi] = 1
+			}
+			upper[s2Off+hi] = cUnits * m
+			upper[s3Off+hi] = tBar * m
+		}
+		p.Lower = append(p.Lower, lower)
+		p.Upper = append(p.Upper, upper)
+		p.Obj = append(p.Obj, make([]int64, tWidth))
+	}
+	p.GlobalRHS = make([]int64, r)
+	p.GlobalRHS[0] = m
+	return p
+}
+
+// SplitResult is the splittable PTAS output.
+type SplitResult struct {
+	Schedule *core.SplitSchedule
+	Compact  *core.CompactSplitSchedule
+	Report   Report
+}
+
+// Makespan returns the schedule makespan.
+func (r *SplitResult) Makespan() *big.Rat { return r.Compact.Makespan() }
+
+// HugeMThreshold is the machine count above which the splittable PTAS
+// switches to the Theorem 11 treatment (trivial-configuration
+// preprocessing + compact output). Variable so tests can force the path.
+var HugeMThreshold int64 = 1 << 16
+
+// SolveSplittable runs the splittable PTAS (Theorem 10, and Theorem 11's
+// extension for machine counts beyond HugeMThreshold).
+func SolveSplittable(in *core.Instance, opts Options) (*SplitResult, error) {
+	g, err := opts.delta()
+	if err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := core.CheckFeasible(in); err != nil {
+		return nil, err
+	}
+	// The splittable optimum is rational and may be far below 1 (huge m);
+	// scale so the integral guess grid is (1+δ)-fine relative to OPT.
+	lbRat, err := core.LowerBound(in, core.Splittable)
+	if err != nil {
+		return nil, err
+	}
+	if scale := scaleFactor(lbRat, in.PMax(), 4*g*g); scale > 1 {
+		res, err := solveSplittableAnyM(scaleInstance(in, scale), g, opts)
+		if err != nil {
+			return nil, err
+		}
+		descaleSplit(res, scale)
+		return res, nil
+	}
+	return solveSplittableAnyM(in, g, opts)
+}
+
+func solveSplittableAnyM(in *core.Instance, g int64, opts Options) (*SplitResult, error) {
+	if in.M > HugeMThreshold {
+		return solveSplittableHuge(in, g, opts)
+	}
+	lo, err := lowerBoundInt(in, core.Splittable)
+	if err != nil {
+		return nil, err
+	}
+	apx, err := approx.SolveSplittable(in)
+	if err != nil {
+		return nil, err
+	}
+	hi := ceilRat(apx.Makespan())
+	if hi < lo {
+		hi = lo
+	}
+	grid := guessGrid(lo, hi, g)
+	type payload struct {
+		sched  *core.SplitSchedule
+		report Report
+	}
+	best, guess, tried, err := searchGuesses(grid, func(t int64) (payload, bool, error) {
+		ctx, err := newSplitGuessCtx(in, g, t, opts.maxConfigs())
+		if err != nil {
+			return payload{}, false, err
+		}
+		prob := ctx.buildNFold(in.M)
+		res, err := nfold.Solve(prob, opts.nfoldOptions())
+		if err != nil {
+			return payload{}, false, err
+		}
+		if res.Status != nfold.Feasible {
+			return payload{}, false, nil
+		}
+		sched, err := ctx.constructSchedule(res.X)
+		if err != nil {
+			return payload{}, false, err
+		}
+		return payload{sched, Report{
+			InvDelta: g, Guess: t, NFold: prob.Params(), Engine: res.Engine,
+			TheoreticalCostLog2: prob.TheoreticalCostLog2(),
+		}}, true, nil
+	})
+	if err != nil {
+		// Degrade gracefully: the 2-approximation schedule is always
+		// available when every guess is rejected within budget.
+		if apx.Explicit != nil {
+			return &SplitResult{
+				Schedule: apx.Explicit,
+				Compact:  apx.Compact,
+				Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"},
+			}, nil
+		}
+		return nil, err
+	}
+	best.report.Guess = guess
+	best.report.Guesses = tried
+	// The grid search may accept a guess whose constructed schedule is
+	// worse than the 2-approximation (the scheme's constants are large for
+	// coarse δ); both schedules are feasible, so return the better one.
+	if apx.Explicit != nil && apx.Makespan().Cmp(best.sched.Makespan()) < 0 {
+		best.report.Engine = "approx-min"
+		return &SplitResult{Schedule: apx.Explicit, Compact: apx.Compact, Report: best.report}, nil
+	}
+	return &SplitResult{
+		Schedule: best.sched,
+		Compact:  core.FromSplit(best.sched),
+		Report:   best.report,
+	}, nil
+}
+
+// constructSchedule realizes an N-fold solution as an explicit splittable
+// schedule: configurations onto machines, modules into configuration slots,
+// original job mass into module slots, small classes by round robin.
+func (ctx *splitGuessCtx) constructSchedule(x [][]int64) (*core.SplitSchedule, error) {
+	in := ctx.in
+	nM, nK, nHB := len(ctx.modules), len(ctx.configs), len(ctx.hbPairs)
+	xOff, yOff, zOff := 0, nK, nK+nM
+	classes := []int{}
+	for u := range ctx.loads {
+		if ctx.loads[u] > 0 {
+			classes = append(classes, u)
+		}
+	}
+	// Aggregate configuration counts and per-class module demands.
+	xc := make([]int64, nK)
+	for bi := range classes {
+		for ci := 0; ci < nK; ci++ {
+			xc[ci] += x[bi][xOff+ci]
+		}
+	}
+	// Machine list: one entry per machine with its configuration.
+	type machine struct {
+		config int
+		// slotClass[k] is the class filling the k-th module slot.
+		slotSizes []int64 // ℓ-units per slot
+		slotClass []int
+		slotFill  []int64 // filled amount per slot (δ²T/c units)
+	}
+	var machines []machine
+	for ci, cnt := range xc {
+		for k := int64(0); k < cnt; k++ {
+			m := machine{config: ci}
+			for qi, q := range ctx.configs[ci].counts {
+				for a := int64(0); a < q; a++ {
+					m.slotSizes = append(m.slotSizes, ctx.modules[qi])
+					m.slotClass = append(m.slotClass, -1)
+					m.slotFill = append(m.slotFill, 0)
+				}
+			}
+			machines = append(machines, m)
+		}
+	}
+	if int64(len(machines)) != in.M {
+		return nil, fmt.Errorf("ptas: configuration counts cover %d machines, want %d", len(machines), in.M)
+	}
+	// Assign module demands to slots, size by size.
+	slotsBySize := make(map[int64][][2]int) // ℓ -> list of (machine, slot)
+	for mi := range machines {
+		for si, s := range machines[mi].slotSizes {
+			slotsBySize[s] = append(slotsBySize[s], [2]int{mi, si})
+		}
+	}
+	cursor := make(map[int64]int)
+	for bi, u := range classes {
+		if ctx.small[u] {
+			continue
+		}
+		for qi, ell := range ctx.modules {
+			need := x[bi][yOff+qi]
+			for k := int64(0); k < need; k++ {
+				lst := slotsBySize[ell]
+				if cursor[ell] >= len(lst) {
+					return nil, fmt.Errorf("ptas: module demand exceeds slots of size %d", ell)
+				}
+				ref := lst[cursor[ell]]
+				cursor[ell]++
+				machines[ref[0]].slotClass[ref[1]] = u
+			}
+		}
+	}
+	// Fill original jobs of each large class into its reserved slots.
+	sched := &core.SplitSchedule{}
+	unit := core.RatFrac(ctx.t, ctx.g*ctx.g*int64(in.Slots)) // δ²T/c
+	byClass := in.ClassJobs()
+	cUnits := int64(in.Slots)
+	for _, u := range classes {
+		if ctx.small[u] {
+			continue
+		}
+		// Slot instances for class u in machine order.
+		type slotRef struct{ mi, si int }
+		var refs []slotRef
+		for mi := range machines {
+			for si := range machines[mi].slotSizes {
+				if machines[mi].slotClass[si] == u {
+					refs = append(refs, slotRef{mi, si})
+				}
+			}
+		}
+		ri := 0
+		room := new(big.Rat) // remaining capacity of the current slot
+		for _, j := range byClass[u] {
+			remaining := core.RatInt(in.P[j])
+			for remaining.Sign() > 0 {
+				for room.Sign() == 0 {
+					if ri >= len(refs) {
+						return nil, fmt.Errorf("ptas: class %d ran out of module capacity", u)
+					}
+					units := machines[refs[ri].mi].slotSizes[refs[ri].si] * cUnits
+					room = core.RatMul(unit, core.RatInt(units))
+					ri++
+				}
+				take := remaining
+				if take.Cmp(room) > 0 {
+					take = room
+				}
+				ref := refs[ri-1]
+				sched.Pieces = append(sched.Pieces, core.SplitPiece{
+					Job: j, Machine: int64(ref.mi), Size: take,
+				})
+				remaining = core.RatSub(remaining, take)
+				room = core.RatSub(room, take)
+			}
+		}
+	}
+	// Small classes: round robin within each (h,b) machine group.
+	groupMachines := make([][]int, nHB)
+	for mi := range machines {
+		cc := ctx.configs[machines[mi].config]
+		hi := ctx.hbIndex[hbKey{cc.size, cc.slots}]
+		groupMachines[hi] = append(groupMachines[hi], mi)
+	}
+	type smallAssign struct {
+		u  int
+		hb int
+	}
+	var smalls []smallAssign
+	for bi, u := range classes {
+		if !ctx.small[u] {
+			continue
+		}
+		chosen := -1
+		for hi := 0; hi < nHB; hi++ {
+			if x[bi][zOff+hi] == 1 {
+				chosen = hi
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("ptas: small class %d has no (h,b) assignment", u)
+		}
+		smalls = append(smalls, smallAssign{u, chosen})
+	}
+	// Round robin per group in non-ascending load order (Lemma 3).
+	sort.SliceStable(smalls, func(a, b int) bool { return ctx.loads[smalls[a].u] > ctx.loads[smalls[b].u] })
+	next := make([]int, nHB)
+	for _, sa := range smalls {
+		ms := groupMachines[sa.hb]
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("ptas: small class %d assigned to empty machine group", sa.u)
+		}
+		mi := ms[next[sa.hb]%len(ms)]
+		next[sa.hb]++
+		for _, j := range byClass[sa.u] {
+			sched.Pieces = append(sched.Pieces, core.SplitPiece{
+				Job: j, Machine: int64(mi), Size: core.RatInt(in.P[j]),
+			})
+		}
+	}
+	return sched, nil
+}
+
+// BuildSplittableNFold exposes the configuration N-fold of the splittable
+// scheme at the instance's certified lower bound, for the E8 experiment
+// that studies the machinery in isolation.
+func BuildSplittableNFold(in *core.Instance, epsilon float64) (*nfold.Problem, error) {
+	g, err := Options{Epsilon: epsilon}.delta()
+	if err != nil {
+		return nil, err
+	}
+	lo, err := lowerBoundInt(in, core.Splittable)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := newSplitGuessCtx(in, g, lo, Options{}.maxConfigs())
+	if err != nil {
+		return nil, err
+	}
+	return ctx.buildNFold(in.M), nil
+}

@@ -1,0 +1,278 @@
+package ptas
+
+import (
+	"fmt"
+	"math/big"
+
+	"ccsched/internal/approx"
+	"ccsched/internal/core"
+	"ccsched/internal/nfold"
+)
+
+// Theorem 11: splittable PTAS for machine counts exponential in n. The
+// paper normalizes optimal solutions (the Figure 3 pair swap plus the
+// "at most one non-full exclusive machine per class" swap) so that all but
+// O(C²) machines are either idle or completely filled by a single class —
+// the trivial configurations. We realize that insight constructively:
+//
+//  1. peel off, per large class u, full_u machines entirely filled with
+//     class u at load exactly T̄ (stored as run-length machine groups whose
+//     encoding is polynomial even for astronomical counts),
+//  2. cap the residual machine count at a polynomial bound — no
+//     well-structured schedule can spread the residual load over more
+//     machines, because every module occupies at least δT —
+//  3. run the ordinary Theorem 10 N-fold on the residual instance and
+//     merge both parts into a compact schedule.
+//
+// The reserve of (C + 1/δ + 4) machines per class keeps the residual loads
+// large so classification (large/small) is unchanged.
+
+func solveSplittableHuge(in *core.Instance, g int64, opts Options) (*SplitResult, error) {
+	lo, err := lowerBoundInt(in, core.Splittable)
+	if err != nil {
+		return nil, err
+	}
+	apx, err := approx.SolveSplittable(in)
+	if err != nil {
+		return nil, err
+	}
+	hi := ceilRat(apx.Makespan())
+	if hi < lo {
+		hi = lo
+	}
+	grid := guessGrid(lo, hi, g)
+	type payload struct {
+		sched  *core.CompactSplitSchedule
+		report Report
+	}
+	best, guess, tried, err := searchGuesses(grid, func(t int64) (payload, bool, error) {
+		sched, rep, ok, err := solveHugeGuess(in, g, t, opts)
+		if err != nil || !ok {
+			return payload{}, false, err
+		}
+		return payload{sched, rep}, true, nil
+	})
+	if err != nil {
+		// Degrade gracefully to the 2-approximation's compact schedule.
+		return &SplitResult{
+			Compact: apx.Compact,
+			Report:  Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"},
+		}, nil
+	}
+	best.report.Guess = guess
+	best.report.Guesses = tried
+	// Best-of floor: never worse than the 2-approximation.
+	if apx.Makespan().Cmp(best.sched.Makespan()) < 0 {
+		best.report.Engine = "approx-min"
+		return &SplitResult{Compact: apx.Compact, Report: best.report}, nil
+	}
+	return &SplitResult{Compact: best.sched, Report: best.report}, nil
+}
+
+func solveHugeGuess(in *core.Instance, g, t int64, opts Options) (*core.CompactSplitSchedule, Report, bool, error) {
+	ctx, err := newSplitGuessCtx(in, g, t, opts.maxConfigs())
+	if err != nil {
+		return nil, Report{}, false, err
+	}
+	cUnits := int64(in.Slots)
+	// Trivial machines are filled to exactly T (not T̄): they live outside
+	// the N-fold, so nothing forces the largest module, and a level of T
+	// keeps their contribution to the makespan at the guess itself.
+	fullCap := g * g * cUnits                           // T in δ²T/c units
+	unit := core.RatFrac(t, g*g*cUnits)                 // δ²T/c as an exact rational
+	fullLoad := core.RatMul(unit, core.RatInt(fullCap)) // = T
+
+	cc := int64(0)
+	for _, pu := range ctx.loads {
+		if pu > 0 {
+			cc++
+		}
+	}
+	reserve := cc + g + 6
+	full := make([]int64, len(ctx.loads))
+	var fullTotal int64
+	var residUnits int64
+	for u := range ctx.loads {
+		if ctx.loads[u] == 0 || ctx.small[u] {
+			residUnits += ctx.pUnits[u]
+			continue
+		}
+		f := ctx.pUnits[u]/fullCap - reserve
+		if f < 0 {
+			f = 0
+		}
+		full[u] = f
+		fullTotal += f
+		ctx.pUnits[u] -= f * fullCap
+		residUnits += ctx.pUnits[u]
+	}
+	if fullTotal >= in.M {
+		return nil, Report{}, false, fmt.Errorf("ptas: trivial machines %d exceed m", fullTotal)
+	}
+	// Residual machine bound: modules occupy at least δT = g·c units each,
+	// so at most residUnits/(g·c) module slots are usable, plus one machine
+	// per small class and slack for idle configurations.
+	mResid := in.M - fullTotal
+	if cap := residUnits/(g*cUnits) + cc + 2; mResid > cap {
+		mResid = cap
+	}
+	prob := ctx.buildNFold(mResid)
+	res, err := nfold.Solve(prob, opts.nfoldOptions())
+	if err != nil {
+		return nil, Report{}, false, err
+	}
+	if res.Status != nfold.Feasible {
+		return nil, Report{}, false, nil
+	}
+	// Construct the residual explicit schedule, with job mass reduced by
+	// what the full machines absorb. We fill each class's jobs into the
+	// full machines first and pass the remainder through the ordinary
+	// construction by using a reduced copy of the instance.
+	reduced := in.Clone()
+	reduced.M = mResid
+	sched := &core.CompactSplitSchedule{}
+	byClass := in.ClassJobs()
+	// jobOffsets[j] tracks how much of job j the full machines consumed.
+	for u, f := range full {
+		if f == 0 {
+			continue
+		}
+		// Fill f*T̄ of class u's mass into run-length full machines.
+		budget := core.RatMul(fullLoad, core.RatInt(f))
+		groups, consumed, err := fillRunLength(in, byClass[u], budget, fullLoad)
+		if err != nil {
+			return nil, Report{}, false, err
+		}
+		sched.Groups = append(sched.Groups, groups...)
+		for j, amt := range consumed {
+			// Reduce the job in the residual instance; fully consumed jobs
+			// keep a zero remainder and are dropped below.
+			rem := core.RatSub(core.RatInt(in.P[j]), amt)
+			if !rem.IsInt() {
+				return nil, Report{}, false, fmt.Errorf("ptas: non-integral residual for job %d", j)
+			}
+			reduced.P[j] = rem.Num().Int64()
+		}
+	}
+	// Drop zero jobs from the residual instance, remembering the mapping.
+	var remap []int
+	resid := &core.Instance{M: mResid, Slots: in.Slots}
+	for j := range reduced.P {
+		if reduced.P[j] > 0 {
+			remap = append(remap, j)
+			resid.P = append(resid.P, reduced.P[j])
+			resid.Class = append(resid.Class, reduced.Class[j])
+		}
+	}
+	// The residual construction reuses ctx (its pUnits were reduced), but
+	// job indices must be the residual instance's.
+	rctx := *ctx
+	rctx.in = resid
+	rctx.loads = resid.ClassLoads()
+	for len(rctx.loads) < len(ctx.loads) {
+		rctx.loads = append(rctx.loads, 0)
+	}
+	explicit, err := rctx.constructSchedule(res.X)
+	if err != nil {
+		return nil, Report{}, false, err
+	}
+	for _, pc := range explicit.Pieces {
+		sched.Groups = append(sched.Groups, core.MachineGroup{
+			Count:  1,
+			Pieces: []core.GroupPiece{{Job: remap[pc.Job], Size: pc.Size}},
+		})
+	}
+	rep := Report{
+		InvDelta: g, Guess: t, NFold: prob.Params(), Engine: res.Engine,
+		TheoreticalCostLog2: prob.TheoreticalCostLog2(),
+	}
+	return mergeSingletonGroups(sched, explicit, remap, mResid), rep, true, nil
+}
+
+// fillRunLength cuts the given jobs' mass (up to budget) into machines of
+// exactly machineLoad each, producing run-length groups: interior windows
+// covered by a single job become one group of many machines; windows
+// spanning a job boundary become explicit single-machine groups. It returns
+// the per-job consumed mass.
+func fillRunLength(in *core.Instance, jobs []int, budget, machineLoad *big.Rat) ([]core.MachineGroup, map[int]*big.Rat, error) {
+	var out []core.MachineGroup
+	consumed := make(map[int]*big.Rat)
+	open := []core.GroupPiece{}
+	openLoad := new(big.Rat)
+	left := new(big.Rat).Set(budget)
+	for _, j := range jobs {
+		if left.Sign() == 0 {
+			break
+		}
+		avail := core.RatInt(in.P[j])
+		take := avail
+		if take.Cmp(left) > 0 {
+			take = new(big.Rat).Set(left)
+		}
+		consumed[j] = new(big.Rat).Set(take)
+		left = core.RatSub(left, take)
+		remaining := new(big.Rat).Set(take)
+		// Fill the open window first.
+		if openLoad.Sign() > 0 {
+			room := core.RatSub(machineLoad, openLoad)
+			d := remaining
+			if d.Cmp(room) > 0 {
+				d = room
+			}
+			open = append(open, core.GroupPiece{Job: j, Size: new(big.Rat).Set(d)})
+			openLoad = core.RatAdd(openLoad, d)
+			remaining = core.RatSub(remaining, d)
+			if openLoad.Cmp(machineLoad) == 0 {
+				out = append(out, core.MachineGroup{Count: 1, Pieces: open})
+				open, openLoad = nil, new(big.Rat)
+			}
+		}
+		// Whole windows of this job alone.
+		q := new(big.Rat).Quo(remaining, machineLoad)
+		fullCount := new(big.Int).Quo(q.Num(), q.Denom())
+		if fullCount.Sign() > 0 {
+			cnt := fullCount.Int64()
+			out = append(out, core.MachineGroup{
+				Count:  cnt,
+				Pieces: []core.GroupPiece{{Job: j, Size: new(big.Rat).Set(machineLoad)}},
+			})
+			used := core.RatMul(machineLoad, new(big.Rat).SetInt(fullCount))
+			remaining = core.RatSub(remaining, used)
+		}
+		if remaining.Sign() > 0 {
+			open = append(open, core.GroupPiece{Job: j, Size: remaining})
+			openLoad = core.RatAdd(openLoad, remaining)
+		}
+	}
+	if left.Sign() != 0 {
+		return nil, nil, fmt.Errorf("ptas: class mass %s short of the full-machine budget", left.RatString())
+	}
+	if openLoad.Sign() > 0 {
+		return nil, nil, fmt.Errorf("ptas: full-machine budget not an exact multiple of the machine load")
+	}
+	return out, consumed, nil
+}
+
+// mergeSingletonGroups collapses the explicit residual pieces back into
+// per-machine groups (the naive one-group-per-piece form would duplicate
+// machines).
+func mergeSingletonGroups(sched *core.CompactSplitSchedule, explicit *core.SplitSchedule, remap []int, mResid int64) *core.CompactSplitSchedule {
+	// Remove the piece-wise groups appended by the caller (they are the
+	// tail: len(explicit.Pieces) entries) and rebuild them machine-wise.
+	n := len(sched.Groups) - len(explicit.Pieces)
+	sched.Groups = sched.Groups[:n]
+	perMachine := make(map[int64][]core.GroupPiece)
+	var order []int64
+	for _, pc := range explicit.Pieces {
+		if _, ok := perMachine[pc.Machine]; !ok {
+			order = append(order, pc.Machine)
+		}
+		perMachine[pc.Machine] = append(perMachine[pc.Machine], core.GroupPiece{
+			Job: remap[pc.Job], Size: pc.Size,
+		})
+	}
+	for _, mi := range order {
+		sched.Groups = append(sched.Groups, core.MachineGroup{Count: 1, Pieces: perMachine[mi]})
+	}
+	return sched
+}
