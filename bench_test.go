@@ -41,6 +41,19 @@ func BenchmarkE1SplittableApprox(b *testing.B) {
 	}
 }
 
+// E1 parallel row: concurrent solves with per-call options. This is the
+// workload that made the former ExplicitMachineLimit global a data race.
+func BenchmarkE1SplittableApproxParallel(b *testing.B) {
+	in := benchInstance(1000, 11)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := approx.SolveSplittableOpts(in, approx.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // E1 huge-m row: the Theorem 4 compact construction.
 func BenchmarkE1SplittableApproxHugeM(b *testing.B) {
 	in := &core.Instance{

@@ -35,6 +35,7 @@ import (
 	"ccsched/internal/generator"
 	"ccsched/internal/hetslots"
 	"ccsched/internal/ptas"
+	"ccsched/internal/rat"
 )
 
 // Core model re-exports.
@@ -46,6 +47,10 @@ type (
 	Variant = core.Variant
 	// SplitSchedule is an explicit splittable schedule.
 	SplitSchedule = core.SplitSchedule
+	// SplitPiece is one fragment of a job in a SplitSchedule.
+	SplitPiece = core.SplitPiece
+	// PreemptivePiece is one fragment of a job in a PreemptiveSchedule.
+	PreemptivePiece = core.PreemptivePiece
 	// CompactSplitSchedule run-length encodes splittable schedules for
 	// exponential machine counts.
 	CompactSplitSchedule = core.CompactSplitSchedule
@@ -57,7 +62,23 @@ type (
 	GeneratorConfig = generator.Config
 	// PTASOptions configures the approximation schemes.
 	PTASOptions = ptas.Options
+	// ApproxOptions configures the constant-factor splittable solver.
+	ApproxOptions = approx.Options
+	// Rat is the exact rational used for schedule piece sizes and start
+	// times: an immutable int64-fraction value type that transparently
+	// falls back to *big.Rat on overflow (see internal/rat). Results at
+	// the API boundary (Makespan, Guess, LB, LowerBound) remain *big.Rat;
+	// use RatValue / RatFromBig to convert when building schedules by
+	// hand.
+	Rat = rat.R
 )
+
+// RatValue returns num/den as a schedule-piece rational. den must be
+// nonzero.
+func RatValue(num, den int64) Rat { return rat.Frac(num, den) }
+
+// RatFromBig converts a *big.Rat into a schedule-piece rational.
+func RatFromBig(x *big.Rat) Rat { return rat.FromBig(x) }
 
 // Variant constants.
 const (
@@ -68,6 +89,12 @@ const (
 
 // ErrInfeasible reports C > c·m (no schedule exists at any makespan).
 var ErrInfeasible = core.ErrInfeasible
+
+// ErrTooLarge reports an instance beyond the exact solvers' enforced size
+// limits (ExactNonPreemptive: > 24 jobs; ExactSplittable: C > 6 or m > 6).
+// The exact solvers return it — wrapped with the offending dimensions —
+// instead of running for an unbounded time; test with errors.Is.
+var ErrTooLarge = exact.ErrTooLarge
 
 // ParseInstance reads the textual instance format.
 func ParseInstance(s string) (*Instance, error) { return core.ParseInstance(s) }
@@ -109,6 +136,13 @@ func ApproxSplittable(in *Instance) (*approx.SplitResult, error) {
 	return approx.SolveSplittable(in)
 }
 
+// ApproxSplittableOpts is ApproxSplittable with explicit options (e.g. the
+// explicit-machine limit). Options are per-call values, so concurrent
+// solves with different options are race-free.
+func ApproxSplittableOpts(in *Instance, opts ApproxOptions) (*approx.SplitResult, error) {
+	return approx.SolveSplittableOpts(in, opts)
+}
+
 // ApproxPreemptive runs Algorithm 1 + 2 (Theorem 5): a 2-approximation for
 // the preemptive variant in O(n² log n).
 func ApproxPreemptive(in *Instance) (*approx.PreemptiveResult, error) {
@@ -138,13 +172,17 @@ func PTASNonPreemptive(in *Instance, opts PTASOptions) (*ptas.NonPreemptiveResul
 }
 
 // ExactNonPreemptive computes an optimal non-preemptive schedule for small
-// instances (≤ ~20 jobs) by branch and bound.
+// instances by branch and bound. The documented limit (≤ 24 jobs) is
+// enforced: larger inputs return an error wrapping ErrTooLarge instead of
+// silently running for an unbounded time.
 func ExactNonPreemptive(in *Instance) (*NonPreemptiveSchedule, int64, error) {
 	return exact.NonPreemptive(in)
 }
 
 // ExactSplittable computes the optimal splittable makespan for small
-// instances (C, m ≤ 6) by slot-pattern enumeration plus LP.
+// instances by slot-pattern enumeration plus LP. The documented limit
+// (C ≤ 6 and m ≤ 6) is enforced: larger inputs return an error wrapping
+// ErrTooLarge instead of silently running for an unbounded time.
 func ExactSplittable(in *Instance) (*big.Rat, error) {
 	return exact.Splittable(in)
 }

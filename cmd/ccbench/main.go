@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	ccbench                # run everything
-//	ccbench -exp E1,E4,F5  # run a subset
+//	ccbench                      # run everything, markdown to stdout
+//	ccbench -exp E1,E4,F5        # run a subset
+//	ccbench -json results.json   # additionally write machine-readable JSON
+//
+// The -json file holds the same tables as structured data ({id, title,
+// claim, columns, rows, notes} per experiment), so benchmark runs can be
+// archived and diffed (see BENCH_PR1.json at the repository root).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,8 +23,19 @@ import (
 	"ccsched/internal/experiments"
 )
 
+// jsonTable is the machine-readable form of an experiments.Table.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
 func main() {
 	var exps = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	var jsonPath = flag.String("json", "", "write results as JSON to this file")
 	flag.Parse()
 	all := map[string]func() (*experiments.Table, error){
 		"E1": experiments.E1Splittable,
@@ -49,6 +66,7 @@ func main() {
 			run = append(run, id)
 		}
 	}
+	var collected []jsonTable
 	for _, id := range run {
 		tb, err := all[id]()
 		if err != nil {
@@ -56,5 +74,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(tb.Format())
+		if *jsonPath != "" {
+			collected = append(collected, jsonTable{
+				ID: tb.ID, Title: tb.Title, Claim: tb.Claim,
+				Columns: tb.Columns, Rows: tb.Rows, Notes: tb.Notes,
+			})
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

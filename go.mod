@@ -1,0 +1,3 @@
+module ccsched
+
+go 1.24

@@ -4,6 +4,7 @@ import (
 	"math/big"
 
 	"ccsched/internal/core"
+	"ccsched/internal/rat"
 )
 
 // PreemptiveResult is the output of SolvePreemptive.
@@ -42,18 +43,18 @@ func SolvePreemptive(in *core.Instance) (*PreemptiveResult, error) {
 		sched := &core.PreemptiveSchedule{}
 		for j := range in.P {
 			sched.Pieces = append(sched.Pieces, core.PreemptivePiece{
-				Job: j, Machine: int64(j), Start: new(big.Rat), Size: core.RatInt(in.P[j]),
+				Job: j, Machine: int64(j), Size: rat.FromInt(in.P[j]),
 			})
 		}
 		pm := core.RatInt(in.PMax())
-		return &PreemptiveResult{Schedule: sched, Guess: pm, LB: pm}, nil
+		return &PreemptiveResult{Schedule: sched, Guess: pm, LB: new(big.Rat).Set(pm)}, nil
 	}
-	lb := core.RatMax(core.RatInt(in.PMax()), core.RatFrac(in.TotalLoad(), in.M))
-	border, err := core.SlotLowerBoundSplit(in)
+	lb := rat.Max(rat.FromInt(in.PMax()), rat.Frac(in.TotalLoad(), in.M))
+	border, err := core.SlotLowerBoundSplitR(in)
 	if err != nil {
 		return nil, err
 	}
-	guess := core.RatMax(lb, border)
+	guess := rat.Max(lb, border)
 	bundles := cutClasses(in, guess)
 	sortBundles(bundles)
 	// Algorithm 2's repack condition: some sub-class has load exactly T̂,
@@ -68,19 +69,19 @@ func SolvePreemptive(in *core.Instance) (*PreemptiveResult, error) {
 	perMachine := roundRobin(len(bundles), in.M)
 	sched := &core.PreemptiveSchedule{}
 	for i, idxs := range perMachine {
-		clock := new(big.Rat)
+		var clock rat.R
 		for row, bi := range idxs {
 			if repack && row == 1 && clock.Cmp(guess) < 0 {
 				// Shift everything above the first sub-class to start at T̂.
-				clock = new(big.Rat).Set(guess)
+				clock = guess
 			}
 			for _, pc := range bundles[bi].pieces {
 				sched.Pieces = append(sched.Pieces, core.PreemptivePiece{
 					Job: pc.job, Machine: int64(i), Start: clock, Size: pc.size,
 				})
-				clock = core.RatAdd(clock, pc.size)
+				clock = clock.Add(pc.size)
 			}
 		}
 	}
-	return &PreemptiveResult{Schedule: sched, Guess: guess, LB: lb, Repacked: repack}, nil
+	return &PreemptiveResult{Schedule: sched, Guess: guess.Rat(), LB: lb.Rat(), Repacked: repack}, nil
 }

@@ -9,6 +9,10 @@
 // classes whose accumulated load exceeds T into the minimum number of
 // sub-classes any schedule with makespan T must use, and distribute the
 // sub-classes by round robin in non-ascending load order (Lemma 3).
+//
+// All cutting and load accounting runs on rat.R, the int64 fraction fast
+// path of internal/rat; *big.Rat appears only in the result structs at the
+// API boundary.
 package approx
 
 import (
@@ -17,21 +21,41 @@ import (
 	"sort"
 
 	"ccsched/internal/core"
+	"ccsched/internal/rat"
 )
 
-// ExplicitMachineLimit bounds the number of machines for which the
-// splittable solver emits an explicit piece-per-machine schedule. Above the
-// limit it switches to the compact machine-group construction of Theorem 4's
-// "Handling an Exponential Number of Machines" paragraph. Variable so tests
-// can force either path.
-var ExplicitMachineLimit int64 = 1 << 16
+// DefaultExplicitMachineLimit is the machine count up to which the
+// splittable solver emits an explicit piece-per-machine schedule by default.
+const DefaultExplicitMachineLimit int64 = 1 << 16
+
+// Options configures SolveSplittableOpts. The zero value selects defaults,
+// so passing Options{} is always safe. Options values are read-only during a
+// solve: unlike the former package-level ExplicitMachineLimit global,
+// concurrent solvers with different options do not race.
+type Options struct {
+	// ExplicitMachineLimit bounds the number of machines for which the
+	// solver emits an explicit piece-per-machine schedule in addition to the
+	// compact machine-group form. Above the limit it switches to the compact
+	// construction of Theorem 4's "Handling an Exponential Number of
+	// Machines" paragraph. Zero selects DefaultExplicitMachineLimit.
+	ExplicitMachineLimit int64
+}
+
+func (o Options) explicitLimit() int64 {
+	if o.ExplicitMachineLimit > 0 {
+		return o.ExplicitMachineLimit
+	}
+	return DefaultExplicitMachineLimit
+}
 
 // SplitResult is the output of SolveSplittable.
 type SplitResult struct {
 	// Compact is the schedule in machine-group form; always populated.
 	Compact *core.CompactSplitSchedule
-	// Explicit is the piece-per-machine form, populated only when the
-	// machine count is at most ExplicitMachineLimit.
+	// Explicit is the piece-per-machine form. It is populated when the
+	// machine count is at most the explicit-machine limit, and also when
+	// the compact construction fell back to the explicit one (m < C; see
+	// errCompactNeedsExplicit).
 	Explicit *core.SplitSchedule
 	// Guess is the accepted makespan guess T̂ = max(LB, smallest feasible
 	// border); the schedule's makespan is at most LB + T̂ ≤ 2·OPT.
@@ -48,29 +72,34 @@ func (r *SplitResult) Makespan() *big.Rat { return r.Compact.Makespan() }
 // pieceRef is a fragment of a job inside a sub-class.
 type pieceRef struct {
 	job  int
-	size *big.Rat
+	size rat.R
 }
 
 // bundle is a sub-class: a set of job fragments of one class with
 // accumulated load at most the guess T̂.
 type bundle struct {
 	class  int
-	load   *big.Rat
+	load   rat.R
 	pieces []pieceRef
 }
 
-// SolveSplittable runs Algorithm 1 and returns a feasible schedule with
+// SolveSplittable runs Algorithm 1 with default options.
+func SolveSplittable(in *core.Instance) (*SplitResult, error) {
+	return SolveSplittableOpts(in, Options{})
+}
+
+// SolveSplittableOpts runs Algorithm 1 and returns a feasible schedule with
 // makespan at most 2·OPT in time O(n² log n), for any machine count
 // (Theorem 4). It returns core.ErrInfeasible when C > c·m.
-func SolveSplittable(in *core.Instance) (*SplitResult, error) {
+func SolveSplittableOpts(in *core.Instance, opts Options) (*SplitResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	if err := core.CheckFeasible(in); err != nil {
 		return nil, err
 	}
-	lb := core.RatFrac(in.TotalLoad(), in.M)
-	border, err := core.SlotLowerBoundSplit(in)
+	lb := rat.Frac(in.TotalLoad(), in.M)
+	border, err := core.SlotLowerBoundSplitR(in)
 	if err != nil {
 		return nil, err
 	}
@@ -78,41 +107,55 @@ func SolveSplittable(in *core.Instance) (*SplitResult, error) {
 	// the slot count is monotone, so T̂ stays feasible; cutting at T̂ ≥ LB
 	// additionally caps the number of full-size windows by ΣP/T̂ ≤ m, which
 	// the compact path relies on.
-	guess := core.RatMax(lb, border)
+	guess := rat.Max(lb, border)
 	if in.N() == 0 {
-		return &SplitResult{Compact: &core.CompactSplitSchedule{}, Guess: guess, LB: lb}, nil
+		return &SplitResult{Compact: &core.CompactSplitSchedule{}, Guess: guess.Rat(), LB: lb.Rat()}, nil
 	}
-	if in.M <= ExplicitMachineLimit {
+	if in.M <= opts.explicitLimit() {
 		return solveSplittableExplicit(in, lb, guess)
 	}
-	return solveSplittableCompact(in, lb, guess)
+	res, err := solveSplittableCompact(in, lb, guess)
+	if err == errCompactNeedsExplicit {
+		// The compact pairing requires m ≥ C (see solveSplittableCompact);
+		// m < C ≤ n here, so the explicit construction is polynomial.
+		return solveSplittableExplicit(in, lb, guess)
+	}
+	return res, err
 }
+
+// errCompactNeedsExplicit reports that the compact construction's
+// remainder/full-window pairing cannot finish because m < C; callers fall
+// back to the explicit round-robin construction, which handles several
+// sub-classes per machine.
+var errCompactNeedsExplicit = fmt.Errorf("approx: compact construction needs m >= C")
 
 // cutClasses slices every class into sub-classes of load at most t: full
 // windows of size exactly t plus at most one remainder per class. Jobs are
-// consumed in index order, so a job is cut only at window boundaries.
-func cutClasses(in *core.Instance, t *big.Rat) []bundle {
+// consumed in index order, so a job is cut only at window boundaries. All
+// arithmetic stays on rat.R values; no per-window heap rationals are
+// allocated.
+func cutClasses(in *core.Instance, t rat.R) []bundle {
 	byClass := in.ClassJobs()
 	var out []bundle
 	for u, jobs := range byClass {
 		if len(jobs) == 0 {
 			continue
 		}
-		cur := bundle{class: u, load: new(big.Rat)}
+		cur := bundle{class: u}
 		for _, j := range jobs {
-			remaining := core.RatInt(in.P[j])
+			remaining := rat.FromInt(in.P[j])
 			for remaining.Sign() > 0 {
-				room := core.RatSub(t, cur.load)
+				room := t.Sub(cur.load)
 				take := remaining
 				if take.Cmp(room) > 0 {
 					take = room
 				}
-				cur.pieces = append(cur.pieces, pieceRef{job: j, size: new(big.Rat).Set(take)})
-				cur.load = core.RatAdd(cur.load, take)
-				remaining = core.RatSub(remaining, take)
+				cur.pieces = append(cur.pieces, pieceRef{job: j, size: take})
+				cur.load = cur.load.Add(take)
+				remaining = remaining.Sub(take)
 				if cur.load.Cmp(t) == 0 {
 					out = append(out, cur)
-					cur = bundle{class: u, load: new(big.Rat)}
+					cur = bundle{class: u}
 				}
 			}
 		}
@@ -146,7 +189,7 @@ func roundRobin(count int, m int64) [][]int {
 	return out
 }
 
-func solveSplittableExplicit(in *core.Instance, lb, guess *big.Rat) (*SplitResult, error) {
+func solveSplittableExplicit(in *core.Instance, lb, guess rat.R) (*SplitResult, error) {
 	bundles := cutClasses(in, guess)
 	sortBundles(bundles)
 	perMachine := roundRobin(len(bundles), in.M)
@@ -163,8 +206,8 @@ func solveSplittableExplicit(in *core.Instance, lb, guess *big.Rat) (*SplitResul
 	return &SplitResult{
 		Compact:    core.FromSplit(sched),
 		Explicit:   sched,
-		Guess:      guess,
-		LB:         lb,
+		Guess:      guess.Rat(),
+		LB:         lb.Rat(),
 		SubClasses: int64(len(bundles)),
 	}, nil
 }
@@ -176,7 +219,7 @@ func solveSplittableExplicit(in *core.Instance, lb, guess *big.Rat) (*SplitResul
 // a class's interior windows consist of a single job's fragments), and any
 // overflow beyond m machines pairs a remainder with a full window — feasible
 // because overflow forces c ≥ 2.
-func solveSplittableCompact(in *core.Instance, lb, guess *big.Rat) (*SplitResult, error) {
+func solveSplittableCompact(in *core.Instance, lb, guess rat.R) (*SplitResult, error) {
 	byClass := in.ClassJobs()
 	type fullRun struct { // count machines, each one piece (job, T̂)
 		job   int
@@ -189,39 +232,35 @@ func solveSplittableCompact(in *core.Instance, lb, guess *big.Rat) (*SplitResult
 		if len(jobs) == 0 {
 			continue
 		}
-		cur := bundle{class: u, load: new(big.Rat)}
+		cur := bundle{class: u}
 		for _, j := range jobs {
-			remaining := core.RatInt(in.P[j])
+			remaining := rat.FromInt(in.P[j])
 			// Fill the open boundary window first.
 			if cur.load.Sign() > 0 {
-				room := core.RatSub(guess, cur.load)
+				room := guess.Sub(cur.load)
 				take := remaining
 				if take.Cmp(room) > 0 {
 					take = room
 				}
-				cur.pieces = append(cur.pieces, pieceRef{job: j, size: new(big.Rat).Set(take)})
-				cur.load = core.RatAdd(cur.load, take)
-				remaining = core.RatSub(remaining, take)
+				cur.pieces = append(cur.pieces, pieceRef{job: j, size: take})
+				cur.load = cur.load.Add(take)
+				remaining = remaining.Sub(take)
 				if cur.load.Cmp(guess) == 0 {
 					windows = append(windows, cur)
-					cur = bundle{class: u, load: new(big.Rat)}
+					cur = bundle{class: u}
 				}
 			}
 			if remaining.Sign() == 0 {
 				continue
 			}
 			// Whole windows of this job alone: count = floor(remaining/T̂).
-			q := new(big.Rat).Quo(remaining, guess)
-			full := new(big.Int).Quo(q.Num(), q.Denom())
-			if full.Sign() > 0 {
-				cnt := full.Int64()
-				runs = append(runs, fullRun{job: j, count: cnt})
-				used := core.RatMul(guess, new(big.Rat).SetInt(full))
-				remaining = core.RatSub(remaining, used)
+			if full := remaining.FloorQuo(guess); full > 0 {
+				runs = append(runs, fullRun{job: j, count: full})
+				remaining = remaining.Sub(guess.MulInt(full))
 			}
 			if remaining.Sign() > 0 {
 				cur.pieces = append(cur.pieces, pieceRef{job: j, size: remaining})
-				cur.load = new(big.Rat).Set(remaining)
+				cur.load = remaining
 			}
 		}
 		if cur.load.Sign() > 0 {
@@ -252,7 +291,7 @@ func solveSplittableCompact(in *core.Instance, lb, guess *big.Rat) (*SplitResult
 		switch {
 		case len(runs) > 0:
 			r := &runs[len(runs)-1]
-			pieces = append(pieces, core.GroupPiece{Job: r.job, Size: new(big.Rat).Set(guess)})
+			pieces = append(pieces, core.GroupPiece{Job: r.job, Size: guess})
 			r.count--
 			if r.count == 0 {
 				runs = runs[:len(runs)-1]
@@ -264,7 +303,7 @@ func solveSplittableCompact(in *core.Instance, lb, guess *big.Rat) (*SplitResult
 				pieces = append(pieces, core.GroupPiece{Job: pc.job, Size: pc.size})
 			}
 		default:
-			return nil, fmt.Errorf("approx: internal error: overflow without full windows")
+			return nil, errCompactNeedsExplicit
 		}
 		for _, pc := range rem.pieces {
 			pieces = append(pieces, core.GroupPiece{Job: pc.job, Size: pc.size})
@@ -273,12 +312,12 @@ func solveSplittableCompact(in *core.Instance, lb, guess *big.Rat) (*SplitResult
 		paired++
 	}
 	if paired < overflow {
-		return nil, fmt.Errorf("approx: internal error: could not place %d overflow sub-classes", overflow-paired)
+		return nil, errCompactNeedsExplicit
 	}
 	for _, r := range runs {
 		sched.Groups = append(sched.Groups, core.MachineGroup{
 			Count:  r.count,
-			Pieces: []core.GroupPiece{{Job: r.job, Size: new(big.Rat).Set(guess)}},
+			Pieces: []core.GroupPiece{{Job: r.job, Size: guess}},
 		})
 	}
 	for _, w := range windows {
@@ -297,8 +336,8 @@ func solveSplittableCompact(in *core.Instance, lb, guess *big.Rat) (*SplitResult
 	}
 	return &SplitResult{
 		Compact:    sched,
-		Guess:      guess,
-		LB:         lb,
+		Guess:      guess.Rat(),
+		LB:         lb.Rat(),
 		SubClasses: total,
 	}, nil
 }

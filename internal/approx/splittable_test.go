@@ -6,6 +6,7 @@ import (
 
 	"ccsched/internal/core"
 	"ccsched/internal/generator"
+	"ccsched/internal/rat"
 )
 
 // ratioAtMost reports whether makespan/lb <= bound (bound given as num/den).
@@ -129,10 +130,7 @@ func TestCompactPathMatchesExplicitQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	old := ExplicitMachineLimit
-	ExplicitMachineLimit = 1
-	defer func() { ExplicitMachineLimit = old }()
-	compact, err := SolveSplittable(in)
+	compact, err := SolveSplittableOpts(in, Options{ExplicitMachineLimit: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +149,8 @@ func TestCompactPathMatchesExplicitQuality(t *testing.T) {
 }
 
 func TestCompactExpandRoundTrip(t *testing.T) {
-	old := ExplicitMachineLimit
-	ExplicitMachineLimit = 1
-	defer func() { ExplicitMachineLimit = old }()
 	in := generator.FewLargeClasses(generator.Config{N: 20, Classes: 4, Machines: 6, Slots: 2, PMax: 40, Seed: 23})
-	res, err := SolveSplittable(in)
+	res, err := SolveSplittableOpts(in, Options{ExplicitMachineLimit: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,30 +168,27 @@ func TestCompactExpandRoundTrip(t *testing.T) {
 
 func TestCutClassesInvariants(t *testing.T) {
 	in := generator.Zipf(generator.Config{N: 80, Classes: 10, Machines: 5, Slots: 3, PMax: 200, Seed: 31})
-	guess := core.RatInt(137)
+	guess := rat.FromInt(137)
 	bundles := cutClasses(in, guess)
-	perJob := make(map[int]*big.Rat)
+	perJob := make(map[int]rat.R)
 	for _, b := range bundles {
 		if b.load.Cmp(guess) > 0 {
 			t.Errorf("bundle load %s exceeds guess", b.load.RatString())
 		}
-		sum := new(big.Rat)
+		var sum rat.R
 		for _, pc := range b.pieces {
 			if in.Class[pc.job] != b.class {
 				t.Errorf("bundle of class %d contains job %d of class %d", b.class, pc.job, in.Class[pc.job])
 			}
-			sum.Add(sum, pc.size)
-			if perJob[pc.job] == nil {
-				perJob[pc.job] = new(big.Rat)
-			}
-			perJob[pc.job].Add(perJob[pc.job], pc.size)
+			sum = sum.Add(pc.size)
+			perJob[pc.job] = perJob[pc.job].Add(pc.size)
 		}
 		if sum.Cmp(b.load) != 0 {
 			t.Error("bundle load does not match its pieces")
 		}
 	}
 	for j := range in.P {
-		if perJob[j] == nil || perJob[j].Cmp(core.RatInt(in.P[j])) != 0 {
+		if perJob[j].Cmp(rat.FromInt(in.P[j])) != 0 {
 			t.Errorf("job %d not fully covered by bundles", j)
 		}
 	}

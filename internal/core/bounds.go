@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math/big"
 	"sort"
+
+	"ccsched/internal/rat"
 )
 
 // Certified lower bounds on the optimal makespan. Every experiment that
@@ -40,24 +42,14 @@ func CheckFeasible(in *Instance) error {
 	return nil
 }
 
-// slotsNeededSplit returns ⌈P_u/T⌉ for a rational T > 0 using exact
-// arithmetic.
-func slotsNeededSplit(pu int64, t *big.Rat) int64 {
-	// ⌈pu * den / num⌉
-	num := new(big.Int).Mul(big.NewInt(pu), t.Denom())
-	q, r := new(big.Int).QuoRem(num, t.Num(), new(big.Int))
-	if r.Sign() != 0 {
-		q.Add(q, big.NewInt(1))
-	}
-	return q.Int64()
-}
-
 // totalSlotsSplit returns Σ_u ⌈P_u/T⌉ but stops early once the sum exceeds
 // limit (values above the limit are all equivalent for feasibility tests).
-func totalSlotsSplit(loads []int64, t *big.Rat, limit int64) int64 {
+// The per-class count ⌈P_u/T⌉ runs on rat's 128-bit division fast path, so
+// the whole sweep is allocation-free.
+func totalSlotsSplit(loads []int64, t rat.R, limit int64) int64 {
 	var sum int64
 	for _, pu := range loads {
-		need := slotsNeededSplit(pu, t)
+		need := rat.CeilQuoInt(pu, t)
 		if need > limit || sum > limit-need {
 			return limit + 1
 		}
@@ -78,23 +70,23 @@ func totalSlotBudget(in *Instance) int64 {
 	return c * in.M
 }
 
-// SlotLowerBoundSplit returns the smallest rational T (a "border" value
+// SlotLowerBoundSplitR returns the smallest rational T (a "border" value
 // P_u/k) such that Σ_u ⌈P_u/T⌉ ≤ c·m. This is a valid lower bound on the
 // optimal makespan for the splittable and preemptive variants, following
 // Lemma 2: only border values P_u/k can be minimal, and per class the count
 // is monotone along its borders.
-func SlotLowerBoundSplit(in *Instance) (*big.Rat, error) {
+func SlotLowerBoundSplitR(in *Instance) (rat.R, error) {
 	if err := CheckFeasible(in); err != nil {
-		return nil, err
+		return rat.R{}, err
 	}
 	loads := in.ClassLoads()
 	budget := totalSlotBudget(in)
 	// All classes fit in one slot each at T = max P_u, which is feasible
 	// because C <= c*m was checked above.
-	best := new(big.Rat)
+	var best rat.R
 	for _, pu := range loads {
-		if RatInt(pu).Cmp(best) > 0 {
-			best = RatInt(pu)
+		if cand := rat.FromInt(pu); cand.Cmp(best) > 0 {
+			best = cand
 		}
 	}
 	if best.Sign() == 0 {
@@ -113,24 +105,32 @@ func SlotLowerBoundSplit(in *Instance) (*big.Rat, error) {
 		if pu == 0 {
 			continue
 		}
-		if totalSlotsSplit(loads, RatInt(pu), budget) > budget {
+		if totalSlotsSplit(loads, rat.FromInt(pu), budget) > budget {
 			continue // even this class's largest border is infeasible
 		}
 		lo, hi := int64(1), kmax
 		for lo < hi {
 			mid := lo + (hi-lo+1)/2 // try larger k (smaller T)
-			t := RatFrac(pu, mid)
-			if totalSlotsSplit(loads, t, budget) <= budget {
+			if totalSlotsSplit(loads, rat.Frac(pu, mid), budget) <= budget {
 				lo = mid
 			} else {
 				hi = mid - 1
 			}
 		}
-		if t := RatFrac(pu, lo); t.Cmp(best) < 0 {
+		if t := rat.Frac(pu, lo); t.Cmp(best) < 0 {
 			best = t
 		}
 	}
 	return best, nil
+}
+
+// SlotLowerBoundSplit is SlotLowerBoundSplitR at the *big.Rat API boundary.
+func SlotLowerBoundSplit(in *Instance) (*big.Rat, error) {
+	r, err := SlotLowerBoundSplitR(in)
+	if err != nil {
+		return nil, err
+	}
+	return r.Rat(), nil
 }
 
 // NonPreemptiveClassSlots computes the paper's C_u = max(C¹_u, C²_u) lower
@@ -227,30 +227,38 @@ func SlotLowerBoundNonPreemptive(in *Instance) (int64, error) {
 	return lo, nil
 }
 
-// LowerBound returns a certified lower bound on the optimal makespan of the
+// LowerBoundR returns a certified lower bound on the optimal makespan of the
 // given variant, combining area, p_max and class-slot arguments.
-func LowerBound(in *Instance, v Variant) (*big.Rat, error) {
+func LowerBoundR(in *Instance, v Variant) (rat.R, error) {
 	if err := CheckFeasible(in); err != nil {
-		return nil, err
+		return rat.R{}, err
 	}
-	area := RatFrac(in.TotalLoad(), in.M)
-	best := area
+	best := rat.Frac(in.TotalLoad(), in.M)
 	if v != Splittable {
-		best = RatMax(best, RatInt(in.PMax()))
+		best = rat.Max(best, rat.FromInt(in.PMax()))
 	}
 	switch v {
 	case Splittable, Preemptive:
-		slot, err := SlotLowerBoundSplit(in)
+		slot, err := SlotLowerBoundSplitR(in)
 		if err != nil {
-			return nil, err
+			return rat.R{}, err
 		}
-		best = RatMax(best, slot)
+		best = rat.Max(best, slot)
 	case NonPreemptive:
 		slot, err := SlotLowerBoundNonPreemptive(in)
 		if err != nil {
-			return nil, err
+			return rat.R{}, err
 		}
-		best = RatMax(best, RatInt(slot))
+		best = rat.Max(best, rat.FromInt(slot))
 	}
 	return best, nil
+}
+
+// LowerBound is LowerBoundR at the *big.Rat API boundary.
+func LowerBound(in *Instance, v Variant) (*big.Rat, error) {
+	r, err := LowerBoundR(in, v)
+	if err != nil {
+		return nil, err
+	}
+	return r.Rat(), nil
 }

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"ccsched/internal/rat"
 )
 
 func TestCheckFeasible(t *testing.T) {
@@ -30,13 +32,13 @@ func TestSlotsNeededSplit(t *testing.T) {
 		{10, 10, 1}, {10, 9, 2}, {10, 5, 2}, {10, 3, 4}, {1, 100, 1},
 	}
 	for _, tc := range cases {
-		if got := slotsNeededSplit(tc.pu, RatInt(tc.t)); got != tc.want {
-			t.Errorf("slotsNeededSplit(%d, %d) = %d, want %d", tc.pu, tc.t, got, tc.want)
+		if got := rat.CeilQuoInt(tc.pu, rat.FromInt(tc.t)); got != tc.want {
+			t.Errorf("CeilQuoInt(%d, %d) = %d, want %d", tc.pu, tc.t, got, tc.want)
 		}
 	}
 	// Fractional threshold: ⌈10 / (7/2)⌉ = ⌈20/7⌉ = 3.
-	if got := slotsNeededSplit(10, RatFrac(7, 2)); got != 3 {
-		t.Errorf("slotsNeededSplit(10, 7/2) = %d, want 3", got)
+	if got := rat.CeilQuoInt(10, rat.Frac(7, 2)); got != 3 {
+		t.Errorf("CeilQuoInt(10, 7/2) = %d, want 3", got)
 	}
 }
 

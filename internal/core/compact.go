@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/big"
+
+	"ccsched/internal/rat"
 )
 
 // The splittable variant explicitly allows the number of machines m to be
@@ -18,7 +20,7 @@ import (
 // machines consumes k*Size units of the job.
 type GroupPiece struct {
 	Job  int
-	Size *big.Rat
+	Size rat.R
 }
 
 // MachineGroup is a run of Count identical machines sharing a piece layout.
@@ -28,10 +30,10 @@ type MachineGroup struct {
 }
 
 // Load returns the load of each machine in the group.
-func (g *MachineGroup) Load() *big.Rat {
-	l := new(big.Rat)
+func (g *MachineGroup) Load() rat.R {
+	var l rat.R
 	for _, pc := range g.Pieces {
-		l.Add(l, pc.Size)
+		l = l.Add(pc.Size)
 	}
 	return l
 }
@@ -42,9 +44,9 @@ type CompactSplitSchedule struct {
 	Groups []MachineGroup
 }
 
-// Makespan returns the maximum group load.
-func (s *CompactSplitSchedule) Makespan() *big.Rat {
-	mx := new(big.Rat)
+// MakespanR returns the maximum group load as an exact rational value.
+func (s *CompactSplitSchedule) MakespanR() rat.R {
+	var mx rat.R
 	for i := range s.Groups {
 		if l := s.Groups[i].Load(); l.Cmp(mx) > 0 {
 			mx = l
@@ -52,6 +54,9 @@ func (s *CompactSplitSchedule) Makespan() *big.Rat {
 	}
 	return mx
 }
+
+// Makespan returns the maximum group load.
+func (s *CompactSplitSchedule) Makespan() *big.Rat { return s.MakespanR().Rat() }
 
 // Machines returns the total number of machines used by all groups.
 func (s *CompactSplitSchedule) Machines() int64 {
@@ -66,7 +71,8 @@ func (s *CompactSplitSchedule) Machines() int64 {
 // m, per-machine class budget respected inside every group, and per-job
 // totals (Σ Count*Size over all groups) equal to the processing times.
 func (s *CompactSplitSchedule) Validate(in *Instance) error {
-	jobTotal := make([]*big.Rat, in.N())
+	jobTotal := make([]rat.R, in.N())
+	touched := make([]bool, in.N())
 	var used int64
 	for gi := range s.Groups {
 		g := &s.Groups[gi]
@@ -79,14 +85,12 @@ func (s *CompactSplitSchedule) Validate(in *Instance) error {
 			if pc.Job < 0 || pc.Job >= in.N() {
 				return fmt.Errorf("core: group %d references job %d outside [0,%d)", gi, pc.Job, in.N())
 			}
-			if pc.Size == nil || pc.Size.Sign() <= 0 {
+			if pc.Size.Sign() <= 0 {
 				return fmt.Errorf("core: group %d piece of job %d has non-positive size", gi, pc.Job)
 			}
 			set[in.Class[pc.Job]] = true
-			if jobTotal[pc.Job] == nil {
-				jobTotal[pc.Job] = new(big.Rat)
-			}
-			jobTotal[pc.Job].Add(jobTotal[pc.Job], RatMul(pc.Size, RatInt(g.Count)))
+			jobTotal[pc.Job] = jobTotal[pc.Job].Add(pc.Size.MulInt(g.Count))
+			touched[pc.Job] = true
 		}
 		if len(set) > in.Slots {
 			return fmt.Errorf("core: group %d hosts %d classes, budget is %d", gi, len(set), in.Slots)
@@ -96,10 +100,9 @@ func (s *CompactSplitSchedule) Validate(in *Instance) error {
 		return fmt.Errorf("core: schedule uses %d machines, instance has %d", used, in.M)
 	}
 	for j := range jobTotal {
-		want := RatInt(in.P[j])
-		if jobTotal[j] == nil || jobTotal[j].Cmp(want) != 0 {
+		if !touched[j] || jobTotal[j].Cmp(rat.FromInt(in.P[j])) != 0 {
 			got := "0"
-			if jobTotal[j] != nil {
+			if touched[j] {
 				got = jobTotal[j].RatString()
 			}
 			return fmt.Errorf("core: job %d group pieces sum to %s, want %d", j, got, in.P[j])
@@ -124,7 +127,7 @@ func (s *CompactSplitSchedule) Expand(limit int64) (*SplitSchedule, error) {
 				out.Pieces = append(out.Pieces, SplitPiece{
 					Job:     pc.Job,
 					Machine: machine,
-					Size:    new(big.Rat).Set(pc.Size),
+					Size:    pc.Size,
 				})
 			}
 			machine++

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+
+	"ccsched/internal/rat"
 )
 
 // PreemptivePiece is one fragment of a job in a preemptive schedule. Unlike
@@ -12,12 +14,12 @@ import (
 type PreemptivePiece struct {
 	Job     int
 	Machine int64
-	Start   *big.Rat
-	Size    *big.Rat
+	Start   rat.R
+	Size    rat.R
 }
 
 // End returns Start+Size.
-func (p *PreemptivePiece) End() *big.Rat { return RatAdd(p.Start, p.Size) }
+func (p *PreemptivePiece) End() rat.R { return p.Start.Add(p.Size) }
 
 // PreemptiveSchedule is a schedule σ = (π, λ, ξ, µ) for the preemptive
 // variant: jobs may be cut, but two pieces of the same job — and two pieces
@@ -26,9 +28,9 @@ type PreemptiveSchedule struct {
 	Pieces []PreemptivePiece
 }
 
-// Makespan returns the largest piece end time.
-func (s *PreemptiveSchedule) Makespan() *big.Rat {
-	mx := new(big.Rat)
+// MakespanR returns the largest piece end time as an exact rational value.
+func (s *PreemptiveSchedule) MakespanR() rat.R {
+	var mx rat.R
 	for i := range s.Pieces {
 		if e := s.Pieces[i].End(); e.Cmp(mx) > 0 {
 			mx = e
@@ -37,23 +39,25 @@ func (s *PreemptiveSchedule) Makespan() *big.Rat {
 	return mx
 }
 
+// Makespan returns the largest piece end time.
+func (s *PreemptiveSchedule) Makespan() *big.Rat { return s.MakespanR().Rat() }
+
 // MachineLoads returns the summed processing per non-empty machine.
 func (s *PreemptiveSchedule) MachineLoads() map[int64]*big.Rat {
-	loads := make(map[int64]*big.Rat)
+	acc := make(map[int64]rat.R, len(s.Pieces))
 	for i := range s.Pieces {
 		pc := &s.Pieces[i]
-		l := loads[pc.Machine]
-		if l == nil {
-			l = new(big.Rat)
-			loads[pc.Machine] = l
-		}
-		l.Add(l, pc.Size)
+		acc[pc.Machine] = acc[pc.Machine].Add(pc.Size)
+	}
+	loads := make(map[int64]*big.Rat, len(acc))
+	for m, l := range acc {
+		loads[m] = l.Rat()
 	}
 	return loads
 }
 
 type interval struct {
-	start, end *big.Rat
+	start, end rat.R
 	piece      int
 }
 
@@ -72,7 +76,8 @@ func overlapInSorted(ivs []interval) (int, int, bool) {
 // at most c classes per machine, no two pieces overlapping on one machine,
 // and no two pieces of the same job overlapping in time anywhere.
 func (s *PreemptiveSchedule) Validate(in *Instance) error {
-	jobTotal := make([]*big.Rat, in.N())
+	jobTotal := make([]rat.R, in.N())
+	touched := make([]bool, in.N())
 	byMachine := make(map[int64][]interval)
 	byJob := make(map[int][]interval)
 	classes := make(map[int64]map[int]bool)
@@ -84,16 +89,14 @@ func (s *PreemptiveSchedule) Validate(in *Instance) error {
 		if pc.Machine < 0 || pc.Machine >= in.M {
 			return fmt.Errorf("core: piece %d on machine %d outside [0,%d)", k, pc.Machine, in.M)
 		}
-		if pc.Size == nil || pc.Size.Sign() <= 0 {
+		if pc.Size.Sign() <= 0 {
 			return fmt.Errorf("core: piece %d of job %d has non-positive size", k, pc.Job)
 		}
-		if pc.Start == nil || pc.Start.Sign() < 0 {
+		if pc.Start.Sign() < 0 {
 			return fmt.Errorf("core: piece %d of job %d starts before time zero", k, pc.Job)
 		}
-		if jobTotal[pc.Job] == nil {
-			jobTotal[pc.Job] = new(big.Rat)
-		}
-		jobTotal[pc.Job].Add(jobTotal[pc.Job], pc.Size)
+		jobTotal[pc.Job] = jobTotal[pc.Job].Add(pc.Size)
+		touched[pc.Job] = true
 		iv := interval{start: pc.Start, end: pc.End(), piece: k}
 		byMachine[pc.Machine] = append(byMachine[pc.Machine], iv)
 		byJob[pc.Job] = append(byJob[pc.Job], iv)
@@ -108,10 +111,9 @@ func (s *PreemptiveSchedule) Validate(in *Instance) error {
 		}
 	}
 	for j := range jobTotal {
-		want := RatInt(in.P[j])
-		if jobTotal[j] == nil || jobTotal[j].Cmp(want) != 0 {
+		if !touched[j] || jobTotal[j].Cmp(rat.FromInt(in.P[j])) != 0 {
 			got := "0"
-			if jobTotal[j] != nil {
+			if touched[j] {
 				got = jobTotal[j].RatString()
 			}
 			return fmt.Errorf("core: job %d pieces sum to %s, want %d", j, got, in.P[j])

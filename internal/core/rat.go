@@ -7,6 +7,10 @@ import "math/big"
 // drift: the constant-factor algorithms cut classes at thresholds of the
 // form P_u/k, whose denominators are bounded by m, and the PTASs cut at
 // multiples of δ²T.
+//
+// Hot paths use rat.R, a value-type int64 fraction with a *big.Rat overflow
+// escape hatch (see internal/rat); the *big.Rat helpers below remain for the
+// public API boundary and for cold paths (exact solvers, reporting).
 
 // RatInt returns x as an exact rational.
 func RatInt(x int64) *big.Rat { return new(big.Rat).SetInt64(x) }

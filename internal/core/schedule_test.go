@@ -1,8 +1,9 @@
 package core
 
 import (
-	"math/big"
 	"testing"
+
+	"ccsched/internal/rat"
 )
 
 func TestNonPreemptiveMakespanAndValidate(t *testing.T) {
@@ -48,13 +49,13 @@ func TestSplitScheduleRoundTrip(t *testing.T) {
 	in := testInstance()
 	// Split job 2 (p=8, class 1) across machines 0 and 1.
 	s := &SplitSchedule{Pieces: []SplitPiece{
-		{Job: 0, Machine: 0, Size: RatInt(5)},
-		{Job: 1, Machine: 0, Size: RatInt(3)},
-		{Job: 2, Machine: 0, Size: RatFrac(5, 2)},
-		{Job: 2, Machine: 1, Size: RatFrac(11, 2)},
-		{Job: 3, Machine: 2, Size: RatInt(2)},
-		{Job: 4, Machine: 1, Size: RatInt(7)},
-		{Job: 5, Machine: 2, Size: RatInt(1)},
+		{Job: 0, Machine: 0, Size: rat.FromInt(5)},
+		{Job: 1, Machine: 0, Size: rat.FromInt(3)},
+		{Job: 2, Machine: 0, Size: rat.Frac(5, 2)},
+		{Job: 2, Machine: 1, Size: rat.Frac(11, 2)},
+		{Job: 3, Machine: 2, Size: rat.FromInt(2)},
+		{Job: 4, Machine: 1, Size: rat.FromInt(7)},
+		{Job: 5, Machine: 2, Size: rat.FromInt(1)},
 	}}
 	if err := s.Validate(in); err != nil {
 		t.Fatalf("Validate() = %v", err)
@@ -76,7 +77,7 @@ func TestSplitValidateRejections(t *testing.T) {
 	base := func() []SplitPiece {
 		var ps []SplitPiece
 		for j := range in.P {
-			ps = append(ps, SplitPiece{Job: j, Machine: int64(in.Class[j]), Size: RatInt(in.P[j])})
+			ps = append(ps, SplitPiece{Job: j, Machine: int64(in.Class[j]), Size: rat.FromInt(in.P[j])})
 		}
 		return ps
 	}
@@ -93,7 +94,7 @@ func TestSplitValidateRejections(t *testing.T) {
 		}
 	})
 	t.Run("over coverage", func(t *testing.T) {
-		ps := append(base(), SplitPiece{Job: 0, Machine: 1, Size: RatFrac(1, 3)})
+		ps := append(base(), SplitPiece{Job: 0, Machine: 1, Size: rat.Frac(1, 3)})
 		s := &SplitSchedule{Pieces: ps}
 		if err := s.Validate(in); err == nil {
 			t.Error("want coverage error")
@@ -101,7 +102,7 @@ func TestSplitValidateRejections(t *testing.T) {
 	})
 	t.Run("zero size", func(t *testing.T) {
 		ps := base()
-		ps[0].Size = new(big.Rat)
+		ps[0].Size = rat.R{}
 		s := &SplitSchedule{Pieces: ps}
 		if err := s.Validate(in); err == nil {
 			t.Error("want size error")
@@ -116,7 +117,7 @@ func TestSplitValidateRejections(t *testing.T) {
 		}
 	})
 	t.Run("bad job", func(t *testing.T) {
-		ps := append(base(), SplitPiece{Job: 17, Machine: 0, Size: RatInt(1)})
+		ps := append(base(), SplitPiece{Job: 17, Machine: 0, Size: rat.FromInt(1)})
 		s := &SplitSchedule{Pieces: ps}
 		if err := s.Validate(in); err == nil {
 			t.Error("want job range error")
@@ -139,13 +140,13 @@ func TestPreemptiveValidateAndMakespan(t *testing.T) {
 	// Job 2 (p=8) split into [0,4) on machine 0 and [4,8) on machine 1:
 	// sequential, no overlap.
 	s := &PreemptiveSchedule{Pieces: []PreemptivePiece{
-		{Job: 0, Machine: 2, Start: RatInt(0), Size: RatInt(5)},
-		{Job: 1, Machine: 2, Start: RatInt(5), Size: RatInt(3)},
-		{Job: 2, Machine: 0, Start: RatInt(0), Size: RatInt(4)},
-		{Job: 2, Machine: 1, Start: RatInt(4), Size: RatInt(4)},
-		{Job: 3, Machine: 0, Start: RatInt(4), Size: RatInt(2)},
-		{Job: 4, Machine: 1, Start: RatInt(8), Size: RatInt(7)},
-		{Job: 5, Machine: 0, Start: RatInt(6), Size: RatInt(1)},
+		{Job: 0, Machine: 2, Start: rat.FromInt(0), Size: rat.FromInt(5)},
+		{Job: 1, Machine: 2, Start: rat.FromInt(5), Size: rat.FromInt(3)},
+		{Job: 2, Machine: 0, Start: rat.FromInt(0), Size: rat.FromInt(4)},
+		{Job: 2, Machine: 1, Start: rat.FromInt(4), Size: rat.FromInt(4)},
+		{Job: 3, Machine: 0, Start: rat.FromInt(4), Size: rat.FromInt(2)},
+		{Job: 4, Machine: 1, Start: rat.FromInt(8), Size: rat.FromInt(7)},
+		{Job: 5, Machine: 0, Start: rat.FromInt(6), Size: rat.FromInt(1)},
 	}}
 	if err := s.Validate(in); err != nil {
 		t.Fatalf("Validate() = %v", err)
@@ -168,13 +169,13 @@ func TestPreemptiveValidateAndMakespan(t *testing.T) {
 func TestPreemptiveRejectsParallelSameJob(t *testing.T) {
 	in := testInstance()
 	s := &PreemptiveSchedule{Pieces: []PreemptivePiece{
-		{Job: 0, Machine: 0, Start: RatInt(0), Size: RatInt(3)},
-		{Job: 0, Machine: 1, Start: RatInt(2), Size: RatInt(2)}, // overlaps [2,3)
-		{Job: 1, Machine: 0, Start: RatInt(3), Size: RatInt(3)},
-		{Job: 2, Machine: 1, Start: RatInt(4), Size: RatInt(8)},
-		{Job: 3, Machine: 2, Start: RatInt(0), Size: RatInt(2)},
-		{Job: 4, Machine: 1, Start: RatInt(12), Size: RatInt(7)},
-		{Job: 5, Machine: 2, Start: RatInt(2), Size: RatInt(1)},
+		{Job: 0, Machine: 0, Start: rat.FromInt(0), Size: rat.FromInt(3)},
+		{Job: 0, Machine: 1, Start: rat.FromInt(2), Size: rat.FromInt(2)}, // overlaps [2,3)
+		{Job: 1, Machine: 0, Start: rat.FromInt(3), Size: rat.FromInt(3)},
+		{Job: 2, Machine: 1, Start: rat.FromInt(4), Size: rat.FromInt(8)},
+		{Job: 3, Machine: 2, Start: rat.FromInt(0), Size: rat.FromInt(2)},
+		{Job: 4, Machine: 1, Start: rat.FromInt(12), Size: rat.FromInt(7)},
+		{Job: 5, Machine: 2, Start: rat.FromInt(2), Size: rat.FromInt(1)},
 	}}
 	if err := s.Validate(in); err == nil {
 		t.Error("want parallel-execution error")
@@ -184,8 +185,8 @@ func TestPreemptiveRejectsParallelSameJob(t *testing.T) {
 func TestPreemptiveRejectsMachineOverlap(t *testing.T) {
 	in := &Instance{P: []int64{4, 4}, Class: []int{0, 1}, M: 1, Slots: 2}
 	s := &PreemptiveSchedule{Pieces: []PreemptivePiece{
-		{Job: 0, Machine: 0, Start: RatInt(0), Size: RatInt(4)},
-		{Job: 1, Machine: 0, Start: RatInt(3), Size: RatInt(4)}, // overlaps [3,4)
+		{Job: 0, Machine: 0, Start: rat.FromInt(0), Size: rat.FromInt(4)},
+		{Job: 1, Machine: 0, Start: rat.FromInt(3), Size: rat.FromInt(4)}, // overlaps [3,4)
 	}}
 	if err := s.Validate(in); err == nil {
 		t.Error("want machine-overlap error")
@@ -195,8 +196,8 @@ func TestPreemptiveRejectsMachineOverlap(t *testing.T) {
 func TestPreemptiveTouchingIntervalsAllowed(t *testing.T) {
 	in := &Instance{P: []int64{4, 4}, Class: []int{0, 1}, M: 1, Slots: 2}
 	s := &PreemptiveSchedule{Pieces: []PreemptivePiece{
-		{Job: 0, Machine: 0, Start: RatInt(0), Size: RatInt(4)},
-		{Job: 1, Machine: 0, Start: RatInt(4), Size: RatInt(4)},
+		{Job: 0, Machine: 0, Start: rat.FromInt(0), Size: rat.FromInt(4)},
+		{Job: 1, Machine: 0, Start: rat.FromInt(4), Size: rat.FromInt(4)},
 	}}
 	if err := s.Validate(in); err != nil {
 		t.Errorf("back-to-back intervals should be feasible: %v", err)
@@ -207,7 +208,7 @@ func TestCompactSplitSchedule(t *testing.T) {
 	// One class-job of size 100 spread as 10 machines x 10 units, m huge.
 	in := &Instance{P: []int64{100}, Class: []int{0}, M: 1 << 50, Slots: 1}
 	s := &CompactSplitSchedule{Groups: []MachineGroup{
-		{Count: 10, Pieces: []GroupPiece{{Job: 0, Size: RatInt(10)}}},
+		{Count: 10, Pieces: []GroupPiece{{Job: 0, Size: rat.FromInt(10)}}},
 	}}
 	if err := s.Validate(in); err != nil {
 		t.Fatalf("Validate() = %v", err)
@@ -240,19 +241,19 @@ func TestCompactValidateRejections(t *testing.T) {
 		s    *CompactSplitSchedule
 	}{
 		{"non-positive count", &CompactSplitSchedule{Groups: []MachineGroup{
-			{Count: 0, Pieces: []GroupPiece{{Job: 0, Size: RatInt(10)}}},
-			{Count: 1, Pieces: []GroupPiece{{Job: 1, Size: RatInt(10)}}},
+			{Count: 0, Pieces: []GroupPiece{{Job: 0, Size: rat.FromInt(10)}}},
+			{Count: 1, Pieces: []GroupPiece{{Job: 1, Size: rat.FromInt(10)}}},
 		}}},
 		{"too many machines", &CompactSplitSchedule{Groups: []MachineGroup{
-			{Count: 5, Pieces: []GroupPiece{{Job: 0, Size: RatInt(2)}}},
-			{Count: 1, Pieces: []GroupPiece{{Job: 1, Size: RatInt(10)}}},
+			{Count: 5, Pieces: []GroupPiece{{Job: 0, Size: rat.FromInt(2)}}},
+			{Count: 1, Pieces: []GroupPiece{{Job: 1, Size: rat.FromInt(10)}}},
 		}}},
 		{"class budget in group", &CompactSplitSchedule{Groups: []MachineGroup{
-			{Count: 2, Pieces: []GroupPiece{{Job: 0, Size: RatInt(5)}, {Job: 1, Size: RatInt(5)}}},
+			{Count: 2, Pieces: []GroupPiece{{Job: 0, Size: rat.FromInt(5)}, {Job: 1, Size: rat.FromInt(5)}}},
 		}}},
 		{"wrong coverage", &CompactSplitSchedule{Groups: []MachineGroup{
-			{Count: 2, Pieces: []GroupPiece{{Job: 0, Size: RatInt(3)}}},
-			{Count: 1, Pieces: []GroupPiece{{Job: 1, Size: RatInt(10)}}},
+			{Count: 2, Pieces: []GroupPiece{{Job: 0, Size: rat.FromInt(3)}}},
+			{Count: 1, Pieces: []GroupPiece{{Job: 1, Size: rat.FromInt(10)}}},
 		}}},
 	}
 	for _, tc := range cases {
@@ -267,12 +268,12 @@ func TestCompactValidateRejections(t *testing.T) {
 func TestFromSplit(t *testing.T) {
 	in := testInstance()
 	s := &SplitSchedule{Pieces: []SplitPiece{
-		{Job: 0, Machine: 0, Size: RatInt(5)},
-		{Job: 1, Machine: 0, Size: RatInt(3)},
-		{Job: 2, Machine: 1, Size: RatInt(8)},
-		{Job: 3, Machine: 2, Size: RatInt(2)},
-		{Job: 4, Machine: 1, Size: RatInt(7)},
-		{Job: 5, Machine: 2, Size: RatInt(1)},
+		{Job: 0, Machine: 0, Size: rat.FromInt(5)},
+		{Job: 1, Machine: 0, Size: rat.FromInt(3)},
+		{Job: 2, Machine: 1, Size: rat.FromInt(8)},
+		{Job: 3, Machine: 2, Size: rat.FromInt(2)},
+		{Job: 4, Machine: 1, Size: rat.FromInt(7)},
+		{Job: 5, Machine: 2, Size: rat.FromInt(1)},
 	}}
 	c := FromSplit(s)
 	if err := c.Validate(in); err != nil {

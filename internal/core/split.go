@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+
+	"ccsched/internal/rat"
 )
 
 // SplitPiece is one fragment of a job in a splittable schedule. Size is
@@ -11,7 +13,7 @@ import (
 type SplitPiece struct {
 	Job     int
 	Machine int64
-	Size    *big.Rat
+	Size    rat.R
 }
 
 // SplitSchedule is a schedule for the splittable variant: pieces of a job
@@ -21,34 +23,59 @@ type SplitSchedule struct {
 	Pieces []SplitPiece
 }
 
-// Makespan returns the maximum machine load.
-func (s *SplitSchedule) Makespan() *big.Rat {
-	loads := make(map[int64]*big.Rat)
-	mx := new(big.Rat)
-	for _, pc := range s.Pieces {
-		l := loads[pc.Machine]
-		if l == nil {
-			l = new(big.Rat)
-			loads[pc.Machine] = l
+// denseLimit decides whether machine indices are dense enough for slice
+// accumulation: with k pieces at most k distinct machines receive load, so a
+// small multiple of k bounds the wasted slots.
+func denseLimit(pieces int) int64 { return int64(4*pieces) + 64 }
+
+// MakespanR returns the maximum machine load as an exact rational value.
+// Loads are accumulated into a slice keyed by machine index (falling back to
+// a map only for sparse index sets), allocation-free per piece.
+func (s *SplitSchedule) MakespanR() rat.R {
+	var maxIdx int64 = -1
+	for i := range s.Pieces {
+		if m := s.Pieces[i].Machine; m > maxIdx {
+			maxIdx = m
 		}
-		l.Add(l, pc.Size)
+	}
+	var mx rat.R
+	if maxIdx < denseLimit(len(s.Pieces)) {
+		loads := make([]rat.R, maxIdx+1)
+		for i := range s.Pieces {
+			pc := &s.Pieces[i]
+			l := loads[pc.Machine].Add(pc.Size)
+			loads[pc.Machine] = l
+			if l.Cmp(mx) > 0 {
+				mx = l
+			}
+		}
+		return mx
+	}
+	loads := make(map[int64]rat.R, len(s.Pieces))
+	for i := range s.Pieces {
+		pc := &s.Pieces[i]
+		l := loads[pc.Machine].Add(pc.Size)
+		loads[pc.Machine] = l
 		if l.Cmp(mx) > 0 {
-			mx = new(big.Rat).Set(l)
+			mx = l
 		}
 	}
 	return mx
 }
 
+// Makespan returns the maximum machine load.
+func (s *SplitSchedule) Makespan() *big.Rat { return s.MakespanR().Rat() }
+
 // MachineLoads returns the load of every non-empty machine.
 func (s *SplitSchedule) MachineLoads() map[int64]*big.Rat {
-	loads := make(map[int64]*big.Rat)
-	for _, pc := range s.Pieces {
-		l := loads[pc.Machine]
-		if l == nil {
-			l = new(big.Rat)
-			loads[pc.Machine] = l
-		}
-		l.Add(l, pc.Size)
+	acc := make(map[int64]rat.R, len(s.Pieces))
+	for i := range s.Pieces {
+		pc := &s.Pieces[i]
+		acc[pc.Machine] = acc[pc.Machine].Add(pc.Size)
+	}
+	loads := make(map[int64]*big.Rat, len(acc))
+	for m, l := range acc {
+		loads[m] = l.Rat()
 	}
 	return loads
 }
@@ -57,22 +84,22 @@ func (s *SplitSchedule) MachineLoads() map[int64]*big.Rat {
 // sizes, machines within range, per-job piece sizes summing exactly to the
 // job's processing time, and at most c distinct classes per machine.
 func (s *SplitSchedule) Validate(in *Instance) error {
-	jobTotal := make([]*big.Rat, in.N())
+	jobTotal := make([]rat.R, in.N())
+	touched := make([]bool, in.N())
 	classes := make(map[int64]map[int]bool)
-	for k, pc := range s.Pieces {
+	for k := range s.Pieces {
+		pc := &s.Pieces[k]
 		if pc.Job < 0 || pc.Job >= in.N() {
 			return fmt.Errorf("core: piece %d references job %d outside [0,%d)", k, pc.Job, in.N())
 		}
 		if pc.Machine < 0 || pc.Machine >= in.M {
 			return fmt.Errorf("core: piece %d on machine %d outside [0,%d)", k, pc.Machine, in.M)
 		}
-		if pc.Size == nil || pc.Size.Sign() <= 0 {
+		if pc.Size.Sign() <= 0 {
 			return fmt.Errorf("core: piece %d of job %d has non-positive size", k, pc.Job)
 		}
-		if jobTotal[pc.Job] == nil {
-			jobTotal[pc.Job] = new(big.Rat)
-		}
-		jobTotal[pc.Job].Add(jobTotal[pc.Job], pc.Size)
+		jobTotal[pc.Job] = jobTotal[pc.Job].Add(pc.Size)
+		touched[pc.Job] = true
 		set := classes[pc.Machine]
 		if set == nil {
 			set = make(map[int]bool)
@@ -84,10 +111,9 @@ func (s *SplitSchedule) Validate(in *Instance) error {
 		}
 	}
 	for j := range jobTotal {
-		want := RatInt(in.P[j])
-		if jobTotal[j] == nil || jobTotal[j].Cmp(want) != 0 {
+		if !touched[j] || jobTotal[j].Cmp(rat.FromInt(in.P[j])) != 0 {
 			got := "0"
-			if jobTotal[j] != nil {
+			if touched[j] {
 				got = jobTotal[j].RatString()
 			}
 			return fmt.Errorf("core: job %d pieces sum to %s, want %d", j, got, in.P[j])

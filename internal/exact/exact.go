@@ -23,7 +23,8 @@ var ErrTooLarge = errors.New("exact: instance too large for exact solving")
 
 // NonPreemptive computes an optimal non-preemptive schedule by depth-first
 // branch and bound over jobs in non-increasing size order, with class-slot
-// tracking and load-based pruning. Practical up to roughly 20 jobs.
+// tracking and load-based pruning. Practical up to roughly 20 jobs; the
+// limit is enforced at 24 jobs with an error wrapping ErrTooLarge.
 func NonPreemptive(in *core.Instance) (*core.NonPreemptiveSchedule, int64, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, err
@@ -130,7 +131,8 @@ func NonPreemptive(in *core.Instance) (*core.NonPreemptiveSchedule, int64, error
 // Splittable computes the optimal splittable makespan by enumerating
 // machine slot patterns (which classes may run on which machine, respecting
 // the c-slot budget, up to machine symmetry) and minimizing the makespan of
-// each pattern with an LP. Practical for C ≤ 5, m ≤ 5.
+// each pattern with an LP. Practical for C ≤ 5, m ≤ 5; the limit is
+// enforced at C ≤ 6, m ≤ 6 with an error wrapping ErrTooLarge.
 func Splittable(in *core.Instance) (*big.Rat, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/big"
 	"sort"
 
 	"ccsched/internal/approx"
@@ -10,6 +9,7 @@ import (
 	"ccsched/internal/flownet"
 	"ccsched/internal/generator"
 	"ccsched/internal/ptas"
+	"ccsched/internal/rat"
 )
 
 // The paper's figures are illustrative constructions, not measurement
@@ -35,13 +35,10 @@ func F1RoundRobin() (*Table, error) {
 		return nil, err
 	}
 	perMachine := make(map[int64][]int)
-	loads := make(map[int64]*big.Rat)
+	loads := make(map[int64]rat.R)
 	for _, pc := range res.Explicit.Pieces {
 		perMachine[pc.Machine] = append(perMachine[pc.Machine], pc.Job)
-		if loads[pc.Machine] == nil {
-			loads[pc.Machine] = new(big.Rat)
-		}
-		loads[pc.Machine].Add(loads[pc.Machine], pc.Size)
+		loads[pc.Machine] = loads[pc.Machine].Add(pc.Size)
 	}
 	for i := int64(0); i < in.M; i++ {
 		sort.Ints(perMachine[i])
@@ -191,20 +188,17 @@ func F5FlowNetwork() (*Table, error) {
 	}
 	// δ = 1/2; layer height δ²T' with T' the schedule's makespan. Quantize
 	// on a denominator-cleared integer grid to keep capacities integral.
-	tPrime := pres.Makespan()
-	layerLen := core.RatMul(tPrime, core.RatFrac(1, 4))
+	tPrime := pres.Schedule.MakespanR()
+	layerLen := tPrime.DivInt(4)
 	layers := 4 // T'/δ²T' by construction
 	m := in.EffectiveMachines(core.Preemptive)
 	// χ_{i,j}: job j has a piece on machine i.
 	chi := make(map[[2]int64]bool)
-	loadOn := make(map[int64]*big.Rat)
+	loadOn := make(map[int64]rat.R)
 	for i := range pres.Schedule.Pieces {
 		pc := &pres.Schedule.Pieces[i]
 		chi[[2]int64{pc.Machine, int64(pc.Job)}] = true
-		if loadOn[pc.Machine] == nil {
-			loadOn[pc.Machine] = new(big.Rat)
-		}
-		loadOn[pc.Machine].Add(loadOn[pc.Machine], pc.Size)
+		loadOn[pc.Machine] = loadOn[pc.Machine].Add(pc.Size)
 	}
 	n := in.N()
 	g := flownet.NewGraph(2 + n + n*layers + int(m)*layers + int(m))
@@ -217,8 +211,7 @@ func F5FlowNetwork() (*Table, error) {
 	var target int64
 	for j := 0; j < n; j++ {
 		// w_j = ⌊p_j / δ²T'⌋ pieces.
-		w := new(big.Rat).Quo(core.RatInt(in.P[j]), layerLen)
-		wj := new(big.Int).Quo(w.Num(), w.Denom()).Int64()
+		wj := rat.FromInt(in.P[j]).FloorQuo(layerLen)
 		target += wj
 		g.AddEdge(src, jobNode(j), wj)
 		for l := 0; l < layers; l++ {
@@ -235,12 +228,8 @@ func F5FlowNetwork() (*Table, error) {
 			g.AddEdge(slotNode(i, l), machNode(i), 1)
 		}
 		cap := int64(0)
-		if loadOn[i] != nil {
-			q := new(big.Rat).Quo(loadOn[i], layerLen)
-			cap = new(big.Int).Quo(q.Num(), q.Denom()).Int64()
-			if new(big.Rat).Mul(core.RatInt(cap), layerLen).Cmp(loadOn[i]) != 0 {
-				cap++ // ⌈D_i/δ²T⌉
-			}
+		if loadOn[i].Sign() > 0 {
+			cap = loadOn[i].Quo(layerLen).Ceil() // ⌈D_i/δ²T⌉
 		}
 		g.AddEdge(machNode(i), sink, cap)
 	}

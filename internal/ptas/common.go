@@ -49,6 +49,17 @@ type Options struct {
 	// configuration set would exceed it are rejected with an error
 	// (default 200000).
 	MaxConfigs int
+	// HugeMThreshold is the machine count above which the splittable
+	// scheme switches to the Theorem 11 compact treatment. Zero selects
+	// DefaultHugeMThreshold.
+	HugeMThreshold int64
+}
+
+func (o Options) hugeMThreshold() int64 {
+	if o.HugeMThreshold > 0 {
+		return o.HugeMThreshold
+	}
+	return DefaultHugeMThreshold
 }
 
 func (o Options) delta() (int64, error) {

@@ -8,6 +8,7 @@ import (
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
 	"ccsched/internal/nfold"
+	"ccsched/internal/rat"
 )
 
 // The preemptive PTAS (Section 4.3). Time is divided into |L| layers of
@@ -337,7 +338,7 @@ func SolvePreemptive(in *core.Instance, opts Options) (*PreemptiveResult, error)
 		sched := &core.PreemptiveSchedule{}
 		for j := range in.P {
 			sched.Pieces = append(sched.Pieces, core.PreemptivePiece{
-				Job: j, Machine: int64(j), Start: new(big.Rat), Size: core.RatInt(in.P[j]),
+				Job: j, Machine: int64(j), Size: rat.FromInt(in.P[j]),
 			})
 		}
 		return &PreemptiveResult{Schedule: sched, Report: Report{InvDelta: g, Guess: in.PMax()}}, nil
@@ -423,7 +424,7 @@ func (ctx *preGuessCtx) constructSchedule(x [][]int64) (*core.PreemptiveSchedule
 	nM, nK, nHB, nL := len(ctx.modules), len(ctx.configs), len(ctx.hbPairs), ctx.layers
 	xOff, yOff, zOff, aOff := 0, nK, nK+nM, nK+nM+3*nHB
 	cUnits := int64(in.Slots)
-	layerRat := core.RatFrac(ctx.t, ctx.g*ctx.g) // δ²T
+	layerRat := rat.Frac(ctx.t, ctx.g*ctx.g) // δ²T
 	classes := ctx.classList()
 	xc := make([]int64, nK)
 	for bi := range classes {
@@ -528,8 +529,8 @@ func (ctx *preGuessCtx) constructSchedule(x [][]int64) (*core.PreemptiveSchedule
 					st.placed = append(st.placed, core.PreemptivePiece{
 						Job:     -1, // filled after un-grouping
 						Machine: int64(mi),
-						Start:   core.RatMul(layerRat, core.RatInt(int64(l))),
-						Size:    new(big.Rat).Set(layerRat),
+						Start:   layerRat.MulInt(int64(l)),
+						Size:    layerRat,
 					})
 					st.remaining--
 				}
@@ -599,13 +600,13 @@ func (ctx *preGuessCtx) constructSchedule(x [][]int64) (*core.PreemptiveSchedule
 			freeCursor[mi] = gc
 		}
 		for _, j := range byClass[sa.u] {
-			remaining := core.RatInt(in.P[j])
+			remaining := rat.FromInt(in.P[j])
 			for remaining.Sign() > 0 {
 				start, size := gc.take(remaining)
 				sched.Pieces = append(sched.Pieces, core.PreemptivePiece{
 					Job: j, Machine: int64(mi), Start: start, Size: size,
 				})
-				remaining = core.RatSub(remaining, size)
+				remaining = remaining.Sub(size)
 			}
 		}
 	}
@@ -618,23 +619,21 @@ func (ctx *preGuessCtx) constructSchedule(x [][]int64) (*core.PreemptiveSchedule
 func fillGroupedJob(in *core.Instance, gj npJob, placed []core.PreemptivePiece) ([]core.PreemptivePiece, error) {
 	var out []core.PreemptivePiece
 	pi := 0
-	room := new(big.Rat)
-	var start, base *big.Rat
+	var room, start rat.R
 	for _, oj := range gj.orig {
-		remaining := core.RatInt(in.P[oj])
+		remaining := rat.FromInt(in.P[oj])
 		for remaining.Sign() > 0 {
 			for room.Sign() == 0 {
 				if pi >= len(placed) {
 					return nil, fmt.Errorf("ptas: grouped job of class %d ran out of placed pieces", gj.class)
 				}
-				room = new(big.Rat).Set(placed[pi].Size)
-				base = placed[pi].Start
-				start = base
+				room = placed[pi].Size
+				start = placed[pi].Start
 				pi++
 			}
 			take := remaining
 			if take.Cmp(room) > 0 {
-				take = new(big.Rat).Set(room)
+				take = room
 			}
 			out = append(out, core.PreemptivePiece{
 				Job:     oj,
@@ -642,9 +641,9 @@ func fillGroupedJob(in *core.Instance, gj npJob, placed []core.PreemptivePiece) 
 				Start:   start,
 				Size:    take,
 			})
-			start = core.RatAdd(start, take)
-			room = core.RatSub(room, take)
-			remaining = core.RatSub(remaining, take)
+			start = start.Add(take)
+			room = room.Sub(take)
+			remaining = remaining.Sub(take)
 		}
 	}
 	return out, nil
@@ -653,13 +652,13 @@ func fillGroupedJob(in *core.Instance, gj npJob, placed []core.PreemptivePiece) 
 // gapCursor walks a machine's free time: gaps between owned layers first,
 // then the open-ended region after the last layer.
 type gapCursor struct {
-	gaps []struct{ start, end *big.Rat }
+	gaps []struct{ start, end rat.R }
 	gi   int
-	pos  *big.Rat
-	open *big.Rat // start of the open-ended region
+	pos  rat.R
+	open rat.R // start of the open-ended region
 }
 
-func newGapCursor(owner []int, layerRat *big.Rat) *gapCursor {
+func newGapCursor(owner []int, layerRat rat.R) *gapCursor {
 	gc := &gapCursor{}
 	nL := len(owner)
 	last := nL
@@ -668,16 +667,16 @@ func newGapCursor(owner []int, layerRat *big.Rat) *gapCursor {
 	}
 	for l := 0; l < last; l++ {
 		if owner[l] < 0 {
-			s := core.RatMul(layerRat, core.RatInt(int64(l)))
-			e := core.RatMul(layerRat, core.RatInt(int64(l+1)))
+			s := layerRat.MulInt(int64(l))
+			e := layerRat.MulInt(int64(l + 1))
 			if len(gc.gaps) > 0 && gc.gaps[len(gc.gaps)-1].end.Cmp(s) == 0 {
 				gc.gaps[len(gc.gaps)-1].end = e
 			} else {
-				gc.gaps = append(gc.gaps, struct{ start, end *big.Rat }{s, e})
+				gc.gaps = append(gc.gaps, struct{ start, end rat.R }{s, e})
 			}
 		}
 	}
-	gc.open = core.RatMul(layerRat, core.RatInt(int64(last)))
+	gc.open = layerRat.MulInt(int64(last))
 	if len(gc.gaps) > 0 {
 		gc.pos = gc.gaps[0].start
 	}
@@ -685,13 +684,13 @@ func newGapCursor(owner []int, layerRat *big.Rat) *gapCursor {
 }
 
 // take returns the next free (start, size) with size ≤ want.
-func (gc *gapCursor) take(want *big.Rat) (*big.Rat, *big.Rat) {
+func (gc *gapCursor) take(want rat.R) (rat.R, rat.R) {
 	for gc.gi < len(gc.gaps) {
 		g := gc.gaps[gc.gi]
-		if gc.pos == nil || gc.pos.Cmp(g.start) < 0 {
+		if gc.pos.Cmp(g.start) < 0 {
 			gc.pos = g.start
 		}
-		room := core.RatSub(g.end, gc.pos)
+		room := g.end.Sub(gc.pos)
 		if room.Sign() <= 0 {
 			gc.gi++
 			if gc.gi < len(gc.gaps) {
@@ -704,10 +703,10 @@ func (gc *gapCursor) take(want *big.Rat) (*big.Rat, *big.Rat) {
 			size = room
 		}
 		start := gc.pos
-		gc.pos = core.RatAdd(gc.pos, size)
-		return start, new(big.Rat).Set(size)
+		gc.pos = gc.pos.Add(size)
+		return start, size
 	}
 	start := gc.open
-	gc.open = core.RatAdd(gc.open, want)
-	return start, new(big.Rat).Set(want)
+	gc.open = gc.open.Add(want)
+	return start, want
 }

@@ -38,28 +38,24 @@ func scaleInstance(in *core.Instance, s int64) *core.Instance {
 	return out
 }
 
-// descaleRat divides r by s in place semantics (returns a fresh value).
-func descaleRat(r *big.Rat, s int64) *big.Rat {
-	return new(big.Rat).Quo(r, new(big.Rat).SetInt64(s))
-}
-
 // descaleSplit rescales a split result back to the original instance.
-// Compact may share *big.Rat values with Schedule (core.FromSplit reuses
-// them), so it is rebuilt from the descaled explicit schedule when present.
+// Compact may share piece values with Schedule (core.FromSplit copies the
+// rat.R values, which are immutable), so it is rebuilt from the descaled
+// explicit schedule when present.
 func descaleSplit(res *SplitResult, s int64) {
 	if s == 1 {
 		return
 	}
 	if res.Schedule != nil {
 		for i := range res.Schedule.Pieces {
-			res.Schedule.Pieces[i].Size = descaleRat(res.Schedule.Pieces[i].Size, s)
+			res.Schedule.Pieces[i].Size = res.Schedule.Pieces[i].Size.DivInt(s)
 		}
 		res.Compact = core.FromSplit(res.Schedule)
 		return
 	}
 	for gi := range res.Compact.Groups {
 		for pi := range res.Compact.Groups[gi].Pieces {
-			res.Compact.Groups[gi].Pieces[pi].Size = descaleRat(res.Compact.Groups[gi].Pieces[pi].Size, s)
+			res.Compact.Groups[gi].Pieces[pi].Size = res.Compact.Groups[gi].Pieces[pi].Size.DivInt(s)
 		}
 	}
 }
@@ -70,7 +66,7 @@ func descalePreemptive(res *PreemptiveResult, s int64) {
 		return
 	}
 	for i := range res.Schedule.Pieces {
-		res.Schedule.Pieces[i].Start = descaleRat(res.Schedule.Pieces[i].Start, s)
-		res.Schedule.Pieces[i].Size = descaleRat(res.Schedule.Pieces[i].Size, s)
+		res.Schedule.Pieces[i].Start = res.Schedule.Pieces[i].Start.DivInt(s)
+		res.Schedule.Pieces[i].Size = res.Schedule.Pieces[i].Size.DivInt(s)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
 	"ccsched/internal/nfold"
+	"ccsched/internal/rat"
 )
 
 // The splittable PTAS (Section 4.1). Working in units of δ²T/c makes every
@@ -265,13 +266,16 @@ type SplitResult struct {
 // Makespan returns the schedule makespan.
 func (r *SplitResult) Makespan() *big.Rat { return r.Compact.Makespan() }
 
-// HugeMThreshold is the machine count above which the splittable PTAS
-// switches to the Theorem 11 treatment (trivial-configuration
-// preprocessing + compact output). Variable so tests can force the path.
-var HugeMThreshold int64 = 1 << 16
+// DefaultHugeMThreshold is the default machine count above which the
+// splittable PTAS switches to the Theorem 11 treatment
+// (trivial-configuration preprocessing + compact output). Override per call
+// via Options.HugeMThreshold; like the approx options, this is a per-call
+// value rather than a mutable package global so concurrent solves do not
+// race.
+const DefaultHugeMThreshold int64 = 1 << 16
 
 // SolveSplittable runs the splittable PTAS (Theorem 10, and Theorem 11's
-// extension for machine counts beyond HugeMThreshold).
+// extension for machine counts beyond the huge-m threshold).
 func SolveSplittable(in *core.Instance, opts Options) (*SplitResult, error) {
 	g, err := opts.delta()
 	if err != nil {
@@ -301,7 +305,7 @@ func SolveSplittable(in *core.Instance, opts Options) (*SplitResult, error) {
 }
 
 func solveSplittableAnyM(in *core.Instance, g int64, opts Options) (*SplitResult, error) {
-	if in.M > HugeMThreshold {
+	if in.M > opts.hugeMThreshold() {
 		return solveSplittableHuge(in, g, opts)
 	}
 	lo, err := lowerBoundInt(in, core.Splittable)
@@ -443,7 +447,7 @@ func (ctx *splitGuessCtx) constructSchedule(x [][]int64) (*core.SplitSchedule, e
 	}
 	// Fill original jobs of each large class into its reserved slots.
 	sched := &core.SplitSchedule{}
-	unit := core.RatFrac(ctx.t, ctx.g*ctx.g*int64(in.Slots)) // δ²T/c
+	unit := rat.Frac(ctx.t, ctx.g*ctx.g*int64(in.Slots)) // δ²T/c
 	byClass := in.ClassJobs()
 	cUnits := int64(in.Slots)
 	for _, u := range classes {
@@ -461,16 +465,16 @@ func (ctx *splitGuessCtx) constructSchedule(x [][]int64) (*core.SplitSchedule, e
 			}
 		}
 		ri := 0
-		room := new(big.Rat) // remaining capacity of the current slot
+		var room rat.R // remaining capacity of the current slot
 		for _, j := range byClass[u] {
-			remaining := core.RatInt(in.P[j])
+			remaining := rat.FromInt(in.P[j])
 			for remaining.Sign() > 0 {
 				for room.Sign() == 0 {
 					if ri >= len(refs) {
 						return nil, fmt.Errorf("ptas: class %d ran out of module capacity", u)
 					}
 					units := machines[refs[ri].mi].slotSizes[refs[ri].si] * cUnits
-					room = core.RatMul(unit, core.RatInt(units))
+					room = unit.MulInt(units)
 					ri++
 				}
 				take := remaining
@@ -481,8 +485,8 @@ func (ctx *splitGuessCtx) constructSchedule(x [][]int64) (*core.SplitSchedule, e
 				sched.Pieces = append(sched.Pieces, core.SplitPiece{
 					Job: j, Machine: int64(ref.mi), Size: take,
 				})
-				remaining = core.RatSub(remaining, take)
-				room = core.RatSub(room, take)
+				remaining = remaining.Sub(take)
+				room = room.Sub(take)
 			}
 		}
 	}
@@ -526,7 +530,7 @@ func (ctx *splitGuessCtx) constructSchedule(x [][]int64) (*core.SplitSchedule, e
 		next[sa.hb]++
 		for _, j := range byClass[sa.u] {
 			sched.Pieces = append(sched.Pieces, core.SplitPiece{
-				Job: j, Machine: int64(mi), Size: core.RatInt(in.P[j]),
+				Job: j, Machine: int64(mi), Size: rat.FromInt(in.P[j]),
 			})
 		}
 	}

@@ -2,11 +2,11 @@ package ptas
 
 import (
 	"fmt"
-	"math/big"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
 	"ccsched/internal/nfold"
+	"ccsched/internal/rat"
 )
 
 // Theorem 11: splittable PTAS for machine counts exponential in n. The
@@ -78,9 +78,9 @@ func solveHugeGuess(in *core.Instance, g, t int64, opts Options) (*core.CompactS
 	// Trivial machines are filled to exactly T (not T̄): they live outside
 	// the N-fold, so nothing forces the largest module, and a level of T
 	// keeps their contribution to the makespan at the guess itself.
-	fullCap := g * g * cUnits                           // T in δ²T/c units
-	unit := core.RatFrac(t, g*g*cUnits)                 // δ²T/c as an exact rational
-	fullLoad := core.RatMul(unit, core.RatInt(fullCap)) // = T
+	fullCap := g * g * cUnits        // T in δ²T/c units
+	unit := rat.Frac(t, g*g*cUnits)  // δ²T/c as an exact rational
+	fullLoad := unit.MulInt(fullCap) // = T
 
 	cc := int64(0)
 	for _, pu := range ctx.loads {
@@ -138,7 +138,7 @@ func solveHugeGuess(in *core.Instance, g, t int64, opts Options) (*core.CompactS
 			continue
 		}
 		// Fill f*T̄ of class u's mass into run-length full machines.
-		budget := core.RatMul(fullLoad, core.RatInt(f))
+		budget := fullLoad.MulInt(f)
 		groups, consumed, err := fillRunLength(in, byClass[u], budget, fullLoad)
 		if err != nil {
 			return nil, Report{}, false, err
@@ -147,11 +147,11 @@ func solveHugeGuess(in *core.Instance, g, t int64, opts Options) (*core.CompactS
 		for j, amt := range consumed {
 			// Reduce the job in the residual instance; fully consumed jobs
 			// keep a zero remainder and are dropped below.
-			rem := core.RatSub(core.RatInt(in.P[j]), amt)
-			if !rem.IsInt() {
+			rem, ok := rat.FromInt(in.P[j]).Sub(amt).Int64()
+			if !ok {
 				return nil, Report{}, false, fmt.Errorf("ptas: non-integral residual for job %d", j)
 			}
-			reduced.P[j] = rem.Num().Int64()
+			reduced.P[j] = rem
 		}
 	}
 	// Drop zero jobs from the residual instance, remembering the mapping.
@@ -194,54 +194,49 @@ func solveHugeGuess(in *core.Instance, g, t int64, opts Options) (*core.CompactS
 // covered by a single job become one group of many machines; windows
 // spanning a job boundary become explicit single-machine groups. It returns
 // the per-job consumed mass.
-func fillRunLength(in *core.Instance, jobs []int, budget, machineLoad *big.Rat) ([]core.MachineGroup, map[int]*big.Rat, error) {
+func fillRunLength(in *core.Instance, jobs []int, budget, machineLoad rat.R) ([]core.MachineGroup, map[int]rat.R, error) {
 	var out []core.MachineGroup
-	consumed := make(map[int]*big.Rat)
+	consumed := make(map[int]rat.R)
 	open := []core.GroupPiece{}
-	openLoad := new(big.Rat)
-	left := new(big.Rat).Set(budget)
+	var openLoad rat.R
+	left := budget
 	for _, j := range jobs {
 		if left.Sign() == 0 {
 			break
 		}
-		avail := core.RatInt(in.P[j])
-		take := avail
+		take := rat.FromInt(in.P[j])
 		if take.Cmp(left) > 0 {
-			take = new(big.Rat).Set(left)
+			take = left
 		}
-		consumed[j] = new(big.Rat).Set(take)
-		left = core.RatSub(left, take)
-		remaining := new(big.Rat).Set(take)
+		consumed[j] = take
+		left = left.Sub(take)
+		remaining := take
 		// Fill the open window first.
 		if openLoad.Sign() > 0 {
-			room := core.RatSub(machineLoad, openLoad)
+			room := machineLoad.Sub(openLoad)
 			d := remaining
 			if d.Cmp(room) > 0 {
 				d = room
 			}
-			open = append(open, core.GroupPiece{Job: j, Size: new(big.Rat).Set(d)})
-			openLoad = core.RatAdd(openLoad, d)
-			remaining = core.RatSub(remaining, d)
+			open = append(open, core.GroupPiece{Job: j, Size: d})
+			openLoad = openLoad.Add(d)
+			remaining = remaining.Sub(d)
 			if openLoad.Cmp(machineLoad) == 0 {
 				out = append(out, core.MachineGroup{Count: 1, Pieces: open})
-				open, openLoad = nil, new(big.Rat)
+				open, openLoad = nil, rat.R{}
 			}
 		}
 		// Whole windows of this job alone.
-		q := new(big.Rat).Quo(remaining, machineLoad)
-		fullCount := new(big.Int).Quo(q.Num(), q.Denom())
-		if fullCount.Sign() > 0 {
-			cnt := fullCount.Int64()
+		if cnt := remaining.FloorQuo(machineLoad); cnt > 0 {
 			out = append(out, core.MachineGroup{
 				Count:  cnt,
-				Pieces: []core.GroupPiece{{Job: j, Size: new(big.Rat).Set(machineLoad)}},
+				Pieces: []core.GroupPiece{{Job: j, Size: machineLoad}},
 			})
-			used := core.RatMul(machineLoad, new(big.Rat).SetInt(fullCount))
-			remaining = core.RatSub(remaining, used)
+			remaining = remaining.Sub(machineLoad.MulInt(cnt))
 		}
 		if remaining.Sign() > 0 {
 			open = append(open, core.GroupPiece{Job: j, Size: remaining})
-			openLoad = core.RatAdd(openLoad, remaining)
+			openLoad = openLoad.Add(remaining)
 		}
 	}
 	if left.Sign() != 0 {
