@@ -7,6 +7,7 @@ package ccsched
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -140,7 +141,7 @@ func BenchmarkE5SplittablePTAS(b *testing.B) {
 	for _, eps := range []float64{1.0, 0.5} {
 		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ptas.SolveSplittable(in, ptas.Options{Epsilon: eps}); err != nil {
+				if _, err := ptas.SolveSplittable(context.Background(), in, ptas.Options{Epsilon: eps}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -154,7 +155,7 @@ func BenchmarkE5SplittablePTAS(b *testing.B) {
 	}
 	b.Run("hugeM/eps=0.5", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := ptas.SolveSplittable(huge, ptas.Options{Epsilon: 0.5}); err != nil {
+			if _, err := ptas.SolveSplittable(context.Background(), huge, ptas.Options{Epsilon: 0.5}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -167,7 +168,7 @@ func BenchmarkE6NonPreemptivePTAS(b *testing.B) {
 	for _, eps := range []float64{1.0, 0.5} {
 		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ptas.SolveNonPreemptive(in, ptas.Options{Epsilon: eps}); err != nil {
+				if _, err := ptas.SolveNonPreemptive(context.Background(), in, ptas.Options{Epsilon: eps}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -179,7 +180,7 @@ func BenchmarkE6NonPreemptivePTAS(b *testing.B) {
 func BenchmarkE7PreemptivePTAS(b *testing.B) {
 	in := generator.Uniform(generator.Config{N: 8, Classes: 2, Machines: 2, Slots: 1, PMax: 30, Seed: 71})
 	for i := 0; i < b.N; i++ {
-		if _, err := ptas.SolvePreemptive(in, ptas.Options{Epsilon: 0.5, MaxNodes: 120}); err != nil {
+		if _, err := ptas.SolvePreemptive(context.Background(), in, ptas.Options{Epsilon: 0.5, MaxNodes: 120}); err != nil {
 			b.Fatal(err)
 		}
 	}

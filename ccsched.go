@@ -7,27 +7,38 @@
 // c distinct classes. Three placement semantics are supported: splittable,
 // preemptive and non-preemptive (see Variant).
 //
-// The package offers the paper's two algorithm tiers:
+// Solve is the recommended entry point: it selects a variant and algorithm
+// tier from an Options value, runs the PTAS makespan-guess search with
+// speculative parallelism and a feasibility cache, honors
+// context cancellation and deadlines down to the individual ILP iteration,
+// and returns the schedule together with the certified lower bound.
+//
+// The underlying algorithm tiers from the paper remain available as thin
+// wrappers:
 //
 //   - strongly polynomial constant-factor approximations —
 //     ApproxSplittable and ApproxPreemptive guarantee 2·OPT,
 //     ApproxNonPreemptive guarantees 7/3·OPT;
 //   - polynomial-time approximation schemes (PTAS) with makespan
 //     (1+ε)·OPT — PTASSplittable, PTASPreemptive, PTASNonPreemptive —
-//     built on configuration ILPs with N-fold structure.
+//     built on configuration ILPs with N-fold structure;
+//   - exact optima for small instances (ratio measurement) in
+//     ExactNonPreemptive and ExactSplittable.
 //
-// Exact optima for small instances (ratio measurement) live in
-// ExactNonPreemptive and ExactSplittable; certified lower bounds in
-// LowerBound. Instances can be built directly, parsed from the textual
-// format (ParseInstance), or generated from the built-in workload families
-// (Generate).
+// Certified lower bounds live in LowerBound. Instances can be built
+// directly, parsed from the textual format (ParseInstance), or generated
+// from the built-in workload families (Generate).
 //
 // Everything is pure Go standard library; the LP/ILP/N-fold machinery the
 // paper depends on is implemented in the internal packages of this module.
+// See docs/ARCHITECTURE.md for the paper-to-code map.
 package ccsched
 
 import (
+	"context"
+	"fmt"
 	"math/big"
+	"runtime"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -62,8 +73,14 @@ type (
 	GeneratorConfig = generator.Config
 	// PTASOptions configures the approximation schemes.
 	PTASOptions = ptas.Options
+	// PTASReport carries per-run diagnostics of a PTAS solve (accepted
+	// guess, probes tried, N-fold parameters, engine, cache hits).
+	PTASReport = ptas.Report
 	// ApproxOptions configures the constant-factor splittable solver.
 	ApproxOptions = approx.Options
+	// FeasibilityCache memoizes makespan-guess feasibility verdicts across
+	// Solve calls; see NewFeasibilityCache. Safe for concurrent use.
+	FeasibilityCache = ptas.Cache
 	// Rat is the exact rational used for schedule piece sizes and start
 	// times: an immutable int64-fraction value type that transparently
 	// falls back to *big.Rat on overflow (see internal/rat). Results at
@@ -156,19 +173,24 @@ func ApproxNonPreemptive(in *Instance) (*approx.NonPreemptiveResult, error) {
 }
 
 // PTASSplittable runs the splittable approximation scheme (Theorems 10/11).
+// It is a thin wrapper over the Solve pipeline without a context; use Solve
+// for cancellation, parallel guess search and caching.
 func PTASSplittable(in *Instance, opts PTASOptions) (*ptas.SplitResult, error) {
-	return ptas.SolveSplittable(in, opts)
+	return ptas.SolveSplittable(context.Background(), in, opts)
 }
 
-// PTASPreemptive runs the preemptive approximation scheme (Theorem 19).
+// PTASPreemptive runs the preemptive approximation scheme (Theorem 19). It
+// is a thin wrapper over the Solve pipeline without a context; use Solve
+// for cancellation, parallel guess search and caching.
 func PTASPreemptive(in *Instance, opts PTASOptions) (*ptas.PreemptiveResult, error) {
-	return ptas.SolvePreemptive(in, opts)
+	return ptas.SolvePreemptive(context.Background(), in, opts)
 }
 
 // PTASNonPreemptive runs the non-preemptive approximation scheme
-// (Theorem 14).
+// (Theorem 14). It is a thin wrapper over the Solve pipeline without a
+// context; use Solve for cancellation, parallel guess search and caching.
 func PTASNonPreemptive(in *Instance, opts PTASOptions) (*ptas.NonPreemptiveResult, error) {
-	return ptas.SolveNonPreemptive(in, opts)
+	return ptas.SolveNonPreemptive(context.Background(), in, opts)
 }
 
 // ExactNonPreemptive computes an optimal non-preemptive schedule for small
@@ -198,4 +220,264 @@ type HetSlotsInstance = hetslots.Instance
 // reports the certified lower bound for ratio measurement.
 func SolveHetSlots(in *HetSlotsInstance) (*hetslots.Result, error) {
 	return hetslots.Solve(in)
+}
+
+// Tier selects the algorithm family Solve runs.
+type Tier int
+
+// The algorithm tiers of Solve, mirroring the paper's structure.
+const (
+	// TierAuto runs the PTAS, which already embeds the constant-factor
+	// algorithm both as the search's upper bound and as a best-of floor —
+	// the result is never worse than the approximation tier's.
+	TierAuto Tier = iota
+	// TierApprox runs only the strongly polynomial constant-factor
+	// algorithm (Theorems 4–6): 2·OPT splittable/preemptive, 7/3·OPT
+	// non-preemptive.
+	TierApprox
+	// TierPTAS runs the approximation scheme (Theorems 10/11, 14, 19):
+	// makespan at most (1+O(ε))·OPT via the configuration-ILP guess search.
+	TierPTAS
+	// TierExact runs the exact solvers, which enforce the documented size
+	// limits (ErrTooLarge) and support only the non-preemptive and
+	// splittable variants.
+	TierExact
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierAuto:
+		return "auto"
+	case TierApprox:
+		return "approx"
+	case TierPTAS:
+		return "ptas"
+	case TierExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Options configures a Solve call. The zero value solves the splittable
+// variant with TierAuto, ε = 0.5, hardware parallelism and the shared
+// default feasibility cache.
+type Options struct {
+	// Variant selects splittable (default), preemptive or non-preemptive
+	// semantics.
+	Variant Variant
+	// Tier selects the algorithm family; see the Tier constants.
+	Tier Tier
+	// Epsilon is the PTAS accuracy target (makespan ≤ (1+O(ε))·OPT). Zero
+	// selects 0.5. Ignored by TierApprox and TierExact.
+	Epsilon float64
+	// Parallelism is the number of concurrent speculative makespan-guess
+	// probes in the PTAS search. Zero selects runtime.GOMAXPROCS(0); 1 (or
+	// any negative value) forces the sequential search. Any value returns
+	// bit-identical schedules — speculation only reorders work, never
+	// which probes decide the outcome.
+	Parallelism int
+	// Cache overrides the feasibility cache. Nil selects a process-wide
+	// shared cache (see NewFeasibilityCache to isolate workloads); set
+	// NoCache to disable caching entirely.
+	Cache *FeasibilityCache
+	// NoCache disables guess-feasibility caching for this call.
+	NoCache bool
+	// MaxNodes caps the exact N-fold engine's branch-and-bound nodes per
+	// guess probe (PTAS tiers only).
+	MaxNodes int
+	// MaxConfigs guards the PTAS configuration enumeration per guess.
+	MaxConfigs int
+	// HugeMThreshold is the machine count beyond which the splittable PTAS
+	// switches to the Theorem 11 compact treatment.
+	HugeMThreshold int64
+	// ExplicitMachineLimit bounds the machine count for which the
+	// splittable approximation materializes an explicit (per-machine)
+	// schedule in addition to the compact one.
+	ExplicitMachineLimit int64
+}
+
+// defaultCache is the process-wide feasibility cache used when
+// Options.Cache is nil: repeated Solve calls on identical workloads skip
+// already-decided guess ILPs. It is bounded (see ptas.DefaultCacheEntries)
+// and safe for concurrent use.
+var defaultCache = NewFeasibilityCache()
+
+// NewFeasibilityCache returns an empty, bounded, concurrency-safe cache of
+// makespan-guess feasibility verdicts. Pass it via Options.Cache to isolate
+// workloads from the process-wide default cache (or to share one cache
+// across a controlled set of solves).
+func NewFeasibilityCache() *FeasibilityCache { return ptas.NewCache() }
+
+// Result is the unified Solve output. Exactly the schedule fields matching
+// the requested variant are populated: Split and/or CompactSplit for
+// Splittable (huge machine counts may carry only the compact form),
+// Preemptive for Preemptive, NonPreemptive for NonPreemptive — except that
+// TierExact's splittable solver proves only the optimal makespan.
+type Result struct {
+	// Variant echoes the solved variant.
+	Variant Variant
+	// Tier is the tier that ran (TierAuto resolves to TierPTAS).
+	Tier Tier
+	// Makespan is the achieved (or, for exact splittable, optimal)
+	// makespan as an exact rational.
+	Makespan *big.Rat
+	// LowerBound is the certified lower bound on OPT for the variant; the
+	// quotient Makespan/LowerBound bounds the approximation ratio achieved.
+	LowerBound *big.Rat
+	// Split is the explicit splittable schedule, when materialized.
+	Split *SplitSchedule
+	// CompactSplit is the run-length splittable schedule (always present
+	// for splittable approx/PTAS results, even for astronomical m).
+	CompactSplit *CompactSplitSchedule
+	// Preemptive is the preemptive schedule with explicit start times.
+	Preemptive *PreemptiveSchedule
+	// NonPreemptive is the one-machine-per-job assignment.
+	NonPreemptive *NonPreemptiveSchedule
+	// Report carries PTAS diagnostics (zero unless a PTAS tier ran).
+	Report PTASReport
+}
+
+// Solve is the unified, context-aware entry point: it runs the tier and
+// variant selected by opts and returns the schedule with its certified
+// lower bound. The context cancels the solve promptly — the PTAS guess
+// search and its N-fold ILP engines poll ctx at iteration boundaries (so
+// cancellation takes effect within one augmentation iteration or
+// branch-and-bound node even mid-ILP), and the exact tier polls it inside
+// its exponential searches. TierApprox runs to completion: the
+// constant-factor algorithms are strongly polynomial (milliseconds at
+// n=1000), so ctx is only checked on entry. PTAS tiers probe several
+// makespan guesses speculatively in parallel (Options.Parallelism) and
+// memoize guess feasibility verdicts (Options.Cache); results are
+// bit-identical to the sequential, uncached search for any setting of
+// either knob.
+func Solve(ctx context.Context, in *Instance, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch opts.Variant {
+	case Splittable, Preemptive, NonPreemptive:
+	default:
+		return nil, fmt.Errorf("ccsched: unknown variant %v", opts.Variant)
+	}
+	lb, err := core.LowerBound(in, opts.Variant)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Variant: opts.Variant, Tier: opts.Tier, LowerBound: lb}
+	switch opts.Tier {
+	case TierApprox:
+		err = solveApprox(in, opts, res)
+	case TierAuto, TierPTAS:
+		res.Tier = TierPTAS
+		err = solvePTAS(ctx, in, opts, res)
+	case TierExact:
+		err = solveExact(ctx, in, opts, res)
+	default:
+		return nil, fmt.Errorf("ccsched: unknown tier %v", opts.Tier)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// solveApprox dispatches the constant-factor tier.
+func solveApprox(in *Instance, opts Options, res *Result) error {
+	switch opts.Variant {
+	case Splittable:
+		r, err := approx.SolveSplittableOpts(in, ApproxOptions{ExplicitMachineLimit: opts.ExplicitMachineLimit})
+		if err != nil {
+			return err
+		}
+		res.Split, res.CompactSplit, res.Makespan = r.Explicit, r.Compact, r.Makespan()
+	case Preemptive:
+		r, err := approx.SolvePreemptive(in)
+		if err != nil {
+			return err
+		}
+		res.Preemptive, res.Makespan = r.Schedule, r.Makespan()
+	case NonPreemptive:
+		r, err := approx.SolveNonPreemptive(in)
+		if err != nil {
+			return err
+		}
+		res.NonPreemptive = r.Schedule
+		res.Makespan = new(big.Rat).SetInt64(r.Makespan(in))
+	}
+	return nil
+}
+
+// solvePTAS dispatches the approximation-scheme tier with the parallel
+// guess search and the feasibility cache resolved from opts.
+func solvePTAS(ctx context.Context, in *Instance, opts Options, res *Result) error {
+	popts := ptas.Options{
+		Epsilon:        opts.Epsilon,
+		MaxNodes:       opts.MaxNodes,
+		MaxConfigs:     opts.MaxConfigs,
+		HugeMThreshold: opts.HugeMThreshold,
+		Parallelism:    opts.Parallelism,
+	}
+	if popts.Epsilon == 0 {
+		popts.Epsilon = 0.5
+	}
+	if popts.Parallelism == 0 {
+		popts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if !opts.NoCache {
+		popts.Cache = opts.Cache
+		if popts.Cache == nil {
+			popts.Cache = defaultCache
+		}
+	}
+	switch opts.Variant {
+	case Splittable:
+		r, err := ptas.SolveSplittable(ctx, in, popts)
+		if err != nil {
+			return err
+		}
+		res.Split, res.CompactSplit, res.Makespan, res.Report = r.Schedule, r.Compact, r.Makespan(), r.Report
+	case Preemptive:
+		r, err := ptas.SolvePreemptive(ctx, in, popts)
+		if err != nil {
+			return err
+		}
+		res.Preemptive, res.Makespan, res.Report = r.Schedule, r.Makespan(), r.Report
+	case NonPreemptive:
+		r, err := ptas.SolveNonPreemptive(ctx, in, popts)
+		if err != nil {
+			return err
+		}
+		res.NonPreemptive, res.Report = r.Schedule, r.Report
+		res.Makespan = new(big.Rat).SetInt64(r.Schedule.Makespan(in))
+	}
+	return nil
+}
+
+// solveExact dispatches the exact tier; size limits are enforced via
+// ErrTooLarge and the preemptive variant has no exact solver. Both solvers
+// poll ctx inside their exponential searches.
+func solveExact(ctx context.Context, in *Instance, opts Options, res *Result) error {
+	switch opts.Variant {
+	case Splittable:
+		opt, err := exact.SplittableCtx(ctx, in)
+		if err != nil {
+			return err
+		}
+		res.Makespan = opt
+	case NonPreemptive:
+		sched, opt, err := exact.NonPreemptiveCtx(ctx, in)
+		if err != nil {
+			return err
+		}
+		res.NonPreemptive = sched
+		res.Makespan = new(big.Rat).SetInt64(opt)
+	case Preemptive:
+		return fmt.Errorf("ccsched: no exact solver for the preemptive variant; use TierPTAS with a small Epsilon")
+	}
+	return nil
 }

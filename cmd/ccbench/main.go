@@ -1,19 +1,26 @@
 // Command ccbench regenerates the experiment tables recorded in
-// EXPERIMENTS.md: E1–E8 measure the paper's theorems, F1–F5 execute its
-// figures.
+// EXPERIMENTS.md: E1–E8 measure the paper's theorems, E9 measures the
+// PR 2 parallel guess search and feasibility cache, F1–F5 execute the
+// paper's figures.
 //
 // Usage:
 //
 //	ccbench                      # run everything, markdown to stdout
 //	ccbench -exp E1,E4,F5        # run a subset
+//	ccbench -exp E9 -parallelism 8 -timeout 10m
 //	ccbench -json results.json   # additionally write machine-readable JSON
 //
-// The -json file holds the same tables as structured data ({id, title,
-// claim, columns, rows, notes} per experiment), so benchmark runs can be
-// archived and diffed (see BENCH_PR1.json at the repository root).
+// -parallelism sets the worker count E9 compares against the sequential
+// search; -timeout aborts the whole run via context cancellation (enforced
+// between experiments, and inside the context-aware ones down to the ILP
+// iteration). The -json file holds the same tables as structured data
+// ({id, title, claim, columns, rows, notes} per experiment), so benchmark
+// runs can be archived and diffed (see BENCH_PR1.json and BENCH_PR2.json
+// at the repository root).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,9 +41,19 @@ type jsonTable struct {
 }
 
 func main() {
-	var exps = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-	var jsonPath = flag.String("json", "", "write results as JSON to this file")
+	var (
+		exps        = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		jsonPath    = flag.String("json", "", "write results as JSON to this file")
+		parallelism = flag.Int("parallelism", 8, "guess-search workers for E9's parallel rows")
+		timeout     = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	)
 	flag.Parse()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	all := map[string]func() (*experiments.Table, error){
 		"E1": experiments.E1Splittable,
 		"E2": experiments.E2Preemptive,
@@ -46,13 +63,14 @@ func main() {
 		"E6": experiments.E6NonPreemptivePTAS,
 		"E7": experiments.E7PreemptivePTAS,
 		"E8": experiments.E8NFold,
+		"E9": func() (*experiments.Table, error) { return experiments.E9ParallelGuess(ctx, *parallelism) },
 		"F1": experiments.F1RoundRobin,
 		"F2": experiments.F2Repack,
 		"F3": experiments.F3PairSwap,
 		"F4": experiments.F4Dissolve,
 		"F5": experiments.F5FlowNetwork,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "F1", "F2", "F3", "F4", "F5"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "F1", "F2", "F3", "F4", "F5"}
 	var run []string
 	if *exps == "" {
 		run = order
@@ -68,6 +86,10 @@ func main() {
 	}
 	var collected []jsonTable
 	for _, id := range run {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %v before %s\n", err, id)
+			os.Exit(1)
+		}
 		tb, err := all[id]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ccbench: %s: %v\n", id, err)

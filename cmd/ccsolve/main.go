@@ -1,15 +1,22 @@
-// Command ccsolve reads a CCS instance and solves it with a chosen
-// algorithm, reporting the makespan, the certified lower bound and the
-// resulting ratio, and validating the schedule before printing.
+// Command ccsolve reads a CCS instance and solves it through the unified
+// ccsched.Solve API, reporting the makespan, the certified lower bound and
+// the resulting ratio, and validating the schedule before printing.
 //
 // Usage:
 //
 //	ccsolve -in inst.ccs -variant splittable -algo approx
 //	ccsolve -in inst.ccs -variant nonpreemptive -algo ptas -eps 0.5
+//	ccsolve -in inst.ccs -variant nonpreemptive -algo ptas -parallelism 8 -timeout 30s
 //	ccsolve -in inst.ccs -variant nonpreemptive -algo exact
+//
+// -parallelism controls the PTAS's speculative makespan-guess probes
+// (default: all CPUs; results are bit-identical at any setting) and
+// -timeout aborts the solve via context cancellation, which reaches the ILP
+// engines at iteration boundaries.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
@@ -26,10 +33,12 @@ func fail(err error) {
 
 func main() {
 	var (
-		inFile  = flag.String("in", "", "instance file (textual format)")
-		variant = flag.String("variant", "splittable", "splittable | preemptive | nonpreemptive")
-		algo    = flag.String("algo", "approx", "approx | ptas | exact")
-		eps     = flag.Float64("eps", 0.5, "PTAS accuracy ε")
+		inFile      = flag.String("in", "", "instance file (textual format)")
+		variant     = flag.String("variant", "splittable", "splittable | preemptive | nonpreemptive")
+		algo        = flag.String("algo", "approx", "auto | approx | ptas | exact")
+		eps         = flag.Float64("eps", 0.5, "PTAS accuracy ε")
+		parallelism = flag.Int("parallelism", 0, "concurrent PTAS guess probes (0 = all CPUs, 1 = sequential)")
+		timeout     = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	if *inFile == "" {
@@ -54,101 +63,69 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown variant %q", *variant))
 	}
-	lb, err := ccsched.LowerBound(in, v)
+	var tier ccsched.Tier
+	switch *algo {
+	case "auto":
+		tier = ccsched.TierAuto
+	case "approx":
+		tier = ccsched.TierApprox
+	case "ptas":
+		tier = ccsched.TierPTAS
+	case "exact":
+		tier = ccsched.TierExact
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := ccsched.Solve(ctx, in, ccsched.Options{
+		Variant:     v,
+		Tier:        tier,
+		Epsilon:     *eps,
+		Parallelism: *parallelism,
+	})
 	if err != nil {
 		fail(err)
 	}
-	start := time.Now()
-	var makespan *big.Rat
+	elapsed := time.Since(start)
+	// Validate whichever schedule the solve produced.
 	var detail string
 	switch {
-	case *algo == "approx" && v == ccsched.Splittable:
-		res, err := ccsched.ApproxSplittable(in)
-		if err != nil {
+	case res.CompactSplit != nil:
+		if err := res.CompactSplit.Validate(in); err != nil {
 			fail(err)
 		}
-		if err := res.Compact.Validate(in); err != nil {
+		detail = fmt.Sprintf("groups=%d", len(res.CompactSplit.Groups))
+	case res.Preemptive != nil:
+		if err := res.Preemptive.Validate(in); err != nil {
 			fail(err)
 		}
-		makespan = res.Makespan()
-		detail = fmt.Sprintf("guess=%s groups=%d", res.Guess.RatString(), len(res.Compact.Groups))
-	case *algo == "approx" && v == ccsched.Preemptive:
-		res, err := ccsched.ApproxPreemptive(in)
-		if err != nil {
+		detail = fmt.Sprintf("pieces=%d", res.Preemptive.PieceCount())
+	case res.NonPreemptive != nil:
+		if err := res.NonPreemptive.Validate(in); err != nil {
 			fail(err)
 		}
-		if err := res.Schedule.Validate(in); err != nil {
-			fail(err)
-		}
-		makespan = res.Makespan()
-		detail = fmt.Sprintf("guess=%s repacked=%v pieces=%d", res.Guess.RatString(), res.Repacked, res.Schedule.PieceCount())
-	case *algo == "approx" && v == ccsched.NonPreemptive:
-		res, err := ccsched.ApproxNonPreemptive(in)
-		if err != nil {
-			fail(err)
-		}
-		if err := res.Schedule.Validate(in); err != nil {
-			fail(err)
-		}
-		makespan = new(big.Rat).SetInt64(res.Makespan(in))
-		detail = fmt.Sprintf("guess=%d groups=%d", res.Guess, res.Groups)
-	case *algo == "ptas" && v == ccsched.Splittable:
-		res, err := ccsched.PTASSplittable(in, ccsched.PTASOptions{Epsilon: *eps})
-		if err != nil {
-			fail(err)
-		}
-		if err := res.Compact.Validate(in); err != nil {
-			fail(err)
-		}
-		makespan = res.Makespan()
-		detail = fmt.Sprintf("guess=%d engine=%s nfold-vars=%d", res.Report.Guess, res.Report.Engine, res.Report.NFold.Vars)
-	case *algo == "ptas" && v == ccsched.Preemptive:
-		res, err := ccsched.PTASPreemptive(in, ccsched.PTASOptions{Epsilon: *eps})
-		if err != nil {
-			fail(err)
-		}
-		if err := res.Schedule.Validate(in); err != nil {
-			fail(err)
-		}
-		makespan = res.Makespan()
-		detail = fmt.Sprintf("guess=%d engine=%s nfold-vars=%d", res.Report.Guess, res.Report.Engine, res.Report.NFold.Vars)
-	case *algo == "ptas" && v == ccsched.NonPreemptive:
-		res, err := ccsched.PTASNonPreemptive(in, ccsched.PTASOptions{Epsilon: *eps})
-		if err != nil {
-			fail(err)
-		}
-		if err := res.Schedule.Validate(in); err != nil {
-			fail(err)
-		}
-		makespan = new(big.Rat).SetInt64(res.Makespan(in))
-		detail = fmt.Sprintf("guess=%d engine=%s nfold-vars=%d", res.Report.Guess, res.Report.Engine, res.Report.NFold.Vars)
-	case *algo == "exact" && v == ccsched.NonPreemptive:
-		sched, opt, err := ccsched.ExactNonPreemptive(in)
-		if err != nil {
-			fail(err)
-		}
-		if err := sched.Validate(in); err != nil {
-			fail(err)
-		}
-		makespan = new(big.Rat).SetInt64(opt)
-		detail = "optimal"
-	case *algo == "exact" && v == ccsched.Splittable:
-		opt, err := ccsched.ExactSplittable(in)
-		if err != nil {
-			fail(err)
-		}
-		makespan = opt
-		detail = "optimal (makespan only)"
+		detail = "assignment"
 	default:
-		fail(fmt.Errorf("unsupported combination %s/%s", *algo, *variant))
+		detail = "makespan only"
 	}
-	elapsed := time.Since(start)
-	ratio := new(big.Rat).Quo(makespan, lb)
-	rf, _ := ratio.Float64()
+	if res.Tier == ccsched.TierPTAS {
+		detail += fmt.Sprintf(" guess=%d probes=%d engine=%s cache-hits=%d",
+			res.Report.Guess, res.Report.Guesses, res.Report.Engine, res.Report.CacheHits)
+	}
+	rf := 0.0
+	if res.LowerBound.Sign() > 0 {
+		rf, _ = new(big.Rat).Quo(res.Makespan, res.LowerBound).Float64()
+	}
 	fmt.Printf("instance : n=%d C=%d m=%d c=%d\n", in.N(), in.NumClasses(), in.M, in.Slots)
-	fmt.Printf("algorithm: %s (%s)\n", *algo, *variant)
-	fmt.Printf("makespan : %s\n", makespan.RatString())
-	fmt.Printf("lower bnd: %s\n", lb.RatString())
+	fmt.Printf("algorithm: %s (%s)\n", res.Tier, *variant)
+	fmt.Printf("makespan : %s\n", res.Makespan.RatString())
+	fmt.Printf("lower bnd: %s\n", res.LowerBound.RatString())
 	fmt.Printf("ratio    : %.4f (vs certified lower bound)\n", rf)
 	fmt.Printf("detail   : %s\n", detail)
 	fmt.Printf("time     : %s\n", elapsed.Round(time.Microsecond))

@@ -1,10 +1,41 @@
 package ccsched_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"ccsched"
 )
+
+// ExampleSolve runs the unified context-aware entry point: variant and
+// tier come from Options, the deadline cancels the solve down to the ILP
+// iteration, and parallel speculative guess probes return bit-identical
+// schedules at any Parallelism.
+func ExampleSolve() {
+	in := &ccsched.Instance{
+		P:     []int64{9, 7, 6, 5, 4, 4, 3, 2},
+		Class: []int{0, 1, 0, 2, 1, 2, 0, 1},
+		M:     2,
+		Slots: 2,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := ccsched.Solve(ctx, in, ccsched.Options{
+		Variant:     ccsched.NonPreemptive,
+		Tier:        ccsched.TierPTAS,
+		Epsilon:     0.5,
+		Parallelism: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("makespan:", res.Makespan.RatString())
+	fmt.Println("lower bound:", res.LowerBound.RatString())
+	// Output:
+	// makespan: 27
+	// lower bound: 20
+}
 
 // ExampleApproxNonPreemptive schedules a small instance with the paper's
 // 7/3-approximation and prints the makespan.

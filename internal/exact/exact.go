@@ -8,6 +8,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,21 @@ var ErrTooLarge = errors.New("exact: instance too large for exact solving")
 // tracking and load-based pruning. Practical up to roughly 20 jobs; the
 // limit is enforced at 24 jobs with an error wrapping ErrTooLarge.
 func NonPreemptive(in *core.Instance) (*core.NonPreemptiveSchedule, int64, error) {
+	return NonPreemptiveCtx(context.Background(), in)
+}
+
+// ctxCheckNodes is how many branch-and-bound nodes pass between
+// cancellation polls in NonPreemptiveCtx; nodes are cheap (no LP solve), so
+// a coarser cadence than internal/ilp keeps the overhead negligible.
+const ctxCheckNodes = 4096
+
+// NonPreemptiveCtx is NonPreemptive under a context: cancellation is
+// polled every ctxCheckNodes search nodes, so a canceled context aborts the
+// exponential search with ctx.Err() instead of running to completion.
+func NonPreemptiveCtx(ctx context.Context, in *core.Instance) (*core.NonPreemptiveSchedule, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if err := in.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -63,9 +79,14 @@ func NonPreemptive(in *core.Instance) (*core.NonPreemptiveSchedule, int64, error
 	for i := n - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + in.P[order[i]]
 	}
+	nodes := 0
+	aborted := false
 	var dfs func(k int, cur int64)
 	dfs = func(k int, cur int64) {
-		if cur >= bestVal || bestVal == lb {
+		if nodes++; nodes%ctxCheckNodes == 0 && ctx.Err() != nil {
+			aborted = true
+		}
+		if aborted || cur >= bestVal || bestVal == lb {
 			return
 		}
 		if k == n {
@@ -122,6 +143,9 @@ func NonPreemptive(in *core.Instance) (*core.NonPreemptiveSchedule, int64, error
 	// Seed bestVal with a trivial upper bound so pruning has a start.
 	bestVal = in.TotalLoad() + 1
 	dfs(0, 0)
+	if aborted {
+		return nil, 0, ctx.Err()
+	}
 	if bestVal > in.TotalLoad() {
 		return nil, 0, fmt.Errorf("exact: no feasible schedule found")
 	}
@@ -134,6 +158,16 @@ func NonPreemptive(in *core.Instance) (*core.NonPreemptiveSchedule, int64, error
 // each pattern with an LP. Practical for C ≤ 5, m ≤ 5; the limit is
 // enforced at C ≤ 6, m ≤ 6 with an error wrapping ErrTooLarge.
 func Splittable(in *core.Instance) (*big.Rat, error) {
+	return SplittableCtx(context.Background(), in)
+}
+
+// SplittableCtx is Splittable under a context: cancellation is polled
+// before every pattern LP, so a canceled context aborts the enumeration
+// with ctx.Err().
+func SplittableCtx(ctx context.Context, in *core.Instance) (*big.Rat, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -154,11 +188,19 @@ func Splittable(in *core.Instance) (*big.Rat, error) {
 		}
 	}
 	best := (*big.Rat)(nil)
+	aborted := false
 	// Multisets of subsets over m machines (machines are identical).
 	pattern := make([]int, m)
 	var rec func(mi int64, minIdx int)
 	rec = func(mi int64, minIdx int) {
+		if aborted {
+			return
+		}
 		if mi == m {
+			if ctx.Err() != nil {
+				aborted = true
+				return
+			}
 			if val := patternMakespan(loads, pattern, in); val != nil {
 				if best == nil || val.Cmp(best) < 0 {
 					best = val
@@ -172,6 +214,9 @@ func Splittable(in *core.Instance) (*big.Rat, error) {
 		}
 	}
 	rec(0, 0)
+	if aborted {
+		return nil, ctx.Err()
+	}
 	if best == nil {
 		return nil, fmt.Errorf("exact: no feasible pattern")
 	}

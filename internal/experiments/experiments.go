@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"time"
@@ -299,7 +300,7 @@ func E5SplittablePTAS() (*Table, error) {
 	for _, r := range rows {
 		in := generator.Uniform(r.cfg)
 		start := time.Now()
-		res, err := ptas.SolveSplittable(in, ptas.Options{Epsilon: r.eps})
+		res, err := ptas.SolveSplittable(context.Background(), in, ptas.Options{Epsilon: r.eps})
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +328,7 @@ func E5SplittablePTAS() (*Table, error) {
 		Slots: 1,
 	}
 	start := time.Now()
-	res, err := ptas.SolveSplittable(in, ptas.Options{Epsilon: 0.5})
+	res, err := ptas.SolveSplittable(context.Background(), in, ptas.Options{Epsilon: 0.5})
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +365,7 @@ func E6NonPreemptivePTAS() (*Table, error) {
 	} {
 		in := generator.Uniform(r.cfg)
 		start := time.Now()
-		res, err := ptas.SolveNonPreemptive(in, ptas.Options{Epsilon: r.eps})
+		res, err := ptas.SolveNonPreemptive(context.Background(), in, ptas.Options{Epsilon: r.eps})
 		if err != nil {
 			return nil, err
 		}
@@ -406,7 +407,7 @@ func E7PreemptivePTAS() (*Table, error) {
 	} {
 		in := generator.Uniform(r.cfg)
 		start := time.Now()
-		res, err := ptas.SolvePreemptive(in, ptas.Options{Epsilon: r.eps, MaxNodes: 150})
+		res, err := ptas.SolvePreemptive(context.Background(), in, ptas.Options{Epsilon: r.eps, MaxNodes: 150})
 		if err != nil {
 			return nil, err
 		}

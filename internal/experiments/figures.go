@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -153,7 +154,7 @@ func F4Dissolve() (*Table, error) {
 		Columns: []string{"n", "ε", "N-fold vars", "accepted guess", "makespan", "feasible"},
 	}
 	in := generator.Uniform(generator.Config{N: 12, Classes: 3, Machines: 3, Slots: 2, PMax: 50, Seed: 91})
-	res, err := ptas.SolveNonPreemptive(in, ptas.Options{Epsilon: 0.5})
+	res, err := ptas.SolveNonPreemptive(context.Background(), in, ptas.Options{Epsilon: 0.5})
 	if err != nil {
 		return nil, err
 	}

@@ -45,7 +45,10 @@ func (g *Graph) AddEdge(u, v int, capacity int64) int {
 	return id
 }
 
-// MaxFlow pushes the maximum flow from s to t and returns its value. After
+// MaxFlow pushes the maximum flow from s to t (Dinic: BFS level graph +
+// blocking DFS) and returns its value. Flows stay integral on integral
+// capacities — the property Lemma 16's well-structuring argument needs.
+// After
 // the call, Flow reports per-edge flows.
 func (g *Graph) MaxFlow(s, t int) int64 {
 	if s == t {

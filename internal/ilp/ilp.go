@@ -6,6 +6,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -44,6 +45,7 @@ const (
 	NodeLimit
 )
 
+// String names the status for logs and error messages.
 func (s Status) String() string {
 	switch s {
 	case Optimal:
@@ -82,6 +84,15 @@ const intTol = 1e-6
 
 // Solve runs branch and bound. A nil opts uses defaults.
 func Solve(p *Problem, opts *Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx is Solve under a context. Cancellation is checked before every
+// branch-and-bound node and inside each node's LP relaxation (see
+// lp.SolveCtx), so a canceled context aborts the search with ctx.Err()
+// within one node — the promptness guarantee the PTAS's speculative
+// makespan-guess search depends on.
+func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -120,6 +131,9 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 	var bestObj = math.Inf(1)
 	hitLimit := false
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if res.Nodes >= maxNodes {
 			hitLimit = true
 			break
@@ -130,7 +144,7 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 		sub := p.Problem // copy of the shell; rows shared
 		sub.Lower = nd.lower
 		sub.Upper = nd.upper
-		sol, err := lp.Solve(&sub)
+		sol, err := lp.SolveCtx(ctx, &sub)
 		if err != nil {
 			return nil, err
 		}

@@ -49,6 +49,7 @@ const (
 	IterLimit
 )
 
+// String names the status for logs and error messages.
 func (s Status) String() string {
 	switch s {
 	case Optimal:

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -36,23 +37,42 @@ const (
 // min obj·x  s.t.  Acol x = b,  lo ≤ x ≤ up, where columns comprise the
 // structural variables, one slack per row, and one artificial per row.
 type simplexState struct {
-	m, ncols   int
-	cols       []spCol // ncols sparse columns of logical length m
-	lo, up     []float64
-	b          []float64
-	status     []varStatus
-	basis      []int       // m basic column indices
-	binv       [][]float64 // dense m×m basis inverse
-	xb         []float64   // values of basic variables
-	iters      int
-	maxIters   int
-	degenerate int // consecutive degenerate pivots
-	bland      bool
+	m, ncols    int
+	cols        []spCol // ncols sparse columns of logical length m
+	lo, up      []float64
+	b           []float64
+	status      []varStatus
+	basis       []int       // m basic column indices
+	binv        [][]float64 // dense m×m basis inverse
+	xb          []float64   // values of basic variables
+	iters       int
+	maxIters    int
+	degenerate  int // consecutive degenerate pivots
+	bland       bool
+	done        <-chan struct{} // cancellation signal, checked between pivots
+	ctxErr      func() error
+	interrupted bool // the done channel fired mid-optimize
 }
+
+// ctxCheckEvery is how many simplex pivots pass between cancellation polls;
+// one pivot is O(m·ncols), so cancellation latency stays well below one
+// branch-and-bound node.
+const ctxCheckEvery = 32
 
 // Solve runs the two-phase bounded-variable revised simplex.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve under a context: cancellation is polled every
+// ctxCheckEvery pivots, so a canceled context aborts the solve with
+// ctx.Err() within a bounded number of pivot steps. The PTAS guess search
+// relies on this to abandon losing speculative makespan probes promptly.
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	m := len(p.A)
@@ -62,6 +82,8 @@ func Solve(p *Problem) (*Solution, error) {
 		ncols:    n + 2*m,
 		b:        append([]float64(nil), p.B...),
 		maxIters: 20000 + 200*(n+2*m),
+		done:     ctx.Done(),
+		ctxErr:   ctx.Err,
 	}
 	st.cols = make([]spCol, st.ncols)
 	st.lo = make([]float64, st.ncols)
@@ -142,6 +164,9 @@ func Solve(p *Problem) (*Solution, error) {
 		phase1[n+m+i] = 1
 	}
 	stat := st.optimize(phase1)
+	if st.interrupted {
+		return nil, st.ctxErr()
+	}
 	if stat == IterLimit {
 		return &Solution{Status: IterLimit, X: st.extract(n), Iterations: st.iters}, nil
 	}
@@ -157,6 +182,9 @@ func Solve(p *Problem) (*Solution, error) {
 	phase2 := make([]float64, st.ncols)
 	copy(phase2, p.Obj)
 	stat = st.optimize(phase2)
+	if st.interrupted {
+		return nil, st.ctxErr()
+	}
 	x := st.extract(n)
 	obj := 0.0
 	for j := 0; j < n; j++ {
@@ -211,6 +239,14 @@ func (st *simplexState) optimize(obj []float64) Status {
 	y := make([]float64, m)
 	w := make([]float64, m)
 	for ; st.iters < st.maxIters; st.iters++ {
+		if st.done != nil && st.iters%ctxCheckEvery == 0 {
+			select {
+			case <-st.done:
+				st.interrupted = true
+				return IterLimit
+			default:
+			}
+		}
 		// Dual vector y = obj_B^T · B^{-1}.
 		for i := 0; i < m; i++ {
 			y[i] = 0

@@ -1,6 +1,7 @@
 package nfold
 
 import (
+	"context"
 	"sort"
 )
 
@@ -79,6 +80,10 @@ type augState struct {
 	lres  [][]int64 // local residuals per brick
 	bm    []*brickMoves
 	steps int
+	// ctx is polled at descent-iteration boundaries and inside the long
+	// per-brick scans, so cancellation latency is bounded by one brick's
+	// move evaluation rather than a whole descent iteration.
+	ctx context.Context
 }
 
 func abs64(v int64) int64 {
@@ -427,16 +432,24 @@ func (st *augState) apply(i, mi int, lambda int64) {
 	st.steps++
 }
 
-// descend runs the greedy residual descent until the residual reaches zero
-// or no move improves it. Returns the final residual norm.
-func (st *augState) descend(opt AugmentOptions) int64 {
+// descend runs the greedy residual descent until the residual reaches zero,
+// no move improves it, or ctx is canceled (the caller translates a canceled
+// context into an error, so a partial descent is never mistaken for a
+// stall). Returns the final residual norm.
+func (st *augState) descend(ctx context.Context, opt AugmentOptions) int64 {
 	for st.steps < opt.MaxSteps {
+		if ctx.Err() != nil {
+			return st.residualNorm()
+		}
 		if st.residualNorm() == 0 {
 			return 0
 		}
 		bestBrick, bestMove := -1, -1
 		var bestLambda, bestGain int64
 		for i := 0; i < st.p.N; i++ {
+			if ctx.Err() != nil {
+				return st.residualNorm()
+			}
 			bm := st.bm[i]
 			for mi := range bm.moves {
 				lim := st.maxStep(i, mi)
@@ -495,6 +508,9 @@ func (st *augState) pairStep() bool {
 		lim = window
 	}
 	for ai := 0; ai < lim; ai++ {
+		if st.ctx != nil && st.ctx.Err() != nil {
+			return false
+		}
 		a := cands[ai]
 		gainA := st.improvement(a.brick, a.mi, 1)
 		// Tentatively apply a, then search for a repairing partner.
@@ -521,21 +537,35 @@ func (st *augState) pairStep() bool {
 }
 
 // solveAugment runs the augmentation engine for feasibility (and greedy
-// objective descent when Obj is nonzero).
-func (p *Problem) solveAugment(opts *AugmentOptions) (*Result, error) {
+// objective descent when Obj is nonzero). Cancellation is polled once per
+// descent step; a canceled context surfaces as ctx.Err().
+func (p *Problem) solveAugment(ctx context.Context, opts *AugmentOptions) (*Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	opt := opts.defaults()
 	st := newAugState(p, opt)
-	if rest := st.descend(opt); rest != 0 {
+	st.ctx = ctx
+	if rest := st.descend(ctx, opt); rest != 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return &Result{Status: Unknown, Engine: EngineAugment, Nodes: st.steps}, nil
 	}
 	if err := p.Check(st.x); err != nil {
 		return nil, err
 	}
 	if hasObjective(p) {
-		st.objectiveDescend(opt)
+		st.objectiveDescend(ctx, opt)
+		// A deadline that fires mid objective descent must surface as an
+		// error (the SolveCtx contract), not as a silently under-optimized
+		// Feasible result whose objective depends on timing.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := p.Check(st.x); err != nil {
 			return nil, err
 		}
@@ -561,10 +591,14 @@ func hasObjective(p *Problem) bool {
 }
 
 // objectiveDescend greedily improves the objective with moves that keep all
-// residuals at zero.
-func (st *augState) objectiveDescend(opt AugmentOptions) {
+// residuals at zero. A canceled context stops the descent early; the
+// incumbent stays feasible, so the caller can still return it.
+func (st *augState) objectiveDescend(ctx context.Context, opt AugmentOptions) {
 	p := st.p
 	for st.steps < opt.MaxSteps {
+		if ctx.Err() != nil {
+			return
+		}
 		improved := false
 		for i := 0; i < p.N && !improved; i++ {
 			bm := st.bm[i]

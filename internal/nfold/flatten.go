@@ -1,6 +1,7 @@
 package nfold
 
 import (
+	"context"
 	"fmt"
 
 	"ccsched/internal/ilp"
@@ -50,11 +51,16 @@ func (p *Problem) Flatten() (*ilp.Problem, error) {
 // N-fold has no solution — a cheap certificate of integral infeasibility
 // used by the auto engine before paying for branch and bound.
 func (p *Problem) LPRelaxationInfeasible() (bool, error) {
+	return p.lpRelaxationInfeasible(context.Background())
+}
+
+// lpRelaxationInfeasible is LPRelaxationInfeasible under a context.
+func (p *Problem) lpRelaxationInfeasible(ctx context.Context) (bool, error) {
 	mp, err := p.Flatten()
 	if err != nil {
 		return false, err
 	}
-	sol, err := lp.Solve(&mp.Problem)
+	sol, err := lp.SolveCtx(ctx, &mp.Problem)
 	if err != nil {
 		return false, err
 	}
@@ -63,12 +69,12 @@ func (p *Problem) LPRelaxationInfeasible() (bool, error) {
 
 // solveBranchBound runs the exact fallback engine and converts the answer
 // back to brick form.
-func (p *Problem) solveBranchBound(maxNodes int, firstFeasible bool) (*Result, error) {
+func (p *Problem) solveBranchBound(ctx context.Context, maxNodes int, firstFeasible bool) (*Result, error) {
 	mp, err := p.Flatten()
 	if err != nil {
 		return nil, err
 	}
-	res, err := ilp.Solve(mp, &ilp.Options{MaxNodes: maxNodes, FirstFeasible: firstFeasible})
+	res, err := ilp.SolveCtx(ctx, mp, &ilp.Options{MaxNodes: maxNodes, FirstFeasible: firstFeasible})
 	if err != nil {
 		return nil, err
 	}

@@ -119,7 +119,8 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
-// Delta returns the largest absolute entry of the constraint matrix.
+// Delta returns the largest absolute entry of the constraint matrix — the
+// Δ parameter of the paper's Theorem 1 running-time bound.
 func (p *Problem) Delta() int64 {
 	var d int64
 	abs := func(v int64) int64 {

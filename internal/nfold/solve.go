@@ -1,6 +1,9 @@
 package nfold
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Engine identifies which solver produced a result.
 type Engine string
@@ -27,6 +30,7 @@ const (
 	Unknown
 )
 
+// String names the status for logs and error messages.
 func (s Status) String() string {
 	switch s {
 	case Feasible:
@@ -68,6 +72,16 @@ type Result struct {
 // bound decides feasibility, so the combined answer is never Unknown unless
 // the node budget is exhausted.
 func Solve(p *Problem, opts *Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx is Solve under a context. Cancellation is polled at every
+// augmentation descent step and every branch-and-bound node (and inside
+// each node's LP relaxation), so a canceled context aborts the solve with
+// ctx.Err() within one iteration of whichever engine is running. The
+// parallel PTAS guess search cancels losing speculative probes through this
+// path.
+func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -81,11 +95,11 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 	}
 	switch o.Engine {
 	case EngineAugment:
-		return p.solveAugment(o.Augment)
+		return p.solveAugment(ctx, o.Augment)
 	case EngineBranchBound:
-		return p.solveBranchBound(maxNodes, o.FirstFeasible)
+		return p.solveBranchBound(ctx, maxNodes, o.FirstFeasible)
 	case EngineAuto:
-		res, err := p.solveAugment(o.Augment)
+		res, err := p.solveAugment(ctx, o.Augment)
 		if err != nil {
 			return nil, err
 		}
@@ -95,11 +109,13 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 		// Cheap infeasibility certificate before branch and bound: if the
 		// LP relaxation is already infeasible, so is the ILP.
 		if res.Status != Feasible {
-			if bad, err := p.LPRelaxationInfeasible(); err == nil && bad {
+			if bad, err := p.lpRelaxationInfeasible(ctx); err == nil && bad {
 				return &Result{Status: Infeasible, Engine: EngineBranchBound}, nil
+			} else if err != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
 			}
 		}
-		exact, err := p.solveBranchBound(maxNodes, o.FirstFeasible || !hasObjective(p))
+		exact, err := p.solveBranchBound(ctx, maxNodes, o.FirstFeasible || !hasObjective(p))
 		if err != nil {
 			return nil, err
 		}

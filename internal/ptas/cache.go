@@ -1,0 +1,233 @@
+package ptas
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"ccsched/internal/core"
+	"ccsched/internal/nfold"
+)
+
+// The feasibility cache. Every makespan-guess probe solves one
+// configuration N-fold ILP — by far the dominant cost of a PTAS run — yet
+// identical probes recur constantly: an ε-refinement sweep re-visits the
+// coarser grids' guesses, repeated Solve calls on the same workload re-walk
+// the same grid, and the huge-m and ordinary splittable paths share guesses
+// after scaling. The cache memoizes the ILP verdict (and, when feasible,
+// the integral N-fold solution) keyed by everything the verdict depends on:
+// a digest of the scaled instance, the guess, δ, and the engine budget
+// knobs. Schedule construction is re-run on hits — it is linear-ish and
+// cheap next to an ILP solve, and keeps cached entries small and immutable.
+
+// Cache memoizes makespan-guess feasibility verdicts across Solve calls. It
+// is safe for concurrent use; a single Cache may back any number of
+// concurrent solves (each probe takes the lock only to look up and to store,
+// never while solving). Entries are bounded two ways — by count and by the
+// approximate bytes of the stored N-fold solutions (a feasible n=1000-scale
+// entry is ~1MB, so an entry cap alone would not bound memory): when either
+// cap is exceeded, arbitrary entries are evicted until both hold, which is
+// enough to keep long-running services from growing without bound while
+// still serving the recurring-workload case. The zero value is NOT ready to
+// use; call NewCache.
+type Cache struct {
+	mu    sync.Mutex
+	m     map[cacheKey]cacheEntry
+	max   int
+	bytes int64 // approximate bytes of stored solutions
+	maxB  int64
+	// hits and misses are cumulative counters for diagnostics.
+	hits, misses int64
+}
+
+// DefaultCacheEntries is the entry cap used by NewCache.
+const DefaultCacheEntries = 4096
+
+// DefaultCacheBytes is the approximate byte cap on stored N-fold solutions
+// used by NewCache.
+const DefaultCacheBytes = 64 << 20
+
+// NewCache returns an empty feasibility cache holding at most
+// DefaultCacheEntries verdicts totalling at most ~DefaultCacheBytes of
+// stored solutions.
+func NewCache() *Cache {
+	return &Cache{m: make(map[cacheKey]cacheEntry), max: DefaultCacheEntries, maxB: DefaultCacheBytes}
+}
+
+// size estimates an entry's memory footprint: the dominant cost is the
+// integral N-fold solution x.
+func (e cacheEntry) size() int64 {
+	var b int64 = 64 // struct + slice headers
+	for _, brick := range e.x {
+		b += 24 + 8*int64(len(brick))
+	}
+	return b
+}
+
+// cacheKey identifies one guess probe. variant distinguishes the four probe
+// shapes (splittable, splittable-huge, preemptive, non-preemptive) because
+// they build different N-folds from the same instance and guess. The engine
+// budget knobs are part of the key: a verdict reached under a smaller node
+// budget is not valid under a larger one.
+type cacheKey struct {
+	variant    byte
+	digest     [sha256.Size]byte
+	g, t       int64
+	maxConfigs int
+	maxNodes   int
+	engine     nfold.Engine
+}
+
+// probe-shape tags for cacheKey.variant.
+const (
+	cacheSplit byte = iota
+	cacheSplitHuge
+	cacheNonPreemptive
+	cachePreemptive
+)
+
+// cacheEntry is one memoized verdict. x is the N-fold solution when
+// feasible; it is stored as handed out by the engine and must be treated as
+// immutable by readers (schedule construction only reads it).
+type cacheEntry struct {
+	feasible bool
+	x        [][]int64
+	params   nfold.Params
+	engine   nfold.Engine
+	costLog2 float64
+}
+
+// lookup returns the memoized verdict for k, if any.
+func (c *Cache) lookup(k cacheKey) (cacheEntry, bool) {
+	if c == nil {
+		return cacheEntry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// store memoizes a verdict, evicting arbitrary entries while either the
+// entry cap or the byte cap is exceeded. An entry larger than the whole
+// byte cap is not stored at all.
+func (c *Cache) store(k cacheKey, e cacheEntry) {
+	if c == nil {
+		return
+	}
+	sz := e.size()
+	if sz > c.maxB {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.m[k]; ok {
+		c.bytes -= old.size()
+		delete(c.m, k)
+	}
+	for len(c.m) >= c.max || c.bytes+sz > c.maxB {
+		evicted := false
+		for victim := range c.m {
+			c.bytes -= c.m[victim].size()
+			delete(c.m, victim)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+	c.m[k] = e
+	c.bytes += sz
+}
+
+// Stats reports cumulative cache hits and misses.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of memoized verdicts.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// instanceDigest hashes everything about an instance that the guess N-folds
+// depend on: machine count, slot budget, and the (processing time, class)
+// job list in order. Probes key their cache entries on it, so instances that
+// differ anywhere get disjoint entries.
+func instanceDigest(in *core.Instance) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(in.M)
+	put(int64(in.Slots))
+	put(int64(in.N()))
+	for _, p := range in.P {
+		put(p)
+	}
+	for _, cl := range in.Class {
+		put(int64(cl))
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// probeCacheKey assembles the cache key for one guess probe of a search.
+func probeCacheKey(variant byte, digest [sha256.Size]byte, g, t int64, opts Options) cacheKey {
+	no := opts.nfoldOptions()
+	return cacheKey{
+		variant:    variant,
+		digest:     digest,
+		g:          g,
+		t:          t,
+		maxConfigs: opts.maxConfigs(),
+		maxNodes:   no.MaxNodes,
+		engine:     no.Engine,
+	}
+}
+
+// solveGuessCached runs one guess probe's N-fold through the feasibility
+// cache — the shared step of all four probe shapes. A hit returns the
+// memoized verdict (counted in cacheHits); a miss builds the N-fold, solves
+// it under pctx, and memoizes the verdict. Errors — including cancellation
+// of a losing speculative probe — are never cached.
+func solveGuessCached(pctx context.Context, opts Options, tag byte, digest [sha256.Size]byte, g, t int64, cacheHits *atomic.Int64, build func() *nfold.Problem) (cacheEntry, error) {
+	key := probeCacheKey(tag, digest, g, t, opts)
+	if entry, ok := opts.Cache.lookup(key); ok {
+		cacheHits.Add(1)
+		return entry, nil
+	}
+	prob := build()
+	res, err := nfold.SolveCtx(pctx, prob, opts.nfoldOptions())
+	if err != nil {
+		return cacheEntry{}, err
+	}
+	entry := cacheEntry{
+		feasible: res.Status == nfold.Feasible, x: res.X,
+		params: prob.Params(), engine: res.Engine,
+		costLog2: prob.TheoreticalCostLog2(),
+	}
+	opts.Cache.store(key, entry)
+	return entry, nil
+}

@@ -53,6 +53,18 @@ type Options struct {
 	// scheme switches to the Theorem 11 compact treatment. Zero selects
 	// DefaultHugeMThreshold.
 	HugeMThreshold int64
+	// Parallelism is the number of concurrent speculative makespan-guess
+	// probes (see internal/ptas/search.go). Values ≤ 1 run the classic
+	// sequential binary search on the calling goroutine; larger values add
+	// speculation without changing the result — accepted guesses and
+	// schedules are bit-identical for any Parallelism.
+	Parallelism int
+	// Cache memoizes guess feasibility verdicts (keyed by scaled instance,
+	// guess, δ and engine budgets) across calls, so ε-refinement sweeps and
+	// repeated solves of identical workloads skip already-decided N-fold
+	// ILPs. Nil disables caching. A single Cache is safe to share between
+	// concurrent solves.
+	Cache *Cache
 }
 
 func (o Options) hugeMThreshold() int64 {
@@ -102,6 +114,9 @@ type Report struct {
 	// TheoreticalCostLog2 is log2 of the Theorem 1 bound for the accepted
 	// N-fold.
 	TheoreticalCostLog2 float64
+	// CacheHits counts guess probes answered from the feasibility cache
+	// during this search.
+	CacheHits int
 }
 
 // guessGrid returns the multiplicative (1+δ)-grid of integral makespan
@@ -126,38 +141,6 @@ func guessGrid(lo, hi int64, g int64) []int64 {
 	}
 	out = append(out, hi)
 	return out
-}
-
-// searchGuesses walks the grid with a binary search (feasibility is
-// monotone in T) and returns the smallest accepted guess's payload.
-// feasibleAt must return (payload, true) when the guess is accepted.
-func searchGuesses[T any](grid []int64, feasibleAt func(int64) (T, bool, error)) (T, int64, int, error) {
-	var best T
-	bestGuess := int64(-1)
-	tried := 0
-	lo, hi := 0, len(grid)-1
-	// The top of the grid comes from a feasible schedule, so hi accepts.
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		payload, ok, err := feasibleAt(grid[mid])
-		tried++
-		if err != nil {
-			var zero T
-			return zero, 0, tried, err
-		}
-		if ok {
-			best = payload
-			bestGuess = grid[mid]
-			hi = mid - 1
-		} else {
-			lo = mid + 1
-		}
-	}
-	if bestGuess < 0 {
-		var zero T
-		return zero, 0, tried, fmt.Errorf("ptas: no feasible guess in grid (top %d should be feasible)", grid[len(grid)-1])
-	}
-	return best, bestGuess, tried, nil
 }
 
 // ceilRat returns ⌈r⌉ for a nonnegative rational.

@@ -1,6 +1,7 @@
 package ptas
 
 import (
+	"context"
 	"testing"
 
 	"ccsched/internal/core"
@@ -16,7 +17,7 @@ func TestNonPreemptivePTASAllSmallClasses(t *testing.T) {
 		M:     2,
 		Slots: 2,
 	}
-	res, err := SolveNonPreemptive(in, Options{Epsilon: 0.5})
+	res, err := SolveNonPreemptive(context.Background(), in, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestNonPreemptivePTASAllSmallClasses(t *testing.T) {
 // TestSplittablePTASSingleClass covers the single-brick N-fold.
 func TestSplittablePTASSingleClass(t *testing.T) {
 	in := &core.Instance{P: []int64{40, 25, 35}, Class: []int{0, 0, 0}, M: 4, Slots: 1}
-	res, err := SolveSplittable(in, Options{Epsilon: 0.5})
+	res, err := SolveSplittable(context.Background(), in, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestSplittablePTASOneSlot(t *testing.T) {
 		M:     4,
 		Slots: 1,
 	}
-	res, err := SolveSplittable(in, Options{Epsilon: 0.5})
+	res, err := SolveSplittable(context.Background(), in, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSplittablePTASOneSlot(t *testing.T) {
 // instance whose optimum is far below one.
 func TestSplittablePTASTinyLoadsScale(t *testing.T) {
 	in := &core.Instance{P: []int64{3, 2}, Class: []int{0, 1}, M: 64, Slots: 1}
-	res, err := SolveSplittable(in, Options{Epsilon: 0.5})
+	res, err := SolveSplittable(context.Background(), in, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,13 +91,13 @@ func TestSplittablePTASTinyLoadsScale(t *testing.T) {
 // TestPTASInfeasibleInstance rejects C > c·m for all three schemes.
 func TestPTASInfeasibleInstance(t *testing.T) {
 	in := &core.Instance{P: []int64{1, 1, 1}, Class: []int{0, 1, 2}, M: 1, Slots: 2}
-	if _, err := SolveSplittable(in, Options{Epsilon: 0.5}); err == nil {
+	if _, err := SolveSplittable(context.Background(), in, Options{Epsilon: 0.5}); err == nil {
 		t.Error("splittable: want infeasibility error")
 	}
-	if _, err := SolveNonPreemptive(in, Options{Epsilon: 0.5}); err == nil {
+	if _, err := SolveNonPreemptive(context.Background(), in, Options{Epsilon: 0.5}); err == nil {
 		t.Error("non-preemptive: want infeasibility error")
 	}
-	if _, err := SolvePreemptive(in, Options{Epsilon: 0.5}); err == nil {
+	if _, err := SolvePreemptive(context.Background(), in, Options{Epsilon: 0.5}); err == nil {
 		t.Error("preemptive: want infeasibility error")
 	}
 }
@@ -105,7 +106,7 @@ func TestPTASInfeasibleInstance(t *testing.T) {
 func TestPTASBadEpsilon(t *testing.T) {
 	in := &core.Instance{P: []int64{5}, Class: []int{0}, M: 1, Slots: 1}
 	for _, eps := range []float64{0, -0.5, 2} {
-		if _, err := SolveSplittable(in, Options{Epsilon: eps}); err == nil {
+		if _, err := SolveSplittable(context.Background(), in, Options{Epsilon: eps}); err == nil {
 			t.Errorf("epsilon %v accepted", eps)
 		}
 	}

@@ -1,8 +1,10 @@
 package ptas
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -303,8 +305,11 @@ type NonPreemptiveResult struct {
 // Makespan returns the schedule makespan.
 func (r *NonPreemptiveResult) Makespan(in *core.Instance) int64 { return r.Schedule.Makespan(in) }
 
-// SolveNonPreemptive runs the non-preemptive PTAS (Theorem 14).
-func SolveNonPreemptive(in *core.Instance, opts Options) (*NonPreemptiveResult, error) {
+// SolveNonPreemptive runs the non-preemptive PTAS (Theorem 14). The context
+// cancels the makespan-guess search — including in-flight N-fold solves —
+// so ctx.Err() surfaces within one augmentation iteration or
+// branch-and-bound node.
+func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*NonPreemptiveResult, error) {
 	g, err := opts.delta()
 	if err != nil {
 		return nil, err
@@ -340,36 +345,42 @@ func SolveNonPreemptive(in *core.Instance, opts Options) (*NonPreemptiveResult, 
 		sched  *core.NonPreemptiveSchedule
 		report Report
 	}
-	best, guess, tried, err := searchGuesses(grid, func(t int64) (payload, bool, error) {
-		ctx, err := newNPGuessCtx(in, g, t, opts.maxConfigs())
+	digest := instanceDigest(in)
+	var cacheHits atomic.Int64
+	best, guess, tried, err := searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+		gctx, err := newNPGuessCtx(in, g, t, opts.maxConfigs())
 		if err != nil {
 			return payload{}, false, err
 		}
-		prob := ctx.buildNFold(in.M)
-		res, err := nfold.Solve(prob, opts.nfoldOptions())
+		entry, err := solveGuessCached(pctx, opts, cacheNonPreemptive, digest, g, t, &cacheHits,
+			func() *nfold.Problem { return gctx.buildNFold(in.M) })
 		if err != nil {
 			return payload{}, false, err
 		}
-		if res.Status != nfold.Feasible {
+		if !entry.feasible {
 			return payload{}, false, nil
 		}
-		sched, err := ctx.constructSchedule(res.X)
+		sched, err := gctx.constructSchedule(entry.x)
 		if err != nil {
 			return payload{}, false, err
 		}
 		return payload{sched, Report{
-			InvDelta: g, Guess: t, NFold: prob.Params(), Engine: res.Engine,
-			TheoreticalCostLog2: prob.TheoreticalCostLog2(),
+			InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
+			TheoreticalCostLog2: entry.costLog2,
 		}}, true, nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return &NonPreemptiveResult{
 			Schedule: apx.Schedule,
-			Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"},
+			Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback", CacheHits: int(cacheHits.Load())},
 		}, nil
 	}
 	best.report.Guess = guess
 	best.report.Guesses = tried
+	best.report.CacheHits = int(cacheHits.Load())
 	// Return the better of the PTAS construction and the 7/3 schedule;
 	// both are feasible and the scheme's constants are large for coarse δ.
 	if apx.Makespan(in) < best.sched.Makespan(in) {

@@ -1,9 +1,11 @@
 package ptas
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
+	"sync/atomic"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -321,8 +323,10 @@ type PreemptiveResult struct {
 func (r *PreemptiveResult) Makespan() *big.Rat { return r.Schedule.Makespan() }
 
 // SolvePreemptive runs the preemptive PTAS (Theorem 19, with the interval-
-// module restriction documented above).
-func SolvePreemptive(in *core.Instance, opts Options) (*PreemptiveResult, error) {
+// module restriction documented above). The context cancels the
+// makespan-guess search — including in-flight N-fold solves — so ctx.Err()
+// surfaces within one augmentation iteration or branch-and-bound node.
+func SolvePreemptive(ctx context.Context, in *core.Instance, opts Options) (*PreemptiveResult, error) {
 	g, err := opts.delta()
 	if err != nil {
 		return nil, err
@@ -350,7 +354,7 @@ func SolvePreemptive(in *core.Instance, opts Options) (*PreemptiveResult, error)
 		return nil, err
 	}
 	if scale := scaleFactor(lbRat, in.PMax(), 4*g*g); scale > 1 {
-		res, err := SolvePreemptive(scaleInstance(in, scale), opts)
+		res, err := SolvePreemptive(ctx, scaleInstance(in, scale), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -374,39 +378,45 @@ func SolvePreemptive(in *core.Instance, opts Options) (*PreemptiveResult, error)
 		sched  *core.PreemptiveSchedule
 		report Report
 	}
-	best, guess, tried, err := searchGuesses(grid, func(t int64) (payload, bool, error) {
-		ctx, err := newPreGuessCtx(in, g, t, opts.maxConfigs())
+	digest := instanceDigest(in)
+	var cacheHits atomic.Int64
+	best, guess, tried, err := searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+		gctx, err := newPreGuessCtx(in, g, t, opts.maxConfigs())
 		if err == errGuessTooSmall {
 			return payload{}, false, nil
 		}
 		if err != nil {
 			return payload{}, false, err
 		}
-		prob := ctx.buildNFold(in.M)
-		res, err := nfold.Solve(prob, opts.nfoldOptions())
+		entry, err := solveGuessCached(pctx, opts, cachePreemptive, digest, g, t, &cacheHits,
+			func() *nfold.Problem { return gctx.buildNFold(in.M) })
 		if err != nil {
 			return payload{}, false, err
 		}
-		if res.Status != nfold.Feasible {
+		if !entry.feasible {
 			return payload{}, false, nil
 		}
-		sched, err := ctx.constructSchedule(res.X)
+		sched, err := gctx.constructSchedule(entry.x)
 		if err != nil {
 			return payload{}, false, err
 		}
 		return payload{sched, Report{
-			InvDelta: g, Guess: t, NFold: prob.Params(), Engine: res.Engine,
-			TheoreticalCostLog2: prob.TheoreticalCostLog2(),
+			InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
+			TheoreticalCostLog2: entry.costLog2,
 		}}, true, nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return &PreemptiveResult{
 			Schedule: apx.Schedule,
-			Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"},
+			Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback", CacheHits: int(cacheHits.Load())},
 		}, nil
 	}
 	best.report.Guess = guess
 	best.report.Guesses = tried
+	best.report.CacheHits = int(cacheHits.Load())
 	// Return the better of the PTAS construction and the 2-approximation.
 	if apx.Makespan().Cmp(best.sched.Makespan()) < 0 {
 		best.report.Engine = "approx-min"

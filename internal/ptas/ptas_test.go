@@ -1,8 +1,10 @@
 package ptas
 
 import (
+	"context"
 	"math/big"
 	"testing"
+	"time"
 
 	"ccsched/internal/core"
 	"ccsched/internal/generator"
@@ -28,7 +30,7 @@ func TestSplittablePTAS(t *testing.T) {
 		{N: 15, Classes: 5, Machines: 4, Slots: 2, PMax: 30, Seed: 3},
 	} {
 		in := generator.Uniform(cfg)
-		res, err := SolveSplittable(in, Options{Epsilon: 0.5})
+		res, err := SolveSplittable(context.Background(), in, Options{Epsilon: 0.5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +57,7 @@ func TestSplittablePTASHugeM(t *testing.T) {
 		M:     1 << 40,
 		Slots: 1,
 	}
-	res, err := SolveSplittable(in, Options{Epsilon: 0.5})
+	res, err := SolveSplittable(context.Background(), in, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestNonPreemptivePTAS(t *testing.T) {
 		{N: 14, Classes: 4, Machines: 3, Slots: 2, PMax: 60, Seed: 5},
 	} {
 		in := generator.Uniform(cfg)
-		res, err := SolveNonPreemptive(in, Options{Epsilon: 0.5})
+		res, err := SolveNonPreemptive(context.Background(), in, Options{Epsilon: 0.5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +94,7 @@ func TestNonPreemptivePTAS(t *testing.T) {
 
 func TestNonPreemptivePTASManyMachines(t *testing.T) {
 	in := &core.Instance{P: []int64{5, 9, 3}, Class: []int{0, 1, 2}, M: 5, Slots: 1}
-	res, err := SolveNonPreemptive(in, Options{Epsilon: 0.5})
+	res, err := SolveNonPreemptive(context.Background(), in, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestPreemptivePTAS(t *testing.T) {
 		t.Skip("preemptive PTAS is expensive")
 	}
 	in := generator.Uniform(generator.Config{N: 8, Classes: 2, Machines: 2, Slots: 1, PMax: 30, Seed: 6})
-	res, err := SolvePreemptive(in, Options{Epsilon: 0.5, MaxNodes: 120})
+	res, err := SolvePreemptive(context.Background(), in, Options{Epsilon: 0.5, MaxNodes: 120})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +126,7 @@ func TestPreemptivePTAS(t *testing.T) {
 
 func TestPreemptivePTASManyMachines(t *testing.T) {
 	in := &core.Instance{P: []int64{5, 9, 3}, Class: []int{0, 1, 2}, M: 3, Slots: 1}
-	res, err := SolvePreemptive(in, Options{Epsilon: 0.5})
+	res, err := SolvePreemptive(context.Background(), in, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +181,7 @@ func TestGuessGrid(t *testing.T) {
 func TestSearchGuessesFindsBoundary(t *testing.T) {
 	grid := []int64{1, 2, 3, 4, 5, 6, 7, 8}
 	calls := 0
-	best, guess, _, err := searchGuesses(grid, func(t int64) (int64, bool, error) {
+	best, guess, _, err := searchGuesses(context.Background(), grid, 1, func(_ context.Context, t int64) (int64, bool, error) {
 		calls++
 		return t, t >= 5, nil
 	})
@@ -192,10 +194,104 @@ func TestSearchGuessesFindsBoundary(t *testing.T) {
 }
 
 func TestSearchGuessesAllReject(t *testing.T) {
-	if _, _, _, err := searchGuesses([]int64{1, 2}, func(int64) (int, bool, error) {
+	if _, _, _, err := searchGuesses(context.Background(), []int64{1, 2}, 1, func(context.Context, int64) (int, bool, error) {
 		return 0, false, nil
 	}); err == nil {
 		t.Error("want error when nothing accepts")
+	}
+}
+
+// TestSearchGuessesParallelIdentical proves the speculative parallel search
+// consumes the exact sequential probe sequence: accepted guess, payload and
+// probe count match the sequential walk for every parallelism, every
+// boundary position — and even for a non-monotone predicate, where the
+// outcome depends on the probe order.
+func TestSearchGuessesParallelIdentical(t *testing.T) {
+	grid := make([]int64, 23)
+	for i := range grid {
+		grid[i] = int64(i + 1)
+	}
+	predicates := map[string]func(int64) bool{
+		"monotone-low":  func(v int64) bool { return v >= 3 },
+		"monotone-mid":  func(v int64) bool { return v >= 12 },
+		"monotone-top":  func(v int64) bool { return v >= 23 },
+		"all-accept":    func(int64) bool { return true },
+		"non-monotone":  func(v int64) bool { return v >= 9 && v != 14 && v != 15 },
+		"non-monotone2": func(v int64) bool { return v%3 == 0 || v >= 20 },
+	}
+	for name, pred := range predicates {
+		probe := func(_ context.Context, v int64) (int64, bool, error) {
+			return v * 10, pred(v), nil
+		}
+		wantBest, wantGuess, wantTried, wantErr := searchGuesses(context.Background(), grid, 1, probe)
+		for _, par := range []int{2, 3, 8, 64} {
+			best, guess, tried, err := searchGuesses(context.Background(), grid, par, probe)
+			if (err == nil) != (wantErr == nil) || best != wantBest || guess != wantGuess || tried != wantTried {
+				t.Errorf("%s par=%d: got (%d,%d,%d,%v) want (%d,%d,%d,%v)",
+					name, par, best, guess, tried, err, wantBest, wantGuess, wantTried, wantErr)
+			}
+		}
+	}
+}
+
+// TestSearchGuessesSpeculativeOverlap proves the parallel search actually
+// overlaps in-flight probes: with per-probe latency L and enough workers,
+// the walker's whole binary-search path runs concurrently, so wall-clock
+// stays near L instead of path-length × L. Latency-bound probes make the
+// test independent of the host's core count.
+func TestSearchGuessesSpeculativeOverlap(t *testing.T) {
+	grid := make([]int64, 15) // binary-search path length 4
+	for i := range grid {
+		grid[i] = int64(i + 1)
+	}
+	const latency = 100 * time.Millisecond
+	probe := func(pctx context.Context, v int64) (int64, bool, error) {
+		select {
+		case <-time.After(latency):
+		case <-pctx.Done():
+			return 0, false, pctx.Err()
+		}
+		return v, v >= 11, nil
+	}
+	start := time.Now()
+	_, guess, tried, err := searchGuesses(context.Background(), grid, 16, probe)
+	elapsed := time.Since(start)
+	if err != nil || guess != 11 {
+		t.Fatalf("guess %d err %v", guess, err)
+	}
+	if tried != 4 {
+		t.Fatalf("walker consumed %d probes, want 4", tried)
+	}
+	// Sequential cost is 4 × latency; full speculation needs ~1 × latency.
+	// Allow 2.5× for scheduling slop — still far below sequential.
+	if elapsed >= 4*latency {
+		t.Errorf("speculative search took %s, sequential-like for a 4-probe path", elapsed)
+	}
+	if elapsed > latency*5/2 {
+		t.Errorf("speculative search took %s, want ≈%s (overlapped path)", elapsed, latency)
+	}
+}
+
+// TestSearchGuessesParallelCancel proves a canceled context aborts the
+// parallel search with ctx.Err() instead of hanging on in-flight probes.
+func TestSearchGuessesParallelCancel(t *testing.T) {
+	grid := make([]int64, 31)
+	for i := range grid {
+		grid[i] = int64(i + 1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, len(grid))
+	_, _, _, err := searchGuesses(ctx, grid, 4, func(pctx context.Context, v int64) (int64, bool, error) {
+		started <- struct{}{}
+		cancel()
+		<-pctx.Done()
+		return 0, false, pctx.Err()
+	})
+	if err == nil {
+		t.Fatal("want a context error after cancel")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("outer context should be canceled")
 	}
 }
 

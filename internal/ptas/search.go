@@ -1,0 +1,219 @@
+package ptas
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// The makespan-guess search. Feasibility of a guess T is monotone for the
+// paper's schemes (Lemma 7's dual approximation: any schedule for T is a
+// schedule for T' > T), so the sequential search is a binary search over the
+// (1+δ) guess grid. In practice the predicate the code evaluates is only
+// *almost* monotone — the budgeted augmentation/branch-and-bound engines may
+// reject a feasible guess (nudging the accepted makespan up one grid step) —
+// so a parallel search must not change which probes decide the outcome, or
+// results would depend on the worker count.
+//
+// The parallel search therefore speculates on the binary-search probe tree
+// rather than multisecting the interval: a walker follows exactly the
+// sequential probe sequence, while a pool of Parallelism workers prefetches
+// the probes the walker could need next (the tree descendants of the current
+// interval, in breadth-first order — the most-likely-needed first). Verdicts
+// that narrow the interval cancel every in-flight probe outside it via
+// context.Context; cancellation reaches the N-fold engines at iteration
+// boundaries (see nfold.SolveCtx), so losing speculative ILP solves stop
+// promptly instead of holding their worker slot. The accepted guess, the
+// payload, and the probe count are bit-identical to the sequential search by
+// construction, for any Parallelism.
+
+// searchResult is one probe's outcome, memoized for the walker. done is
+// closed exactly once — after the probe ran, or after a worker drained it
+// as cancelled — so the walker can always wait on it.
+type searchResult[T any] struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	payload T
+	ok      bool
+	err     error
+}
+
+// searchGuesses returns the payload of the smallest accepted guess, walking
+// the grid exactly like a sequential binary search. feasibleAt must return
+// (payload, true) when the guess is accepted and honor its context.
+// parallelism ≤ 1 runs strictly sequentially on the calling goroutine;
+// larger values add speculative probes without changing the result.
+func searchGuesses[T any](ctx context.Context, grid []int64, parallelism int, feasibleAt func(context.Context, int64) (T, bool, error)) (T, int64, int, error) {
+	if parallelism <= 1 || len(grid) < 2 {
+		return searchGuessesSeq(ctx, grid, feasibleAt)
+	}
+	return searchGuessesSpec(ctx, grid, parallelism, feasibleAt)
+}
+
+// searchGuessesSeq is the plain sequential binary search (feasibility is
+// monotone in T): it returns the smallest accepted guess's payload.
+func searchGuessesSeq[T any](ctx context.Context, grid []int64, feasibleAt func(context.Context, int64) (T, bool, error)) (T, int64, int, error) {
+	var best T
+	bestGuess := int64(-1)
+	tried := 0
+	lo, hi := 0, len(grid)-1
+	// The top of the grid comes from a feasible schedule, so hi accepts.
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		payload, ok, err := feasibleAt(ctx, grid[mid])
+		tried++
+		if err != nil {
+			var zero T
+			return zero, 0, tried, err
+		}
+		if ok {
+			best = payload
+			bestGuess = grid[mid]
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return finishSearch(grid, best, bestGuess, tried)
+}
+
+// searchGuessesSpec runs the speculative parallel search described in the
+// file comment. It consumes probe results in the exact sequential order, so
+// the outcome (and the probe count `tried`) matches searchGuessesSeq.
+//
+// Scheduling: `parallelism` workers repeatedly claim the lowest-ranked
+// unclaimed probe (rank = breadth-first probe-tree order) off an atomic
+// cursor, so claims happen in strict rank order by construction.
+// A subtree's level order is a subsequence of the full tree's and the
+// subtree root (the walker's next need) has strictly smaller depth than
+// every other pending probe, so the walker's own probe is always the next
+// one a freed worker picks up — speculation never starves the walk.
+// Cancelled probes are drained (done closed with the context error) rather
+// than skipped, so every probe's done channel closes exactly once.
+func searchGuessesSpec[T any](ctx context.Context, grid []int64, parallelism int, feasibleAt func(context.Context, int64) (T, bool, error)) (T, int64, int, error) {
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel() // reap every in-flight probe on exit
+	probes := make([]*searchResult[T], len(grid))
+	for i := range probes {
+		pctx, cancel := context.WithCancel(sctx)
+		probes[i] = &searchResult[T]{ctx: pctx, cancel: cancel, done: make(chan struct{})}
+	}
+	order := probeTreeOrder(0, len(grid)-1)
+	var next atomic.Int64 // index into order: probes claimed so far
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(order) {
+					return
+				}
+				p := probes[order[k]]
+				if p.err = p.ctx.Err(); p.err == nil {
+					p.payload, p.ok, p.err = feasibleAt(p.ctx, grid[order[k]])
+				}
+				close(p.done)
+			}
+		}()
+	}
+	var best T
+	bestGuess := int64(-1)
+	tried := 0
+	lo, hi := 0, len(grid)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		p := probes[mid]
+		<-p.done
+		tried++
+		if p.err != nil {
+			var zero T
+			return zero, 0, tried, p.err
+		}
+		if p.ok {
+			best = p.payload
+			bestGuess = grid[mid]
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+		// Probes outside the narrowed interval can never be consumed: stop
+		// their speculative ILP solves so the workers move to live branches.
+		for i, q := range probes {
+			if i < lo || i > hi {
+				q.cancel()
+			}
+		}
+	}
+	return finishSearch(grid, best, bestGuess, tried)
+}
+
+// probeTreeOrder lists the grid indices of [lo, hi] in breadth-first
+// binary-search-tree order: the midpoint first, then the midpoints both its
+// verdicts could lead to, and so on.
+func probeTreeOrder(lo, hi int) []int {
+	type iv struct{ a, b int }
+	var out []int
+	queue := []iv{{lo, hi}}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v.a > v.b {
+			continue
+		}
+		m := (v.a + v.b) / 2
+		out = append(out, m)
+		queue = append(queue, iv{v.a, m - 1}, iv{m + 1, v.b})
+	}
+	return out
+}
+
+// MeasureSpeculativeOverlap runs the guess search over a synthetic grid of
+// gridLen latency-bound probes (each sleeps for latency, then accepts iff
+// its guess ≥ boundary): once sequentially, then once per entry of
+// parallelisms. It returns the sequential wall clock, the parallel wall
+// clocks in order, and whether every parallel search returned a (guess,
+// probe-count) trace identical to the sequential one. Latency-bound probes
+// make the measurement independent of the host's core count, so it
+// isolates the speculative engine's probe overlap from CPU contention;
+// experiment E9 records it alongside the CPU-bound N-fold rows.
+func MeasureSpeculativeOverlap(ctx context.Context, gridLen int, latency time.Duration, boundary int64, parallelisms ...int) (seq time.Duration, specs []time.Duration, identical bool, err error) {
+	grid := make([]int64, gridLen)
+	for i := range grid {
+		grid[i] = int64(i + 1)
+	}
+	probe := func(pctx context.Context, v int64) (int64, bool, error) {
+		select {
+		case <-time.After(latency):
+		case <-pctx.Done():
+			return 0, false, pctx.Err()
+		}
+		return v, v >= boundary, nil
+	}
+	start := time.Now()
+	_, guessSeq, triedSeq, err := searchGuesses(ctx, grid, 1, probe)
+	seq = time.Since(start)
+	if err != nil {
+		return seq, nil, false, err
+	}
+	identical = true
+	for _, par := range parallelisms {
+		start = time.Now()
+		_, guessSpec, triedSpec, err := searchGuesses(ctx, grid, par, probe)
+		specs = append(specs, time.Since(start))
+		if err != nil {
+			return seq, specs, false, err
+		}
+		identical = identical && guessSeq == guessSpec && triedSeq == triedSpec
+	}
+	return seq, specs, identical, nil
+}
+
+// finishSearch applies the shared no-accepted-guess check.
+func finishSearch[T any](grid []int64, best T, bestGuess int64, tried int) (T, int64, int, error) {
+	if bestGuess < 0 {
+		var zero T
+		return zero, 0, tried, fmt.Errorf("ptas: no feasible guess in grid (top %d should be feasible)", grid[len(grid)-1])
+	}
+	return best, bestGuess, tried, nil
+}

@@ -1,9 +1,11 @@
 package ptas
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
+	"sync/atomic"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -275,8 +277,11 @@ func (r *SplitResult) Makespan() *big.Rat { return r.Compact.Makespan() }
 const DefaultHugeMThreshold int64 = 1 << 16
 
 // SolveSplittable runs the splittable PTAS (Theorem 10, and Theorem 11's
-// extension for machine counts beyond the huge-m threshold).
-func SolveSplittable(in *core.Instance, opts Options) (*SplitResult, error) {
+// extension for machine counts beyond the huge-m threshold). The context
+// cancels the makespan-guess search — including in-flight N-fold solves,
+// which poll it at iteration boundaries — making ctx.Err() surface within
+// one augmentation iteration or branch-and-bound node.
+func SolveSplittable(ctx context.Context, in *core.Instance, opts Options) (*SplitResult, error) {
 	g, err := opts.delta()
 	if err != nil {
 		return nil, err
@@ -294,19 +299,19 @@ func SolveSplittable(in *core.Instance, opts Options) (*SplitResult, error) {
 		return nil, err
 	}
 	if scale := scaleFactor(lbRat, in.PMax(), 4*g*g); scale > 1 {
-		res, err := solveSplittableAnyM(scaleInstance(in, scale), g, opts)
+		res, err := solveSplittableAnyM(ctx, scaleInstance(in, scale), g, opts)
 		if err != nil {
 			return nil, err
 		}
 		descaleSplit(res, scale)
 		return res, nil
 	}
-	return solveSplittableAnyM(in, g, opts)
+	return solveSplittableAnyM(ctx, in, g, opts)
 }
 
-func solveSplittableAnyM(in *core.Instance, g int64, opts Options) (*SplitResult, error) {
+func solveSplittableAnyM(ctx context.Context, in *core.Instance, g int64, opts Options) (*SplitResult, error) {
 	if in.M > opts.hugeMThreshold() {
-		return solveSplittableHuge(in, g, opts)
+		return solveSplittableHuge(ctx, in, g, opts)
 	}
 	lo, err := lowerBoundInt(in, core.Splittable)
 	if err != nil {
@@ -325,42 +330,48 @@ func solveSplittableAnyM(in *core.Instance, g int64, opts Options) (*SplitResult
 		sched  *core.SplitSchedule
 		report Report
 	}
-	best, guess, tried, err := searchGuesses(grid, func(t int64) (payload, bool, error) {
-		ctx, err := newSplitGuessCtx(in, g, t, opts.maxConfigs())
+	digest := instanceDigest(in)
+	var cacheHits atomic.Int64
+	best, guess, tried, err := searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+		gctx, err := newSplitGuessCtx(in, g, t, opts.maxConfigs())
 		if err != nil {
 			return payload{}, false, err
 		}
-		prob := ctx.buildNFold(in.M)
-		res, err := nfold.Solve(prob, opts.nfoldOptions())
+		entry, err := solveGuessCached(pctx, opts, cacheSplit, digest, g, t, &cacheHits,
+			func() *nfold.Problem { return gctx.buildNFold(in.M) })
 		if err != nil {
 			return payload{}, false, err
 		}
-		if res.Status != nfold.Feasible {
+		if !entry.feasible {
 			return payload{}, false, nil
 		}
-		sched, err := ctx.constructSchedule(res.X)
+		sched, err := gctx.constructSchedule(entry.x)
 		if err != nil {
 			return payload{}, false, err
 		}
 		return payload{sched, Report{
-			InvDelta: g, Guess: t, NFold: prob.Params(), Engine: res.Engine,
-			TheoreticalCostLog2: prob.TheoreticalCostLog2(),
+			InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
+			TheoreticalCostLog2: entry.costLog2,
 		}}, true, nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		// Degrade gracefully: the 2-approximation schedule is always
 		// available when every guess is rejected within budget.
 		if apx.Explicit != nil {
 			return &SplitResult{
 				Schedule: apx.Explicit,
 				Compact:  apx.Compact,
-				Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"},
+				Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback", CacheHits: int(cacheHits.Load())},
 			}, nil
 		}
 		return nil, err
 	}
 	best.report.Guess = guess
 	best.report.Guesses = tried
+	best.report.CacheHits = int(cacheHits.Load())
 	// The grid search may accept a guess whose constructed schedule is
 	// worse than the 2-approximation (the scheme's constants are large for
 	// coarse δ); both schedules are feasible, so return the better one.

@@ -1,7 +1,9 @@
 package ptas
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -27,7 +29,7 @@ import (
 // The reserve of (C + 1/δ + 4) machines per class keeps the residual loads
 // large so classification (large/small) is unchanged.
 
-func solveSplittableHuge(in *core.Instance, g int64, opts Options) (*SplitResult, error) {
+func solveSplittableHuge(ctx context.Context, in *core.Instance, g int64, opts Options) (*SplitResult, error) {
 	lo, err := lowerBoundInt(in, core.Splittable)
 	if err != nil {
 		return nil, err
@@ -45,22 +47,28 @@ func solveSplittableHuge(in *core.Instance, g int64, opts Options) (*SplitResult
 		sched  *core.CompactSplitSchedule
 		report Report
 	}
-	best, guess, tried, err := searchGuesses(grid, func(t int64) (payload, bool, error) {
-		sched, rep, ok, err := solveHugeGuess(in, g, t, opts)
+	digest := instanceDigest(in)
+	var cacheHits atomic.Int64
+	best, guess, tried, err := searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+		sched, rep, ok, err := solveHugeGuess(pctx, in, g, t, opts, digest, &cacheHits)
 		if err != nil || !ok {
 			return payload{}, false, err
 		}
 		return payload{sched, rep}, true, nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		// Degrade gracefully to the 2-approximation's compact schedule.
 		return &SplitResult{
 			Compact: apx.Compact,
-			Report:  Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"},
+			Report:  Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback", CacheHits: int(cacheHits.Load())},
 		}, nil
 	}
 	best.report.Guess = guess
 	best.report.Guesses = tried
+	best.report.CacheHits = int(cacheHits.Load())
 	// Best-of floor: never worse than the 2-approximation.
 	if apx.Makespan().Cmp(best.sched.Makespan()) < 0 {
 		best.report.Engine = "approx-min"
@@ -69,7 +77,7 @@ func solveSplittableHuge(in *core.Instance, g int64, opts Options) (*SplitResult
 	return &SplitResult{Compact: best.sched, Report: best.report}, nil
 }
 
-func solveHugeGuess(in *core.Instance, g, t int64, opts Options) (*core.CompactSplitSchedule, Report, bool, error) {
+func solveHugeGuess(pctx context.Context, in *core.Instance, g, t int64, opts Options, digest [32]byte, cacheHits *atomic.Int64) (*core.CompactSplitSchedule, Report, bool, error) {
 	ctx, err := newSplitGuessCtx(in, g, t, opts.maxConfigs())
 	if err != nil {
 		return nil, Report{}, false, err
@@ -116,12 +124,14 @@ func solveHugeGuess(in *core.Instance, g, t int64, opts Options) (*core.CompactS
 	if cap := residUnits/(g*cUnits) + cc + 2; mResid > cap {
 		mResid = cap
 	}
-	prob := ctx.buildNFold(mResid)
-	res, err := nfold.Solve(prob, opts.nfoldOptions())
+	// The N-fold (and mResid) is a deterministic function of (in, g, t), so
+	// the verdict caches under the huge-path tag like an ordinary probe.
+	entry, err := solveGuessCached(pctx, opts, cacheSplitHuge, digest, g, t, cacheHits,
+		func() *nfold.Problem { return ctx.buildNFold(mResid) })
 	if err != nil {
 		return nil, Report{}, false, err
 	}
-	if res.Status != nfold.Feasible {
+	if !entry.feasible {
 		return nil, Report{}, false, nil
 	}
 	// Construct the residual explicit schedule, with job mass reduced by
@@ -172,7 +182,7 @@ func solveHugeGuess(in *core.Instance, g, t int64, opts Options) (*core.CompactS
 	for len(rctx.loads) < len(ctx.loads) {
 		rctx.loads = append(rctx.loads, 0)
 	}
-	explicit, err := rctx.constructSchedule(res.X)
+	explicit, err := rctx.constructSchedule(entry.x)
 	if err != nil {
 		return nil, Report{}, false, err
 	}
@@ -183,8 +193,8 @@ func solveHugeGuess(in *core.Instance, g, t int64, opts Options) (*core.CompactS
 		})
 	}
 	rep := Report{
-		InvDelta: g, Guess: t, NFold: prob.Params(), Engine: res.Engine,
-		TheoreticalCostLog2: prob.TheoreticalCostLog2(),
+		InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
+		TheoreticalCostLog2: entry.costLog2,
 	}
 	return mergeSingletonGroups(sched, explicit, remap, mResid), rep, true, nil
 }

@@ -1,0 +1,149 @@
+// Command checkdoc enforces the repository's documentation bar: every
+// exported top-level identifier (functions, methods, types, and const/var
+// specs) in the listed packages must carry a doc comment. CI runs it as part
+// of the docs job; run it locally with
+//
+//	go run ./scripts/checkdoc .  ./internal/... ./cmd/...
+//
+// Arguments are package directories (a trailing /... walks recursively).
+// Test files are skipped. Exit status 1 lists every undocumented symbol.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, a := range args {
+		if rest, ok := strings.CutSuffix(a, "/..."); ok {
+			root := rest
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && p != root {
+						return fs.SkipDir
+					}
+					dirs = append(dirs, p)
+				}
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			dirs = append(dirs, a)
+		}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		missing, err := check(dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "checkdoc: %d exported symbols lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checkdoc:", err)
+	os.Exit(1)
+}
+
+// check parses the non-test Go files of one directory and returns a
+// "file:line: symbol" entry per undocumented exported symbol.
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("no such directory %s", dir)
+		}
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s is exported but has no doc comment", p.Filename, p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						name := d.Name.Name
+						if d.Recv != nil && len(d.Recv.List) > 0 {
+							name = recvName(d.Recv.List[0].Type) + "." + name
+						}
+						report(d.Pos(), "func "+name)
+					}
+				case *ast.GenDecl:
+					groupDoc := d.Doc != nil
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+								report(s.Pos(), "type "+s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							// A doc comment on the grouped decl covers all
+							// specs; otherwise each exported spec needs one.
+							if groupDoc || s.Doc != nil || s.Comment != nil {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									report(s.Pos(), "const/var "+n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// recvName extracts the receiver type name from a method receiver
+// expression, unwrapping pointers and generic instantiations.
+func recvName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvName(t.X)
+	case *ast.IndexListExpr:
+		return recvName(t.X)
+	default:
+		return "?"
+	}
+}
