@@ -36,6 +36,7 @@ package ccsched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"runtime"
@@ -65,6 +66,10 @@ type (
 	// CompactSplitSchedule run-length encodes splittable schedules for
 	// exponential machine counts.
 	CompactSplitSchedule = core.CompactSplitSchedule
+	// MachineGroup is a run of identical machines in a CompactSplitSchedule.
+	MachineGroup = core.MachineGroup
+	// GroupPiece is one per-machine piece in a MachineGroup.
+	GroupPiece = core.GroupPiece
 	// PreemptiveSchedule carries explicit piece start times.
 	PreemptiveSchedule = core.PreemptiveSchedule
 	// NonPreemptiveSchedule maps each job to one machine.
@@ -106,6 +111,18 @@ const (
 
 // ErrInfeasible reports C > c·m (no schedule exists at any makespan).
 var ErrInfeasible = core.ErrInfeasible
+
+// ErrCanceled reports that Solve stopped because its context was canceled
+// or its deadline expired before a schedule was produced. The returned
+// error wraps both ErrCanceled and the underlying context.Canceled or
+// context.DeadlineExceeded, so callers can branch deterministically:
+//
+//	errors.Is(err, ccsched.ErrCanceled)          // any cancellation
+//	errors.Is(err, context.DeadlineExceeded)     // deadline specifically
+//
+// Services map it to a timeout/canceled status (e.g. HTTP 408 vs 499)
+// without inspecting variant-specific internal error strings.
+var ErrCanceled = errors.New("ccsched: solve canceled")
 
 // ErrTooLarge reports an instance beyond the exact solvers' enforced size
 // limits (ExactNonPreemptive: > 24 jobs; ExactSplittable: C > 6 or m > 6).
@@ -266,36 +283,38 @@ func (t Tier) String() string {
 type Options struct {
 	// Variant selects splittable (default), preemptive or non-preemptive
 	// semantics.
-	Variant Variant
+	Variant Variant `json:"variant"`
 	// Tier selects the algorithm family; see the Tier constants.
-	Tier Tier
+	Tier Tier `json:"tier"`
 	// Epsilon is the PTAS accuracy target (makespan ≤ (1+O(ε))·OPT). Zero
 	// selects 0.5. Ignored by TierApprox and TierExact.
-	Epsilon float64
+	Epsilon float64 `json:"epsilon,omitempty"`
 	// Parallelism is the number of concurrent speculative makespan-guess
 	// probes in the PTAS search. Zero selects runtime.GOMAXPROCS(0); 1 (or
 	// any negative value) forces the sequential search. Any value returns
 	// bit-identical schedules — speculation only reorders work, never
 	// which probes decide the outcome.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 	// Cache overrides the feasibility cache. Nil selects a process-wide
 	// shared cache (see NewFeasibilityCache to isolate workloads); set
-	// NoCache to disable caching entirely.
-	Cache *FeasibilityCache
+	// NoCache to disable caching entirely. Never serialized: a cache is a
+	// process-local object, so JSON clients always get the server's cache
+	// policy.
+	Cache *FeasibilityCache `json:"-"`
 	// NoCache disables guess-feasibility caching for this call.
-	NoCache bool
+	NoCache bool `json:"no_cache,omitempty"`
 	// MaxNodes caps the exact N-fold engine's branch-and-bound nodes per
 	// guess probe (PTAS tiers only).
-	MaxNodes int
+	MaxNodes int `json:"max_nodes,omitempty"`
 	// MaxConfigs guards the PTAS configuration enumeration per guess.
-	MaxConfigs int
+	MaxConfigs int `json:"max_configs,omitempty"`
 	// HugeMThreshold is the machine count beyond which the splittable PTAS
 	// switches to the Theorem 11 compact treatment.
-	HugeMThreshold int64
+	HugeMThreshold int64 `json:"huge_m_threshold,omitempty"`
 	// ExplicitMachineLimit bounds the machine count for which the
 	// splittable approximation materializes an explicit (per-machine)
 	// schedule in addition to the compact one.
-	ExplicitMachineLimit int64
+	ExplicitMachineLimit int64 `json:"explicit_machine_limit,omitempty"`
 }
 
 // defaultCache is the process-wide feasibility cache used when
@@ -317,26 +336,26 @@ func NewFeasibilityCache() *FeasibilityCache { return ptas.NewCache() }
 // TierExact's splittable solver proves only the optimal makespan.
 type Result struct {
 	// Variant echoes the solved variant.
-	Variant Variant
+	Variant Variant `json:"variant"`
 	// Tier is the tier that ran (TierAuto resolves to TierPTAS).
-	Tier Tier
+	Tier Tier `json:"tier"`
 	// Makespan is the achieved (or, for exact splittable, optimal)
-	// makespan as an exact rational.
-	Makespan *big.Rat
+	// makespan as an exact rational (serialized in "p/q" form).
+	Makespan *big.Rat `json:"makespan"`
 	// LowerBound is the certified lower bound on OPT for the variant; the
 	// quotient Makespan/LowerBound bounds the approximation ratio achieved.
-	LowerBound *big.Rat
+	LowerBound *big.Rat `json:"lower_bound"`
 	// Split is the explicit splittable schedule, when materialized.
-	Split *SplitSchedule
+	Split *SplitSchedule `json:"split,omitempty"`
 	// CompactSplit is the run-length splittable schedule (always present
 	// for splittable approx/PTAS results, even for astronomical m).
-	CompactSplit *CompactSplitSchedule
+	CompactSplit *CompactSplitSchedule `json:"compact_split,omitempty"`
 	// Preemptive is the preemptive schedule with explicit start times.
-	Preemptive *PreemptiveSchedule
+	Preemptive *PreemptiveSchedule `json:"preemptive,omitempty"`
 	// NonPreemptive is the one-machine-per-job assignment.
-	NonPreemptive *NonPreemptiveSchedule
+	NonPreemptive *NonPreemptiveSchedule `json:"non_preemptive,omitempty"`
 	// Report carries PTAS diagnostics (zero unless a PTAS tier ran).
-	Report PTASReport
+	Report PTASReport `json:"report"`
 }
 
 // Solve is the unified, context-aware entry point: it runs the tier and
@@ -357,7 +376,7 @@ func Solve(ctx context.Context, in *Instance, opts Options) (*Result, error) {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
 	switch opts.Variant {
 	case Splittable, Preemptive, NonPreemptive:
@@ -381,9 +400,19 @@ func Solve(ctx context.Context, in *Instance, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("ccsched: unknown tier %v", opts.Tier)
 	}
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
 	return res, nil
+}
+
+// wrapCanceled maps cancellation surfaced by any tier's internals onto the
+// ErrCanceled sentinel, preserving the underlying context error for
+// errors.Is. Non-cancellation errors pass through untouched.
+func wrapCanceled(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
 }
 
 // solveApprox dispatches the constant-factor tier.

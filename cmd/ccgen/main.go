@@ -1,12 +1,16 @@
 // Command ccgen generates CCS instances from the built-in workload
-// families and writes them in the textual instance format.
+// families and writes them in the textual instance format, or — with
+// -json — in the JSON wire format that cmd/ccserved and ccsolve's stdin
+// accept.
 //
 // Usage:
 //
 //	ccgen -family zipf -n 200 -classes 20 -m 8 -slots 3 -pmax 1000 -seed 7 -o inst.ccs
+//	ccgen -family uniform -n 200 -json | curl -d @- localhost:8080/v1/solve   # (wrap in {"instance": ...})
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +29,7 @@ func main() {
 		pmax    = flag.Int64("pmax", 100, "maximum processing time")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		out     = flag.String("o", "", "output file (default stdout)")
+		asJSON  = flag.Bool("json", false, "write the JSON wire format instead of the textual one")
 	)
 	flag.Parse()
 	in, err := ccsched.Generate(*family, ccsched.GeneratorConfig{
@@ -34,7 +39,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccgen:", err)
 		os.Exit(1)
 	}
-	text := ccsched.FormatInstance(in)
+	var text string
+	if *asJSON {
+		data, err := json.Marshal(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccgen:", err)
+			os.Exit(1)
+		}
+		text = string(data) + "\n"
+	} else {
+		text = ccsched.FormatInstance(in)
+	}
 	if *out == "" {
 		fmt.Print(text)
 		return

@@ -1,0 +1,327 @@
+// Command ccload drives a running ccserved with concurrent clients and
+// records throughput, latency percentiles and the server's coalescing and
+// cache counters into a JSON report (BENCH_PR3.json in this repo's
+// experiments).
+//
+// A -dup fraction of the requests are duplicates of earlier instances with
+// their job lists shuffled — the canonical form is identical, so the server
+// must answer them by singleflight coalescing (duplicate placed right after
+// its original in the deck, likely still in flight) or from the result
+// cache (duplicate placed at the tail, after its original finished).
+//
+// Usage:
+//
+//	ccload -url http://localhost:8080 -clients 64 -requests 256 -dup 0.5 \
+//	       -family uniform -n 200 -variant splittable -tier approx -out BENCH_PR3.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccsched"
+	"ccsched/internal/server"
+)
+
+// report is the JSON document ccload writes.
+type report struct {
+	Label      string         `json:"label,omitempty"`
+	Config     runConfig      `json:"config"`
+	WallS      float64        `json:"wall_s"`
+	Throughput float64        `json:"throughput_rps"`
+	Totals     totals         `json:"totals"`
+	LatencyMs  latencySummary `json:"latency_ms"`
+	Server     serverDeltas   `json:"server_deltas"`
+}
+
+// runConfig echoes the generator and client parameters of the run.
+type runConfig struct {
+	URL       string  `json:"url"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	DupFrac   float64 `json:"dup_fraction"`
+	Family    string  `json:"family"`
+	N         int     `json:"n"`
+	Classes   int     `json:"classes"`
+	Machines  int64   `json:"machines"`
+	Slots     int     `json:"slots"`
+	PMax      int64   `json:"pmax"`
+	Seed      int64   `json:"seed"`
+	Variant   string  `json:"variant"`
+	Tier      string  `json:"tier"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	TimeoutMs int64   `json:"timeout_ms,omitempty"`
+}
+
+// totals counts request outcomes.
+type totals struct {
+	OK        int64         `json:"ok"`
+	Coalesced int64         `json:"coalesced"`
+	Cached    int64         `json:"cached"`
+	Dropped   int64         `json:"dropped_429"`
+	Errors    int64         `json:"errors"`
+	ByStatus  map[int]int64 `json:"by_status"`
+}
+
+// latencySummary holds client-observed latency percentiles over the
+// successful requests (drops and errors return fast and would skew them).
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// serverDeltas is the change in the server's counters across the run.
+type serverDeltas struct {
+	Admitted              int64 `json:"admitted"`
+	Solves                int64 `json:"solves"`
+	CoalescedHits         int64 `json:"coalesced_hits"`
+	ResultCacheHits       int64 `json:"result_cache_hits"`
+	RejectedQueueFull     int64 `json:"rejected_queue_full"`
+	SolveErrors           int64 `json:"solve_errors"`
+	FeasibilityCacheHits  int64 `json:"feasibility_cache_hits"`
+	FeasibilityCacheMiss  int64 `json:"feasibility_cache_misses"`
+	ResultCacheEntriesNow int   `json:"result_cache_entries_now"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ccload:", err)
+	os.Exit(1)
+}
+
+// fetchMetrics reads the server's /metrics snapshot.
+func fetchMetrics(url string) (server.MetricsSnapshot, error) {
+	var m server.MetricsSnapshot
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// shuffled returns a job-order permutation of in; the canonical form (and
+// thus the server's dedup key) is unchanged.
+func shuffled(in *ccsched.Instance, rng *rand.Rand) *ccsched.Instance {
+	out := &ccsched.Instance{M: in.M, Slots: in.Slots}
+	for _, j := range rng.Perm(in.N()) {
+		out.P = append(out.P, in.P[j])
+		out.Class = append(out.Class, in.Class[j])
+	}
+	return out
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "http://localhost:8080", "ccserved base URL")
+		clients   = flag.Int("clients", 64, "concurrent clients")
+		requests  = flag.Int("requests", 256, "total requests")
+		dup       = flag.Float64("dup", 0.5, "fraction of requests that duplicate an earlier instance")
+		family    = flag.String("family", "uniform", "workload family")
+		n         = flag.Int("n", 200, "jobs per instance")
+		classes   = flag.Int("classes", 20, "classes per instance")
+		m         = flag.Int64("m", 8, "machines")
+		slots     = flag.Int("slots", 3, "class slots per machine")
+		pmax      = flag.Int64("pmax", 100, "maximum processing time")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+		variant   = flag.String("variant", "splittable", "splittable | preemptive | nonpreemptive")
+		tier      = flag.String("tier", "approx", "auto | approx | ptas | exact")
+		eps       = flag.Float64("eps", 0.5, "PTAS accuracy ε")
+		timeoutMs = flag.Int64("timeout-ms", 0, "per-request solve deadline (0 = server default)")
+		wait      = flag.Duration("wait", 5*time.Minute, "client-side wait per request")
+		out       = flag.String("out", "", "write the JSON report here (default stdout)")
+		label     = flag.String("label", "", "free-form label recorded in the report")
+	)
+	flag.Parse()
+	v, err := ccsched.ParseVariant(*variant)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := ccsched.ParseTier(*tier)
+	if err != nil {
+		fail(err)
+	}
+	opts := ccsched.Options{Variant: v, Tier: tr}
+	if tr == ccsched.TierPTAS || tr == ccsched.TierAuto {
+		opts.Epsilon = *eps
+	}
+
+	// Build the request deck: originals, with half the duplicates placed
+	// right after their original (coalescing pressure: both are in flight
+	// together) and half at the tail (result-cache pressure: the original
+	// finished long ago).
+	nDup := int(float64(*requests) * *dup)
+	nUnique := *requests - nDup
+	if nUnique < 1 {
+		fail(fmt.Errorf("dup fraction %v leaves no unique instances", *dup))
+	}
+	rng := rand.New(rand.NewSource(*seed * 7919))
+	uniques := make([]*ccsched.Instance, nUnique)
+	for i := range uniques {
+		uniques[i], err = ccsched.Generate(*family, ccsched.GeneratorConfig{
+			N: *n, Classes: *classes, Machines: *m, Slots: *slots, PMax: *pmax, Seed: *seed + int64(i),
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	var deck []*ccsched.Instance
+	adjacent := nDup / 2
+	for i, u := range uniques {
+		deck = append(deck, u)
+		if i < adjacent {
+			deck = append(deck, shuffled(u, rng))
+		}
+	}
+	for i := 0; i < nDup-adjacent; i++ {
+		deck = append(deck, shuffled(uniques[i%nUnique], rng))
+	}
+
+	// Fire the deck with -clients concurrent workers pulling off a shared
+	// cursor, so adjacent deck entries run concurrently.
+	var (
+		cursor    atomic.Int64
+		tot       totals
+		statusMu  sync.Mutex
+		latencies = make([]time.Duration, len(deck))
+		succeeded = make([]bool, len(deck))
+	)
+	tot.ByStatus = make(map[int]int64)
+	before, err := fetchMetrics(*url)
+	if err != nil {
+		fail(fmt.Errorf("reading initial metrics (is ccserved running?): %w", err))
+	}
+	client := &http.Client{Timeout: *wait}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(deck) {
+					return
+				}
+				body, err := json.Marshal(server.SolveRequest{Instance: deck[i], Options: opts, TimeoutMs: *timeoutMs})
+				if err != nil {
+					fail(err)
+				}
+				reqStart := time.Now()
+				resp, err := client.Post(*url+"/v1/solve?wait="+wait.String(), "application/json", bytes.NewReader(body))
+				latencies[i] = time.Since(reqStart)
+				if err != nil {
+					atomic.AddInt64(&tot.Errors, 1)
+					continue
+				}
+				var sr server.SolveResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				statusMu.Lock()
+				tot.ByStatus[resp.StatusCode]++
+				statusMu.Unlock()
+				switch {
+				case decErr != nil || resp.StatusCode != http.StatusOK || sr.Result == nil:
+					if resp.StatusCode == http.StatusTooManyRequests {
+						atomic.AddInt64(&tot.Dropped, 1)
+					} else {
+						atomic.AddInt64(&tot.Errors, 1)
+					}
+				default:
+					atomic.AddInt64(&tot.OK, 1)
+					succeeded[i] = true
+					if sr.Coalesced {
+						atomic.AddInt64(&tot.Coalesced, 1)
+					}
+					if sr.Cached {
+						atomic.AddInt64(&tot.Cached, 1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	after, err := fetchMetrics(*url)
+	if err != nil {
+		fail(err)
+	}
+
+	// Percentiles cover successful requests only — a 429 returning in a
+	// millisecond would otherwise drag the reported latencies down.
+	var sorted []time.Duration
+	for i, d := range latencies {
+		if succeeded[i] {
+			sorted = append(sorted, d)
+		}
+	}
+	if len(sorted) == 0 {
+		fail(fmt.Errorf("no request succeeded (server deltas: coalesced=%d cached=%d rejected=%d)",
+			after.CoalescedHitsTotal-before.CoalescedHitsTotal,
+			after.ResultCacheHitsTotal-before.ResultCacheHitsTotal,
+			after.RejectedQueueFullTotal-before.RejectedQueueFullTotal))
+	}
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+
+	rep := report{
+		Label: *label,
+		Config: runConfig{
+			URL: *url, Clients: *clients, Requests: len(deck), DupFrac: *dup,
+			Family: *family, N: *n, Classes: *classes, Machines: *m, Slots: *slots,
+			PMax: *pmax, Seed: *seed, Variant: v.String(), Tier: tr.String(),
+			Epsilon: opts.Epsilon, TimeoutMs: *timeoutMs,
+		},
+		WallS:      wall.Seconds(),
+		Throughput: float64(len(deck)) / wall.Seconds(),
+		Totals:     tot,
+		LatencyMs: latencySummary{
+			P50: pct(0.50), P90: pct(0.90), P99: pct(0.99),
+			Max:  float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+			Mean: float64(sum) / float64(len(sorted)) / float64(time.Millisecond),
+		},
+		Server: serverDeltas{
+			Admitted:              after.AdmittedTotal - before.AdmittedTotal,
+			Solves:                after.SolvesTotal - before.SolvesTotal,
+			CoalescedHits:         after.CoalescedHitsTotal - before.CoalescedHitsTotal,
+			ResultCacheHits:       after.ResultCacheHitsTotal - before.ResultCacheHitsTotal,
+			RejectedQueueFull:     after.RejectedQueueFullTotal - before.RejectedQueueFullTotal,
+			SolveErrors:           after.SolveErrorsTotal - before.SolveErrorsTotal,
+			FeasibilityCacheHits:  after.FeasibilityCache.Hits - before.FeasibilityCache.Hits,
+			FeasibilityCacheMiss:  after.FeasibilityCache.Misses - before.FeasibilityCache.Misses,
+			ResultCacheEntriesNow: after.ResultCacheEntries,
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("ccload: %d requests in %.2fs (%.1f rps): %d ok, %d coalesced, %d cached, %d dropped, %d errors → %s\n",
+		len(deck), wall.Seconds(), rep.Throughput, tot.OK, tot.Coalesced, tot.Cached, tot.Dropped, tot.Errors, *out)
+}

@@ -1,0 +1,117 @@
+// Command ccserved is the CCS scheduling service: a long-lived daemon that
+// accepts instances over HTTP/JSON, coalesces identical concurrent requests
+// into one solve, caches full results above the shared per-guess
+// feasibility cache, and answers from a bounded worker pool with
+// per-request deadlines. See internal/server for the pipeline and
+// docs/ARCHITECTURE.md ("Service layer") for the design.
+//
+// Usage:
+//
+//	ccserved -addr :8080 -workers 4 -queue 256 -result-cache 1024
+//
+// Endpoints:
+//
+//	POST /v1/solve       submit {"instance":..., "options":..., "timeout_ms":...};
+//	                     ?wait=30s blocks for the result (default), ?wait=0
+//	                     returns 202 with a job id immediately
+//	GET  /v1/jobs/{id}   poll a submission (?wait= blocks)
+//	GET  /healthz        liveness + queue gauges
+//	GET  /metrics        counters, caches, latency histogram (JSON)
+//
+// SIGINT/SIGTERM starts a graceful shutdown: admission stops (503), the
+// queue drains, and solves still running when -grace expires are canceled
+// via context. A second signal forces immediate cancellation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccsched"
+	"ccsched/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "solver pool size (0 = 4)")
+		queue       = flag.Int("queue", 256, "bounded admission queue depth (excess gets 429)")
+		resultCache = flag.Int("result-cache", 1024, "full-result LRU entries")
+		defTimeout  = flag.Duration("default-timeout", 120*time.Second, "solve deadline for requests without timeout_ms")
+		maxTimeout  = flag.Duration("max-timeout", 15*time.Minute, "cap on the wire-settable timeout_ms")
+		maxJobs     = flag.Int("max-jobs", 100000, "largest admitted instance (jobs)")
+		maxBody     = flag.Int64("max-body", 32<<20, "maximum request body bytes")
+		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight solves are canceled")
+		quiet       = flag.Bool("quiet", false, "suppress per-solve logging")
+	)
+	flag.Parse()
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	svc := server.New(server.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		ResultCacheEntries: *resultCache,
+		DefaultTimeout:     *defTimeout,
+		MaxTimeout:         *maxTimeout,
+		MaxJobs:            *maxJobs,
+		MaxBodyBytes:       *maxBody,
+		Cache:              ccsched.NewFeasibilityCache(),
+		Logf:               logf,
+	})
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Slow-client protection: a connection dribbling its headers (or
+		// idling between requests) must not hold a goroutine and fd
+		// forever. Response writes stay unbounded — long ?wait= holds are
+		// legitimate.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sigs
+		log.Printf("ccserved: shutting down (drain budget %s; signal again to force)", *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		go func() {
+			<-sigs
+			log.Printf("ccserved: forcing shutdown")
+			cancel()
+		}()
+		if err := svc.Shutdown(ctx); err != nil {
+			log.Printf("ccserved: drain incomplete, in-flight solves canceled: %v", err)
+		} else {
+			log.Printf("ccserved: drained cleanly")
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("ccserved: http shutdown: %v", err)
+		}
+	}()
+
+	w := *workers
+	if w <= 0 {
+		w = 4 // server.Config's default
+	}
+	log.Printf("ccserved: listening on %s (workers=%d queue=%d result-cache=%d)",
+		*addr, w, *queue, *resultCache)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ccserved: %v", err)
+	}
+	<-done
+}

@@ -8,6 +8,11 @@
 //	ccsolve -in inst.ccs -variant nonpreemptive -algo ptas -eps 0.5
 //	ccsolve -in inst.ccs -variant nonpreemptive -algo ptas -parallelism 8 -timeout 30s
 //	ccsolve -in inst.ccs -variant nonpreemptive -algo exact
+//	ccgen -n 50 -json | ccsolve -variant preemptive -algo ptas
+//
+// With -in - (or no -in at all) the instance is read from stdin. Both the
+// textual format and the JSON wire format are accepted; a leading '{'
+// selects JSON.
 //
 // -parallelism controls the PTAS's speculative makespan-guess probes
 // (default: all CPUs; results are bit-identical at any setting) and
@@ -17,10 +22,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/big"
 	"os"
+	"strings"
 	"time"
 
 	"ccsched"
@@ -31,9 +39,22 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// parseAnyInstance accepts both instance encodings: a leading '{' selects
+// the JSON wire format, anything else the textual format.
+func parseAnyInstance(data []byte) (*ccsched.Instance, error) {
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
+		in := &ccsched.Instance{}
+		if err := json.Unmarshal([]byte(trimmed), in); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	return ccsched.ParseInstance(string(data))
+}
+
 func main() {
 	var (
-		inFile      = flag.String("in", "", "instance file (textual format)")
+		inFile      = flag.String("in", "-", "instance file, textual or JSON format (- = stdin)")
 		variant     = flag.String("variant", "splittable", "splittable | preemptive | nonpreemptive")
 		algo        = flag.String("algo", "approx", "auto | approx | ptas | exact")
 		eps         = flag.Float64("eps", 0.5, "PTAS accuracy ε")
@@ -41,14 +62,19 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	)
 	flag.Parse()
-	if *inFile == "" {
-		fail(fmt.Errorf("missing -in"))
+	var (
+		data []byte
+		err  error
+	)
+	if *inFile == "" || *inFile == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*inFile)
 	}
-	data, err := os.ReadFile(*inFile)
 	if err != nil {
 		fail(err)
 	}
-	in, err := ccsched.ParseInstance(string(data))
+	in, err := parseAnyInstance(data)
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,103 @@
+// The service example is a from-scratch HTTP client for ccserved: it
+// generates an instance, submits it as JSON, reads back the schedule,
+// validates it locally against the submitted instance, and prints the
+// server's coalescing/caching counters. It uses only net/http,
+// encoding/json and the public ccsched codecs — exactly what a client in
+// another language would reimplement.
+//
+// Run the daemon first:
+//
+//	go run ./cmd/ccserved -addr :8080
+//	go run ./examples/service -url http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"net/http"
+
+	"ccsched"
+)
+
+// solveRequest mirrors ccserved's POST /v1/solve body.
+type solveRequest struct {
+	Instance  *ccsched.Instance `json:"instance"`
+	Options   ccsched.Options   `json:"options"`
+	TimeoutMs int64             `json:"timeout_ms,omitempty"`
+}
+
+// solveResponse mirrors the fields of the reply this example reads.
+type solveResponse struct {
+	ID        string          `json:"id"`
+	Status    string          `json:"status"`
+	Result    *ccsched.Result `json:"result"`
+	Error     string          `json:"error"`
+	SolveMs   float64         `json:"solve_ms"`
+	Coalesced bool            `json:"coalesced"`
+	Cached    bool            `json:"cached"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "ccserved base URL")
+	flag.Parse()
+
+	in, err := ccsched.Generate("zipf", ccsched.GeneratorConfig{
+		N: 60, Classes: 12, Machines: 6, Slots: 2, PMax: 100, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := json.Marshal(solveRequest{
+		Instance:  in,
+		Options:   ccsched.Options{Variant: ccsched.NonPreemptive, Tier: ccsched.TierApprox},
+		TimeoutMs: 30000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit twice: the second submission is answered without a second
+	// solve (coalesced into the first while it runs, or served from the
+	// result cache after it finished).
+	for attempt := 1; attempt <= 2; attempt++ {
+		resp, err := http.Post(*url+"/v1/solve?wait=60s", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatalf("is ccserved running at %s? %v", *url, err)
+		}
+		var sr solveResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("HTTP %d: %s", resp.StatusCode, sr.Error)
+		}
+		// Never trust a scheduler blindly: validate the returned schedule
+		// against the instance we submitted.
+		if err := sr.Result.NonPreemptive.Validate(in); err != nil {
+			log.Fatalf("server returned an invalid schedule: %v", err)
+		}
+		ratio, _ := new(big.Rat).Quo(sr.Result.Makespan, sr.Result.LowerBound).Float64()
+		fmt.Printf("attempt %d: job %s makespan=%s (%.3f x certified lower bound) solve=%.1fms coalesced=%v cached=%v\n",
+			attempt, sr.ID, sr.Result.Makespan.RatString(), ratio, sr.SolveMs, sr.Coalesced, sr.Cached)
+	}
+
+	var metrics map[string]any
+	resp, err := http.Get(*url + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server counters: requests=%v solves=%v coalesced=%v result_cache_hits=%v\n",
+		metrics["requests_total"], metrics["solves_total"],
+		metrics["coalesced_hits_total"], metrics["result_cache_hits_total"])
+}

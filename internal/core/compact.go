@@ -19,14 +19,14 @@ import (
 // given Size. The pieces are distinct job fragments, so a group of k
 // machines consumes k*Size units of the job.
 type GroupPiece struct {
-	Job  int
-	Size rat.R
+	Job  int   `json:"job"`
+	Size rat.R `json:"size"`
 }
 
 // MachineGroup is a run of Count identical machines sharing a piece layout.
 type MachineGroup struct {
-	Count  int64
-	Pieces []GroupPiece
+	Count  int64        `json:"count"`
+	Pieces []GroupPiece `json:"pieces"`
 }
 
 // Load returns the load of each machine in the group.
@@ -41,7 +41,7 @@ func (g *MachineGroup) Load() rat.R {
 // CompactSplitSchedule is a splittable schedule in machine-group form. Its
 // encoding size is polynomial in n even when m is exponential.
 type CompactSplitSchedule struct {
-	Groups []MachineGroup
+	Groups []MachineGroup `json:"groups"`
 }
 
 // MakespanR returns the maximum group load as an exact rational value.

@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -124,9 +125,11 @@ func (in *Instance) ClassJobs() [][]int {
 }
 
 // Validate checks the structural invariants the algorithms in this module
-// rely on: parallel slices, positive processing times, non-negative classes,
-// at least one machine, at least one class slot. It does not require classes
-// to be contiguous; use Normalize for that.
+// rely on: parallel slices, positive processing times whose total load fits
+// in an int64 (every solver accumulates Σp_j into int64 makespan guesses —
+// an overflowed, negative total would send them into nonsense), non-negative
+// classes, at least one machine, at least one class slot. It does not
+// require classes to be contiguous; use Normalize for that.
 func (in *Instance) Validate() error {
 	if len(in.P) != len(in.Class) {
 		return fmt.Errorf("core: %d processing times but %d classes", len(in.P), len(in.Class))
@@ -137,6 +140,7 @@ func (in *Instance) Validate() error {
 	if in.Slots < 1 {
 		return errors.New("core: need at least one class slot per machine")
 	}
+	var total int64
 	for j, p := range in.P {
 		if p <= 0 {
 			return fmt.Errorf("core: job %d has non-positive processing time %d", j, p)
@@ -144,6 +148,10 @@ func (in *Instance) Validate() error {
 		if in.Class[j] < 0 {
 			return fmt.Errorf("core: job %d has negative class %d", j, in.Class[j])
 		}
+		if p > math.MaxInt64-total {
+			return fmt.Errorf("core: total processing time overflows int64 at job %d", j)
+		}
+		total += p
 	}
 	return nil
 }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestInstanceJSONRoundTrip checks JSON encode/decode is lossless and agrees
+// with the textual format: text → Instance → JSON → Instance → text must
+// reproduce the original rendering byte for byte.
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	text := "machines 5\nslots 2\njob 7 0\njob 3 1\njob 9 0\njob 2 2\n"
+	in, err := ParseInstance(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &back) {
+		t.Fatalf("round trip changed the instance:\n got %+v\nwant %+v", &back, in)
+	}
+	if got := FormatInstance(&back); got != text {
+		t.Fatalf("text after JSON round trip:\n got %q\nwant %q", got, text)
+	}
+}
+
+// TestInstanceJSONValidates checks decoding rejects structurally invalid
+// instances just like ReadInstance does.
+func TestInstanceJSONValidates(t *testing.T) {
+	bad := []string{
+		`{"machines":0,"slots":1,"p":[1],"class":[0]}`,   // no machines
+		`{"machines":1,"slots":0,"p":[1],"class":[0]}`,   // no slots
+		`{"machines":1,"slots":1,"p":[0],"class":[0]}`,   // non-positive p
+		`{"machines":1,"slots":1,"p":[1],"class":[-1]}`,  // negative class
+		`{"machines":1,"slots":1,"p":[1,2],"class":[0]}`, // length mismatch
+		`{"machines":1,"slots":1,"p":[1],"class":[0,1]}`, // length mismatch
+		// Total load overflowing int64 must be rejected: a negative Σp_j
+		// once sent the approx tier into a non-terminating loop.
+		`{"machines":2,"slots":1,"p":[4611686018427387904,4611686018427387904,4611686018427387904],"class":[0,0,0]}`,
+	}
+	for _, s := range bad {
+		var in Instance
+		if err := json.Unmarshal([]byte(s), &in); err == nil {
+			t.Errorf("decoding %s succeeded, want validation error", s)
+		}
+	}
+}
+
+// TestVariantJSON checks the string encoding of Variant in both directions.
+func TestVariantJSON(t *testing.T) {
+	for _, v := range Variants {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Variant
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != v {
+			t.Fatalf("variant %v round-tripped to %v (wire %s)", v, back, data)
+		}
+	}
+	var v Variant
+	if err := json.Unmarshal([]byte(`"nonpreemptive"`), &v); err != nil || v != NonPreemptive {
+		t.Fatalf("hyphenless alias: got %v, %v", v, err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &v); err == nil {
+		t.Fatal("unknown variant decoded without error")
+	}
+}

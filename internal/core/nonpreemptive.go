@@ -5,7 +5,7 @@ import "fmt"
 // NonPreemptiveSchedule assigns every job to exactly one machine.
 type NonPreemptiveSchedule struct {
 	// Assign[j] is the machine executing job j.
-	Assign []int64
+	Assign []int64 `json:"assign"`
 }
 
 // Makespan returns the maximum machine load under the instance's processing

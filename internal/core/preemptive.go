@@ -12,10 +12,10 @@ import (
 // the splittable case, a piece carries an explicit start time, because
 // pieces of the same job must not overlap in time.
 type PreemptivePiece struct {
-	Job     int
-	Machine int64
-	Start   rat.R
-	Size    rat.R
+	Job     int   `json:"job"`
+	Machine int64 `json:"machine"`
+	Start   rat.R `json:"start"`
+	Size    rat.R `json:"size"`
 }
 
 // End returns Start+Size.
@@ -25,7 +25,7 @@ func (p *PreemptivePiece) End() rat.R { return p.Start.Add(p.Size) }
 // variant: jobs may be cut, but two pieces of the same job — and two pieces
 // sharing a machine — must occupy disjoint time intervals.
 type PreemptiveSchedule struct {
-	Pieces []PreemptivePiece
+	Pieces []PreemptivePiece `json:"pieces"`
 }
 
 // MakespanR returns the largest piece end time as an exact rational value.

@@ -11,16 +11,16 @@ import (
 // SplitPiece is one fragment of a job in a splittable schedule. Size is
 // measured in processing-time units (not as a fraction of the job).
 type SplitPiece struct {
-	Job     int
-	Machine int64
-	Size    rat.R
+	Job     int   `json:"job"`
+	Machine int64 `json:"machine"`
+	Size    rat.R `json:"size"`
 }
 
 // SplitSchedule is a schedule for the splittable variant: pieces of a job
 // may be placed on any machines and may run concurrently; a machine's load
 // is simply the sum of its piece sizes.
 type SplitSchedule struct {
-	Pieces []SplitPiece
+	Pieces []SplitPiece `json:"pieces"`
 }
 
 // denseLimit decides whether machine indices are dense enough for slice

@@ -195,11 +195,14 @@ func (p *Problem) EncodingLength() int {
 
 // Params summarizes the N-fold parameters appearing in Theorem 1.
 type Params struct {
-	N, R, S, T int
-	Delta      int64
-	L          int
+	N     int   `json:"n"`
+	R     int   `json:"r"`
+	S     int   `json:"s"`
+	T     int   `json:"t"`
+	Delta int64 `json:"delta"`
+	L     int   `json:"l"`
 	// Vars is N*T, the total variable count.
-	Vars int
+	Vars int `json:"vars"`
 }
 
 // Params extracts the parameter vector.

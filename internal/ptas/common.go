@@ -102,21 +102,21 @@ func (o Options) nfoldOptions() *nfold.Options {
 // Report captures per-run diagnostics for the experiment harness.
 type Report struct {
 	// Delta is the internal accuracy 1/g.
-	InvDelta int64
+	InvDelta int64 `json:"inv_delta,omitempty"`
 	// Guess is the accepted makespan guess T.
-	Guess int64
+	Guess int64 `json:"guess,omitempty"`
 	// Guesses is the number of makespan guesses tried.
-	Guesses int
+	Guesses int `json:"guesses,omitempty"`
 	// NFold holds the parameters of the last solved N-fold.
-	NFold nfold.Params
+	NFold nfold.Params `json:"nfold"`
 	// Engine is the engine that produced the accepted solution.
-	Engine nfold.Engine
+	Engine nfold.Engine `json:"engine,omitempty"`
 	// TheoreticalCostLog2 is log2 of the Theorem 1 bound for the accepted
 	// N-fold.
-	TheoreticalCostLog2 float64
+	TheoreticalCostLog2 float64 `json:"theoretical_cost_log2,omitempty"`
 	// CacheHits counts guess probes answered from the feasibility cache
 	// during this search.
-	CacheHits int
+	CacheHits int `json:"cache_hits,omitempty"`
 }
 
 // guessGrid returns the multiplicative (1+δ)-grid of integral makespan

@@ -101,6 +101,11 @@ func searchGuessesSpec[T any](ctx context.Context, grid []int64, parallelism int
 		probes[i] = &searchResult[T]{ctx: pctx, cancel: cancel, done: make(chan struct{})}
 	}
 	order := probeTreeOrder(0, len(grid)-1)
+	// More workers than probes is pure overhead (and an unbounded
+	// caller-supplied parallelism would fork that many goroutines).
+	if parallelism > len(order) {
+		parallelism = len(order)
+	}
 	var next atomic.Int64 // index into order: probes claimed so far
 	for w := 0; w < parallelism; w++ {
 		go func() {

@@ -17,6 +17,7 @@
 package rat
 
 import (
+	"fmt"
 	"math"
 	"math/big"
 	"math/bits"
@@ -435,4 +436,23 @@ func (r R) String() string {
 		return r.wide.String()
 	}
 	return big.NewRat(r.num, r.d()).String()
+}
+
+// MarshalText implements encoding.TextMarshaler: the value is rendered in
+// RatString form ("3/2", or "7" for integers), so R fields serialize as
+// exact JSON strings via encoding/json.
+func (r R) MarshalText() ([]byte, error) {
+	return []byte(r.RatString()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler. It accepts everything
+// big.Rat.SetString does ("3/2", "7", "1.25", "2e3"), preserving exactness
+// and demoting to the int64 fast path whenever the value fits.
+func (r *R) UnmarshalText(text []byte) error {
+	x, ok := new(big.Rat).SetString(string(text))
+	if !ok {
+		return fmt.Errorf("rat: cannot parse %q as a rational", text)
+	}
+	*r = fromBigOwned(x)
+	return nil
 }

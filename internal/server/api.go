@@ -1,0 +1,70 @@
+package server
+
+import "ccsched"
+
+// Wire types of the HTTP/JSON API. cmd/ccload and the tests share them; the
+// formats themselves are plain JSON over the public ccsched codecs, so any
+// HTTP client can speak them (see examples/service for a from-scratch
+// client).
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Instance is the CCS instance in the public JSON wire format.
+	Instance *ccsched.Instance `json:"instance"`
+	// Options selects variant, tier and knobs exactly like ccsched.Options;
+	// the zero value solves the splittable variant with TierAuto.
+	Options ccsched.Options `json:"options"`
+	// TimeoutMs, when positive, is the solve deadline in milliseconds;
+	// exceeding it yields HTTP 408. Zero selects the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Job states reported in SolveResponse.Status.
+const (
+	// StatusQueued means the solve is admitted but not yet picked up.
+	StatusQueued = "queued"
+	// StatusRunning means a worker is currently solving.
+	StatusRunning = "running"
+	// StatusDone means Result is populated.
+	StatusDone = "done"
+	// StatusError means the solve finished with Error set.
+	StatusError = "error"
+)
+
+// SolveResponse is the body of POST /v1/solve and GET /v1/jobs/{id}.
+type SolveResponse struct {
+	// ID identifies the submission for later polling at /v1/jobs/{id}.
+	ID string `json:"id"`
+	// Status is one of the Status* constants.
+	Status string `json:"status"`
+	// Result is the solve result, in the submitter's job order, when Status
+	// is "done".
+	Result *ccsched.Result `json:"result,omitempty"`
+	// Error is the solve error message when Status is "error".
+	Error string `json:"error,omitempty"`
+	// SolveMs is the solver wall clock in milliseconds (done/error only).
+	SolveMs float64 `json:"solve_ms,omitempty"`
+	// Coalesced reports the submission attached to an identical in-flight
+	// solve instead of starting its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Cached reports the submission was answered from the result cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	// Error describes what was rejected and why.
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok" while the server admits work, "draining" after
+	// Shutdown began.
+	Status string `json:"status"`
+	// Workers is the solver pool size.
+	Workers int `json:"workers"`
+	// QueueDepth and QueueCapacity describe the admission queue.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+}

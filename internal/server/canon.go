@@ -1,0 +1,181 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"ccsched"
+)
+
+// Canonicalization. Requests are deduplicated — both singleflight coalescing
+// of in-flight solves and the full-result LRU — by a digest of the instance
+// in a canonical form that is invariant under the two symmetries of the CCS
+// problem a client is likely to exercise: permuting the job list and
+// relabeling classes. Two requests whose instances differ only by job order
+// or class names therefore cost one solve, and each response is mapped back
+// to the submitter's own job indices through a per-request permutation.
+//
+// Canonical form: jobs are grouped by class and sorted by processing time
+// within each class; classes are ordered by their sorted processing-time
+// lists (lexicographically, shorter first on equal prefixes) and renumbered
+// 0..C-1 in that order. Classes with identical lists are interchangeable, so
+// any deterministic tie-break yields the same canonical instance. The slot
+// budget is capped at min(c, C, n) exactly like Instance.Normalize.
+
+// canonical is an instance in canonical form plus the permutation linking it
+// to the submitter's original job order.
+type canonical struct {
+	in *ccsched.Instance
+	// perm[i] is the original index of canonical job i.
+	perm []int
+}
+
+// canonicalize rewrites in into canonical form. The input is not modified.
+func canonicalize(in *ccsched.Instance) canonical {
+	// Group original job indices by class, sorted by (p, index) within the
+	// class so equal processing times order deterministically.
+	byClass := make(map[int][]int)
+	for j, c := range in.Class {
+		byClass[c] = append(byClass[c], j)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c, jobs := range byClass {
+		sort.Slice(jobs, func(a, b int) bool {
+			if in.P[jobs[a]] != in.P[jobs[b]] {
+				return in.P[jobs[a]] < in.P[jobs[b]]
+			}
+			return jobs[a] < jobs[b]
+		})
+		classes = append(classes, c)
+	}
+	// Order classes by their sorted processing-time lists; tie-break on the
+	// original label for determinism (ties are interchangeable classes, so
+	// the canonical instance does not depend on the tie order).
+	sort.Slice(classes, func(a, b int) bool {
+		ja, jb := byClass[classes[a]], byClass[classes[b]]
+		for k := 0; k < len(ja) && k < len(jb); k++ {
+			if pa, pb := in.P[ja[k]], in.P[jb[k]]; pa != pb {
+				return pa < pb
+			}
+		}
+		if len(ja) != len(jb) {
+			return len(ja) < len(jb)
+		}
+		return classes[a] < classes[b]
+	})
+	n := in.N()
+	out := &ccsched.Instance{
+		P:     make([]int64, 0, n),
+		Class: make([]int, 0, n),
+		M:     in.M,
+		Slots: in.Slots,
+	}
+	perm := make([]int, 0, n)
+	for rank, c := range classes {
+		for _, j := range byClass[c] {
+			out.P = append(out.P, in.P[j])
+			out.Class = append(out.Class, rank)
+			perm = append(perm, j)
+		}
+	}
+	if cc := len(classes); out.Slots > cc && cc > 0 {
+		out.Slots = cc
+	}
+	if out.Slots > n && n > 0 {
+		out.Slots = n
+	}
+	return canonical{in: out, perm: perm}
+}
+
+// key identifies one unit of solver work: a canonical instance plus every
+// option that can influence the result.
+type key [sha256.Size]byte
+
+// requestKey digests the canonical instance together with the
+// result-affecting options. Parallelism and caching knobs are excluded —
+// Solve guarantees bit-identical results for any setting of either — and
+// TierAuto resolves to TierPTAS (and ε to its 0.5 default) so equivalent
+// requests share one entry.
+func requestKey(canon *ccsched.Instance, opts ccsched.Options) key {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(canon.M)
+	put(int64(canon.Slots))
+	put(int64(canon.N()))
+	for _, p := range canon.P {
+		put(p)
+	}
+	for _, c := range canon.Class {
+		put(int64(c))
+	}
+	tier := opts.Tier
+	if tier == ccsched.TierAuto {
+		tier = ccsched.TierPTAS
+	}
+	eps := opts.Epsilon
+	if tier != ccsched.TierPTAS {
+		eps = 0 // ignored by the approx and exact tiers
+	} else if eps == 0 {
+		eps = 0.5 // Solve's default
+	}
+	put(int64(opts.Variant))
+	put(int64(tier))
+	put(int64(math.Float64bits(eps)))
+	put(int64(opts.MaxNodes))
+	put(int64(opts.MaxConfigs))
+	put(opts.HugeMThreshold)
+	put(opts.ExplicitMachineLimit)
+	var k key
+	h.Sum(k[:0])
+	return k
+}
+
+// remapResult translates a canonical-form result back into the submitter's
+// original job indices using its permutation. Schedules are copied (the
+// canonical result is shared across requests and must stay immutable);
+// rationals and the report are shared, as they are never mutated.
+func remapResult(res *ccsched.Result, perm []int) *ccsched.Result {
+	out := *res
+	if res.NonPreemptive != nil {
+		assign := make([]int64, len(res.NonPreemptive.Assign))
+		for i, m := range res.NonPreemptive.Assign {
+			assign[perm[i]] = m
+		}
+		out.NonPreemptive = &ccsched.NonPreemptiveSchedule{Assign: assign}
+	}
+	if res.Split != nil {
+		pieces := make([]ccsched.SplitPiece, len(res.Split.Pieces))
+		for i, pc := range res.Split.Pieces {
+			pc.Job = perm[pc.Job]
+			pieces[i] = pc
+		}
+		out.Split = &ccsched.SplitSchedule{Pieces: pieces}
+	}
+	if res.CompactSplit != nil {
+		groups := make([]ccsched.MachineGroup, len(res.CompactSplit.Groups))
+		for i, g := range res.CompactSplit.Groups {
+			gp := make([]ccsched.GroupPiece, len(g.Pieces))
+			for k, pc := range g.Pieces {
+				pc.Job = perm[pc.Job]
+				gp[k] = pc
+			}
+			groups[i] = ccsched.MachineGroup{Count: g.Count, Pieces: gp}
+		}
+		out.CompactSplit = &ccsched.CompactSplitSchedule{Groups: groups}
+	}
+	if res.Preemptive != nil {
+		pieces := make([]ccsched.PreemptivePiece, len(res.Preemptive.Pieces))
+		for i, pc := range res.Preemptive.Pieces {
+			pc.Job = perm[pc.Job]
+			pieces[i] = pc
+		}
+		out.Preemptive = &ccsched.PreemptiveSchedule{Pieces: pieces}
+	}
+	return &out
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ccsched"
+)
+
+// scrambled returns a copy of in with jobs shuffled and class labels
+// permuted — the symmetries canonicalization must factor out.
+func scrambled(in *ccsched.Instance, seed int64) *ccsched.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	n := in.N()
+	order := rng.Perm(n)
+	C := in.NumClasses()
+	relabel := rng.Perm(C)
+	out := &ccsched.Instance{P: make([]int64, n), Class: make([]int, n), M: in.M, Slots: in.Slots}
+	for i, j := range order {
+		out.P[i] = in.P[j]
+		out.Class[i] = relabel[in.Class[j]]
+	}
+	return out
+}
+
+// genInstance builds a deterministic test instance from a workload family.
+func genInstance(t *testing.T, family string, n, classes int, m int64, slots int, seed int64) *ccsched.Instance {
+	t.Helper()
+	in, err := ccsched.Generate(family, ccsched.GeneratorConfig{
+		N: n, Classes: classes, Machines: m, Slots: slots, PMax: 50, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestCanonicalizeInvariance checks that job shuffles and class relabelings
+// produce the identical canonical instance and request key, across workload
+// families.
+func TestCanonicalizeInvariance(t *testing.T) {
+	opts := ccsched.Options{Variant: ccsched.NonPreemptive, Tier: ccsched.TierApprox}
+	for _, family := range ccsched.GeneratorFamilies() {
+		in := genInstance(t, family, 40, 8, 5, 2, 7)
+		base := canonicalize(in)
+		baseKey := requestKey(base.in, opts)
+		if err := base.in.Validate(); err != nil {
+			t.Fatalf("%s: canonical instance invalid: %v", family, err)
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			alt := canonicalize(scrambled(in, seed))
+			if !reflect.DeepEqual(base.in, alt.in) {
+				t.Fatalf("%s seed %d: canonical forms differ:\n%+v\n%+v", family, seed, base.in, alt.in)
+			}
+			if requestKey(alt.in, opts) != baseKey {
+				t.Fatalf("%s seed %d: request keys differ", family, seed)
+			}
+		}
+	}
+}
+
+// TestCanonicalizePermIsValid checks the permutation really links canonical
+// to original jobs.
+func TestCanonicalizePermIsValid(t *testing.T) {
+	in := genInstance(t, "zipf", 30, 6, 4, 2, 3)
+	c := canonicalize(in)
+	seen := make([]bool, in.N())
+	for i, j := range c.perm {
+		if seen[j] {
+			t.Fatalf("perm maps two canonical jobs to original %d", j)
+		}
+		seen[j] = true
+		if c.in.P[i] != in.P[j] {
+			t.Fatalf("canonical job %d has p=%d, original %d has p=%d", i, c.in.P[i], j, in.P[j])
+		}
+	}
+}
+
+// TestRequestKeyOptionSensitivity checks result-affecting options split the
+// key space while result-neutral knobs (parallelism, caching, TierAuto
+// aliasing, the ε default) do not.
+func TestRequestKeyOptionSensitivity(t *testing.T) {
+	in := canonicalize(genInstance(t, "uniform", 20, 4, 3, 2, 1)).in
+	base := requestKey(in, ccsched.Options{Variant: ccsched.Splittable, Tier: ccsched.TierPTAS})
+	same := []ccsched.Options{
+		{Variant: ccsched.Splittable, Tier: ccsched.TierPTAS, Parallelism: 8},
+		{Variant: ccsched.Splittable, Tier: ccsched.TierPTAS, NoCache: true},
+		{Variant: ccsched.Splittable, Tier: ccsched.TierAuto},
+		{Variant: ccsched.Splittable, Tier: ccsched.TierPTAS, Epsilon: 0.5},
+	}
+	for i, o := range same {
+		if requestKey(in, o) != base {
+			t.Fatalf("option set %d changed the key but cannot change the result", i)
+		}
+	}
+	diff := []ccsched.Options{
+		{Variant: ccsched.Preemptive, Tier: ccsched.TierPTAS},
+		{Variant: ccsched.Splittable, Tier: ccsched.TierApprox},
+		{Variant: ccsched.Splittable, Tier: ccsched.TierPTAS, Epsilon: 0.25},
+		{Variant: ccsched.Splittable, Tier: ccsched.TierPTAS, MaxNodes: 10},
+	}
+	for i, o := range diff {
+		if requestKey(in, o) == base {
+			t.Fatalf("option set %d shares the key but can change the result", i)
+		}
+	}
+}
+
+// TestRemapResultValidates solves canonical instances for all three
+// variants and checks the remapped schedules validate against the original
+// (scrambled) instances they answer for.
+func TestRemapResultValidates(t *testing.T) {
+	for _, variant := range []ccsched.Variant{ccsched.Splittable, ccsched.Preemptive, ccsched.NonPreemptive} {
+		orig := scrambled(genInstance(t, "thirds", 24, 6, 4, 2, 9), 11)
+		c := canonicalize(orig)
+		res, err := ccsched.Solve(context.Background(), c.in, ccsched.Options{Variant: variant, Tier: ccsched.TierApprox})
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		mapped := remapResult(res, c.perm)
+		switch variant {
+		case ccsched.Splittable:
+			if err := mapped.Split.Validate(orig); err != nil {
+				t.Fatalf("%v: remapped explicit schedule invalid: %v", variant, err)
+			}
+			if err := mapped.CompactSplit.Validate(orig); err != nil {
+				t.Fatalf("%v: remapped compact schedule invalid: %v", variant, err)
+			}
+		case ccsched.Preemptive:
+			if err := mapped.Preemptive.Validate(orig); err != nil {
+				t.Fatalf("%v: remapped schedule invalid: %v", variant, err)
+			}
+		case ccsched.NonPreemptive:
+			if err := mapped.NonPreemptive.Validate(orig); err != nil {
+				t.Fatalf("%v: remapped schedule invalid: %v", variant, err)
+			}
+		}
+		if mapped.Makespan.Cmp(res.Makespan) != 0 {
+			t.Fatalf("%v: remap changed the makespan", variant)
+		}
+	}
+}

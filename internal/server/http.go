@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ccsched"
+)
+
+// The HTTP surface:
+//
+//	POST /v1/solve            submit an instance+options; awaits the result
+//	                          up to ?wait= (default 30s; 0 = async submit),
+//	                          else returns 202 with a job id
+//	GET  /v1/jobs/{id}        poll a submission; ?wait= blocks until done
+//	GET  /healthz             liveness and queue gauges
+//	GET  /metrics             MetricsSnapshot JSON
+//
+// Status mapping: 200 done, 202 still queued/running, 400 malformed, 404
+// unknown/expired job, 408 solve deadline exceeded, 422 infeasible or
+// beyond exact-tier size limits, 429 queue full, 499 canceled (all clients
+// gone), 503 shutting down.
+
+// defaultWait is how long POST /v1/solve blocks for the result when the
+// request does not say otherwise.
+const defaultWait = 30 * time.Second
+
+// Handler returns the HTTP handler exposing the service API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v with the given HTTP status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError writes an ErrorResponse.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusClientClosedRequest is nginx's conventional code for "the client
+// went away before a response existed"; no stdlib constant exists.
+const statusClientClosedRequest = 499
+
+// parseWait reads the ?wait= query parameter: a Go duration ("500ms",
+// "30s") or bare milliseconds. def applies when absent.
+func parseWait(r *http.Request, def time.Duration) (time.Duration, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return def, nil
+	}
+	if d, err := time.ParseDuration(raw); err == nil {
+		if d < 0 {
+			return 0, fmt.Errorf("negative wait %q", raw)
+		}
+		return d, nil
+	}
+	// Bare milliseconds. strconv rejects trailing garbage, so a typo like
+	// "30m5" is a 400, not a silent 30ms wait.
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("cannot parse wait %q", raw)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// handleSolve admits one solve request and (unless wait is 0) awaits its
+// completion.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	wait, err := parseWait(r, defaultWait)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Instance == nil {
+		writeError(w, http.StatusBadRequest, "missing \"instance\"")
+		return
+	}
+	sub, err := s.submit(req.Instance, req.Options, time.Duration(req.TimeoutMs)*time.Millisecond, wait == 0)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrInstanceTooLarge):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if sub.done != nil {
+		s.respondOutcome(w, sub, *sub.done, true)
+		return
+	}
+	if wait == 0 {
+		writeJSON(w, http.StatusAccepted, SolveResponse{ID: sub.id, Status: s.flightStatus(sub.flight), Coalesced: sub.coalesced})
+		return
+	}
+	s.awaitFlight(w, r, sub, wait)
+}
+
+// awaitFlight blocks one attached request on its flight until completion,
+// the wait budget, or client disconnect, and responds accordingly.
+func (s *Server) awaitFlight(w http.ResponseWriter, r *http.Request, sub *submission, wait time.Duration) {
+	f := sub.flight
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-f.done:
+		s.detach(f)
+		s.respondOutcome(w, sub, outcome{res: f.res, err: f.err, elapsed: f.elapsed}, false)
+	case <-timer.C:
+		// The client outwaited its budget but may poll later: keep the
+		// solve alive even though this waiter leaves.
+		s.pin(f)
+		s.detach(f)
+		writeJSON(w, http.StatusAccepted, SolveResponse{ID: sub.id, Status: s.flightStatus(f), Coalesced: sub.coalesced})
+	case <-r.Context().Done():
+		// Client gone: detach, which cancels the solve if nobody else is
+		// interested. The status line is moot (nobody reads it).
+		s.detach(f)
+		writeError(w, statusClientClosedRequest, "client closed request")
+	}
+}
+
+// flightStatus reports queued/running for a live flight.
+func (s *Server) flightStatus(f *flight) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.running {
+		return StatusRunning
+	}
+	return StatusQueued
+}
+
+// respondOutcome renders a finished solve for one submission, remapping the
+// canonical result into the submitter's job order.
+func (s *Server) respondOutcome(w http.ResponseWriter, sub *submission, out outcome, cached bool) {
+	ms := float64(out.elapsed) / float64(time.Millisecond)
+	if out.err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(out.err, context.DeadlineExceeded):
+			status = http.StatusRequestTimeout
+		case errors.Is(out.err, ccsched.ErrCanceled), errors.Is(out.err, context.Canceled):
+			status = statusClientClosedRequest
+		case errors.Is(out.err, ccsched.ErrInfeasible), errors.Is(out.err, ccsched.ErrTooLarge):
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, SolveResponse{
+			ID: sub.id, Status: StatusError, Error: out.err.Error(),
+			SolveMs: ms, Coalesced: sub.coalesced, Cached: cached,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{
+		ID: sub.id, Status: StatusDone, Result: remapResult(out.res, sub.perm),
+		SolveMs: ms, Coalesced: sub.coalesced, Cached: cached,
+	})
+}
+
+// handleJob reports or awaits the state of a prior submission.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	wait, err := parseWait(r, 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := r.PathValue("id")
+	s.mu.Lock()
+	je, ok := s.jobs.get(id)
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if out, ok := s.results.get(je.key); ok {
+		s.mu.Unlock()
+		s.respondOutcome(w, &submission{id: id, perm: je.perm}, out, true)
+		return
+	}
+	f, live := s.flights[je.key]
+	if live && wait > 0 {
+		f.waiters++ // attach under the same lock that found the flight
+	}
+	s.mu.Unlock()
+	if !live {
+		// Finished but not cached — only cancellations end up here.
+		writeError(w, http.StatusNotFound, "job %q expired (canceled or evicted); resubmit", id)
+		return
+	}
+	if wait == 0 {
+		writeJSON(w, http.StatusAccepted, SolveResponse{ID: id, Status: s.flightStatus(f)})
+		return
+	}
+	s.awaitFlight(w, r, &submission{id: id, perm: je.perm, flight: f}, wait)
+}
+
+// handleHealth serves liveness plus queue gauges; 503 once draining.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	resp := HealthResponse{
+		Status:        "ok",
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+	}
+	status := http.StatusOK
+	if closed {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics serves the MetricsSnapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,56 @@
+package server
+
+import "container/list"
+
+// lruCache is a bounded map with least-recently-used eviction, used for the
+// full-result cache (layered above the per-guess feasibility cache) and the
+// job table. It is NOT self-locking: every method must run under the owning
+// Server's mutex.
+type lruCache[K comparable, V any] struct {
+	max int
+	ll  *list.List
+	m   map[K]*list.Element
+}
+
+// lruItem is one cache slot.
+type lruItem[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// newLRU returns an empty cache holding at most max entries (max ≥ 1).
+func newLRU[K comparable, V any](max int) *lruCache[K, V] {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache[K, V]{max: max, ll: list.New(), m: make(map[K]*list.Element)}
+}
+
+// get returns the value for k and marks it most recently used.
+func (c *lruCache[K, V]) get(k K) (V, bool) {
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruItem[K, V]).v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts or replaces the value for k, evicting the least recently used
+// entry when the cache is full.
+func (c *lruCache[K, V]) add(k K, v V) {
+	if el, ok := c.m[k]; ok {
+		el.Value.(*lruItem[K, V]).v = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruItem[K, V]).k)
+	}
+	c.m[k] = c.ll.PushFront(&lruItem[K, V]{k: k, v: v})
+}
+
+// len reports the number of cached entries.
+func (c *lruCache[K, V]) len() int { return c.ll.Len() }

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds (in milliseconds) of the solve
+// latency histogram, roughly logarithmic from 1ms to 30s; observations
+// beyond the last bound land in the implicit +Inf bucket.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// metrics holds the service counters. All fields are atomics, so the hot
+// path never takes a lock to count.
+type metrics struct {
+	requests        atomic.Int64 // solve submissions received (any outcome)
+	admitted        atomic.Int64 // new flights accepted into the queue
+	rejectedFull    atomic.Int64 // submissions refused with 429 (queue full)
+	coalesced       atomic.Int64 // submissions attached to an in-flight solve
+	resultCacheHits atomic.Int64 // submissions answered from the result LRU
+	solves          atomic.Int64 // solver invocations completed
+	solveErrors     atomic.Int64 // solver invocations that returned an error
+	solveCanceled   atomic.Int64 // ...of which cancellations/deadline expiries
+	workersBusy     atomic.Int64 // workers currently inside the solver
+
+	latencyCounts [15]atomic.Int64 // len(latencyBucketsMs)+1, last is +Inf
+	latencyTotal  atomic.Int64
+	latencySumUs  atomic.Int64
+}
+
+// observe records one solve wall-clock duration in the histogram.
+func (m *metrics) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	m.latencyCounts[i].Add(1)
+	m.latencyTotal.Add(1)
+	m.latencySumUs.Add(int64(d / time.Microsecond))
+}
+
+// LatencyBucket is one cumulative histogram bucket: Count observations took
+// at most LeMs milliseconds. LeMs is 0 for the final +Inf bucket.
+type LatencyBucket struct {
+	LeMs  float64 `json:"le_ms,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// LatencySnapshot is the solve latency histogram at one point in time.
+type LatencySnapshot struct {
+	// Count is the number of completed solves observed.
+	Count int64 `json:"count"`
+	// SumMs is the summed wall clock of all observed solves.
+	SumMs float64 `json:"sum_ms"`
+	// Buckets is the cumulative histogram; the last bucket (le_ms omitted)
+	// counts everything.
+	Buckets []LatencyBucket `json:"buckets"`
+}
+
+// CacheStats reports the shared feasibility cache's counters.
+type CacheStats struct {
+	// Hits and Misses are cumulative lookup counters.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Entries is the current number of memoized guess verdicts.
+	Entries int `json:"entries"`
+}
+
+// MetricsSnapshot is the JSON document served at /metrics: admission,
+// coalescing and cache counters, queue and worker gauges, and the solve
+// latency histogram.
+type MetricsSnapshot struct {
+	// RequestsTotal counts solve submissions received, whatever the outcome.
+	RequestsTotal int64 `json:"requests_total"`
+	// AdmittedTotal counts submissions that became a new queued solve.
+	AdmittedTotal int64 `json:"admitted_total"`
+	// RejectedQueueFullTotal counts submissions refused with 429.
+	RejectedQueueFullTotal int64 `json:"rejected_queue_full_total"`
+	// CoalescedHitsTotal counts submissions served by attaching to an
+	// identical in-flight solve (singleflight).
+	CoalescedHitsTotal int64 `json:"coalesced_hits_total"`
+	// ResultCacheHitsTotal counts submissions answered from the full-result
+	// LRU without touching the queue.
+	ResultCacheHitsTotal int64 `json:"result_cache_hits_total"`
+	// SolvesTotal counts completed solver invocations.
+	SolvesTotal int64 `json:"solves_total"`
+	// SolveErrorsTotal counts solver invocations that returned any error.
+	SolveErrorsTotal int64 `json:"solve_errors_total"`
+	// SolveCanceledTotal counts solver errors that were cancellations or
+	// deadline expiries (a subset of SolveErrorsTotal).
+	SolveCanceledTotal int64 `json:"solve_canceled_total"`
+	// QueueDepth and QueueCapacity describe the admission queue right now.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Workers is the pool size; WorkersBusy the number currently solving.
+	Workers     int   `json:"workers"`
+	WorkersBusy int64 `json:"workers_busy"`
+	// InFlight is the number of distinct solves admitted but not finished.
+	InFlight int `json:"in_flight"`
+	// ResultCacheEntries is the current size of the full-result LRU.
+	ResultCacheEntries int `json:"result_cache_entries"`
+	// FeasibilityCache reports the shared per-guess cache under the LRU.
+	FeasibilityCache CacheStats `json:"feasibility_cache"`
+	// SolveLatency is the histogram of completed solve wall clocks.
+	SolveLatency LatencySnapshot `json:"solve_latency"`
+	// UptimeSeconds is the time since the server was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// latencySnapshot renders the histogram.
+func (m *metrics) latencySnapshot() LatencySnapshot {
+	out := LatencySnapshot{
+		Count: m.latencyTotal.Load(),
+		SumMs: float64(m.latencySumUs.Load()) / 1000,
+	}
+	var cum int64
+	for i := range m.latencyCounts {
+		cum += m.latencyCounts[i].Load()
+		b := LatencyBucket{Count: cum}
+		if i < len(latencyBucketsMs) {
+			b.LeMs = latencyBucketsMs[i]
+		}
+		out.Buckets = append(out.Buckets, b)
+	}
+	return out
+}

@@ -1,0 +1,455 @@
+// Package server implements ccserved's scheduling service: a batching,
+// deduplicating request pipeline on top of the context-aware ccsched.Solve.
+//
+// The pipeline is:
+//
+//	HTTP request
+//	  → decode + validate (public JSON codecs)
+//	  → canonicalize (job order / class labels factored out; per-request perm)
+//	  → full-result LRU lookup ──────────────── hit → remap → respond
+//	  → singleflight coalesce onto in-flight solve ─ hit → await → respond
+//	  → admission: bounded queue (429 when full)
+//	  → worker pool: ccsched.Solve under a per-request deadline context,
+//	    all workers sharing one feasibility cache
+//	  → publish: result LRU + wake all waiters → remap → respond
+//
+// Identical concurrent requests cost one solve; identical later requests
+// cost zero. Graceful shutdown stops admitting (503), drains the queue, and
+// — when the drain deadline expires — cancels in-flight solves via context,
+// which ccsched.Solve honors down to individual ILP iterations.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ccsched"
+)
+
+// SolveFunc is the solver the worker pool invokes; it defaults to
+// ccsched.Solve and is injectable for tests.
+type SolveFunc func(ctx context.Context, in *ccsched.Instance, opts ccsched.Options) (*ccsched.Result, error)
+
+// Config parameterizes a Server. The zero value selects sensible defaults
+// for every field.
+type Config struct {
+	// Workers is the solver pool size. Zero selects 4.
+	Workers int
+	// QueueDepth bounds the admission queue of distinct pending solves;
+	// submissions beyond it are refused with 429. Zero selects 256.
+	QueueDepth int
+	// ResultCacheEntries bounds the full-result LRU. Zero selects 1024.
+	ResultCacheEntries int
+	// DefaultTimeout is the per-solve deadline applied when a request does
+	// not carry its own. Zero selects 120s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the wire-settable timeout_ms — without it a client
+	// could reserve a worker for an arbitrary duration. Zero selects 15m.
+	MaxTimeout time.Duration
+	// MaxJobs bounds the job count of admitted instances. The approx tier
+	// deliberately runs to completion (it is strongly polynomial but not
+	// cancellable mid-solve), so admission is where instance size must be
+	// policed. Zero selects 100000.
+	MaxJobs int
+	// MaxBodyBytes bounds request bodies. Zero selects 32 MiB.
+	MaxBodyBytes int64
+	// Cache is the feasibility cache shared by all workers. Nil creates a
+	// fresh one (isolated from the process-wide default).
+	Cache *ccsched.FeasibilityCache
+	// Solver overrides the solver invoked by the workers; nil selects
+	// ccsched.Solve. Tests use it to instrument and gate solves.
+	Solver SolveFunc
+	// Logf, when non-nil, receives one line per completed solve and per
+	// lifecycle event (Printf-style).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.ResultCacheEntries <= 0 {
+		c.ResultCacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 120 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 15 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 100000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Cache == nil {
+		c.Cache = ccsched.NewFeasibilityCache()
+	}
+	if c.Solver == nil {
+		c.Solver = ccsched.Solve
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// outcome is one finished solve in canonical form, as stored in the result
+// LRU and handed to waiters.
+type outcome struct {
+	res     *ccsched.Result // canonical job order; nil on error
+	err     error
+	elapsed time.Duration
+}
+
+// flight is one admitted solve, shared by every request that coalesced onto
+// it. Waiter bookkeeping happens under Server.mu; res/err are written once
+// by the executing worker before done is closed.
+type flight struct {
+	key  key
+	in   *ccsched.Instance // canonical
+	opts ccsched.Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	res     *ccsched.Result
+	err     error
+	elapsed time.Duration
+
+	// Guarded by Server.mu: waiters is the number of attached requests;
+	// pinned marks flights that must run to completion even with no waiter
+	// (async submissions awaiting a later poll); running flips when a
+	// worker picks the flight up.
+	waiters int
+	pinned  bool
+	running bool
+}
+
+// Server is the scheduling service. Create with New, expose via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	closed  bool
+	flights map[key]*flight
+	results *lruCache[key, outcome]
+	jobs    *lruCache[string, jobEntry]
+	jobSeq  uint64
+
+	queue chan *flight
+	wg    sync.WaitGroup
+
+	met   metrics
+	start time.Time
+}
+
+// jobEntry links a submission's job id to its unit of work and the
+// permutation needed to render results in the submitter's job order.
+type jobEntry struct {
+	key  key
+	perm []int
+}
+
+// Sentinel errors of the admission pipeline.
+var (
+	// ErrQueueFull reports that the bounded admission queue is at capacity;
+	// the HTTP layer maps it to 429.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrShuttingDown reports that the server no longer admits work; the
+	// HTTP layer maps it to 503.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrInstanceTooLarge reports an instance beyond Config.MaxJobs; the
+	// HTTP layer maps it to 422.
+	ErrInstanceTooLarge = errors.New("server: instance exceeds the job limit")
+)
+
+// New returns a started Server: its worker pool is running and its handler
+// (see Handler) admits work immediately.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		flights:    make(map[key]*flight),
+		results:    newLRU[key, outcome](cfg.ResultCacheEntries),
+		jobs:       newLRU[string, jobEntry](4 * cfg.ResultCacheEntries),
+		queue:      make(chan *flight, cfg.QueueDepth),
+		start:      time.Now(),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// submission is the result of admitting one request: either a finished
+// outcome (result-cache hit) or a flight to wait on, plus the request's
+// job id and remap permutation.
+type submission struct {
+	id     string
+	perm   []int
+	done   *outcome // non-nil on a result-cache hit
+	flight *flight  // non-nil otherwise
+	// coalesced reports the request attached to an already-admitted solve.
+	coalesced bool
+}
+
+// sanitizeOptions clamps the wire-settable Options fields that control
+// resource consumption rather than results. Parallelism bounds goroutines
+// per solve (an unchecked huge value would fork that many speculative-probe
+// workers); ExplicitMachineLimit and HugeMThreshold bound how many machines
+// a schedule materializes explicitly. Clamping happens before the request
+// key is computed, so equally-sanitized requests share one solve.
+func sanitizeOptions(opts ccsched.Options) ccsched.Options {
+	if maxPar := runtime.GOMAXPROCS(0); opts.Parallelism > maxPar {
+		opts.Parallelism = maxPar
+	}
+	const maxExplicitMachines = 1 << 20
+	if opts.ExplicitMachineLimit > maxExplicitMachines {
+		opts.ExplicitMachineLimit = maxExplicitMachines
+	}
+	if opts.HugeMThreshold > maxExplicitMachines {
+		opts.HugeMThreshold = maxExplicitMachines
+	}
+	return opts
+}
+
+// submit runs the admission pipeline for one decoded request: canonicalize,
+// result-cache lookup, singleflight attach, bounded enqueue. timeout is the
+// solve deadline for a newly created flight; pinned marks async submissions
+// whose flight must survive having no attached waiter. The caller must pair
+// every returned flight with exactly one detach call.
+//
+// Coalescing semantics: a joiner inherits the flight's existing deadline
+// (set by whoever created it) — deadlines on a live context cannot be
+// extended. A joiner whose own budget is larger may see the flight die at
+// the creator's deadline (HTTP 408); since cancellation verdicts are never
+// cached, resubmitting simply starts a fresh solve.
+func (s *Server) submit(in *ccsched.Instance, opts ccsched.Options, timeout time.Duration, pinned bool) (*submission, error) {
+	s.met.requests.Add(1)
+	if in.N() > s.cfg.MaxJobs {
+		return nil, fmt.Errorf("%w: %d jobs > %d", ErrInstanceTooLarge, in.N(), s.cfg.MaxJobs)
+	}
+	canon := canonicalize(in)
+	opts = sanitizeOptions(opts)
+	// Workers share the server's feasibility cache unless the request
+	// explicitly opted out of caching.
+	if !opts.NoCache {
+		opts.Cache = s.cfg.Cache
+	} else {
+		opts.Cache = nil
+	}
+	k := requestKey(canon.in, opts)
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	if out, ok := s.results.get(k); ok {
+		s.met.resultCacheHits.Add(1)
+		return &submission{id: s.addJobLocked(k, canon.perm), perm: canon.perm, done: &out}, nil
+	}
+	// Coalesce onto an identical in-flight solve — unless its context is
+	// already dead (every earlier waiter disconnected, or its deadline
+	// expired while queued): attaching there would hand this innocent
+	// request a cancellation error. A dead flight stays in the map only
+	// until a worker drains it; start a replacement flight instead.
+	if f, ok := s.flights[k]; ok && f.ctx.Err() == nil {
+		f.waiters++
+		if pinned {
+			f.pinned = true
+		}
+		s.met.coalesced.Add(1)
+		return &submission{id: s.addJobLocked(k, canon.perm), perm: canon.perm, flight: f, coalesced: true}, nil
+	}
+	fctx, fcancel := context.WithTimeout(s.baseCtx, timeout)
+	f := &flight{
+		key: k, in: canon.in, opts: opts,
+		ctx: fctx, cancel: fcancel, done: make(chan struct{}),
+		waiters: 1, pinned: pinned,
+	}
+	select {
+	case s.queue <- f:
+	default:
+		fcancel()
+		s.met.rejectedFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.flights[k] = f
+	s.met.admitted.Add(1)
+	return &submission{id: s.addJobLocked(k, canon.perm), perm: canon.perm, flight: f}, nil
+}
+
+// detach releases one waiter from f. When the last waiter leaves an
+// unpinned, unfinished flight — every interested client gave up — the
+// flight's context is canceled so ccsched.Solve stops within an ILP
+// iteration and the worker slot frees up.
+func (s *Server) detach(f *flight) {
+	s.mu.Lock()
+	f.waiters--
+	abandon := f.waiters <= 0 && !f.pinned
+	s.mu.Unlock()
+	if abandon {
+		select {
+		case <-f.done: // already finished; nothing to stop
+		default:
+			f.cancel()
+		}
+	}
+}
+
+// pin marks f to run to completion even with no attached waiter (a sync
+// waiter timed out and will poll the job id later).
+func (s *Server) pin(f *flight) {
+	s.mu.Lock()
+	f.pinned = true
+	s.mu.Unlock()
+}
+
+// addJobLocked mints a job id and records its work key and remap
+// permutation in the job table; caller holds s.mu.
+func (s *Server) addJobLocked(k key, perm []int) string {
+	id := s.newJobIDLocked()
+	s.jobs.add(id, jobEntry{key: k, perm: perm})
+	return id
+}
+
+// newJobIDLocked mints a job id; caller holds s.mu.
+func (s *Server) newJobIDLocked() string {
+	s.jobSeq++
+	return fmt.Sprintf("j-%016x", s.jobSeq)
+}
+
+// worker executes flights off the admission queue until the queue is closed
+// and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for f := range s.queue {
+		s.mu.Lock()
+		f.running = true
+		s.mu.Unlock()
+		s.met.workersBusy.Add(1)
+		start := time.Now()
+		res, err := s.cfg.Solver(f.ctx, f.in, f.opts)
+		elapsed := time.Since(start)
+		f.cancel() // release the deadline timer
+		s.met.workersBusy.Add(-1)
+		s.met.solves.Add(1)
+		s.met.observe(elapsed)
+		canceled := errors.Is(err, ccsched.ErrCanceled) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		if err != nil {
+			s.met.solveErrors.Add(1)
+			if canceled {
+				s.met.solveCanceled.Add(1)
+			}
+		}
+		f.res, f.err, f.elapsed = res, err, elapsed
+		s.mu.Lock()
+		// A dead (canceled) flight may already have been replaced in the
+		// map by a fresh one; only remove the entry if it is still ours.
+		if s.flights[f.key] == f {
+			delete(s.flights, f.key)
+		}
+		// Cancellation depends on timing, never on the instance: such
+		// verdicts are not cached. Everything else (results, infeasibility,
+		// size-limit errors) is deterministic and is.
+		if !canceled {
+			s.results.add(f.key, outcome{res: res, err: err, elapsed: elapsed})
+		}
+		s.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			s.cfg.Logf("solve n=%d variant=%v err=%v elapsed=%s", f.in.N(), f.opts.Variant, err, elapsed.Round(time.Millisecond))
+		} else {
+			s.cfg.Logf("solve n=%d variant=%v tier=%v makespan=%s elapsed=%s",
+				f.in.N(), f.opts.Variant, res.Tier, res.Makespan.RatString(), elapsed.Round(time.Millisecond))
+		}
+	}
+}
+
+// Shutdown gracefully stops the server: admission closes immediately (new
+// submissions get ErrShuttingDown / 503), then the queue drains and
+// in-flight solves finish. If ctx expires first, every remaining solve is
+// canceled via context — ccsched.Solve aborts within one ILP iteration —
+// and Shutdown still waits for the workers to exit before returning
+// ctx.Err(). A nil error means the drain completed gracefully. Shutdown is
+// idempotent; later calls wait for the same drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cfg.Logf("shutdown grace expired; canceling in-flight solves")
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	s.cfg.Logf("shutdown complete")
+	return err
+}
+
+// Metrics returns a point-in-time snapshot of the service counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	inFlight := len(s.flights)
+	resultEntries := s.results.len()
+	s.mu.Unlock()
+	hits, misses := s.cfg.Cache.Stats()
+	return MetricsSnapshot{
+		RequestsTotal:          s.met.requests.Load(),
+		AdmittedTotal:          s.met.admitted.Load(),
+		RejectedQueueFullTotal: s.met.rejectedFull.Load(),
+		CoalescedHitsTotal:     s.met.coalesced.Load(),
+		ResultCacheHitsTotal:   s.met.resultCacheHits.Load(),
+		SolvesTotal:            s.met.solves.Load(),
+		SolveErrorsTotal:       s.met.solveErrors.Load(),
+		SolveCanceledTotal:     s.met.solveCanceled.Load(),
+		QueueDepth:             len(s.queue),
+		QueueCapacity:          cap(s.queue),
+		Workers:                s.cfg.Workers,
+		WorkersBusy:            s.met.workersBusy.Load(),
+		InFlight:               inFlight,
+		ResultCacheEntries:     resultEntries,
+		FeasibilityCache:       CacheStats{Hits: hits, Misses: misses, Entries: s.cfg.Cache.Len()},
+		SolveLatency:           s.met.latencySnapshot(),
+		UptimeSeconds:          time.Since(s.start).Seconds(),
+	}
+}

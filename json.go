@@ -1,0 +1,58 @@
+package ccsched
+
+import (
+	"fmt"
+
+	"ccsched/internal/core"
+)
+
+// JSON wire formats. Instance, Options and Result all serialize with
+// encoding/json: Instance uses the {"machines","slots","p","class"} shape
+// (validated on decode), Variant and Tier encode as their conventional
+// names, exact rationals (*big.Rat and schedule-piece Rat values) encode as
+// "p/q" strings, and Options.Cache is never serialized. These codecs are
+// what cmd/ccserved speaks on the wire and what ccgen -json / ccsolve's
+// JSON stdin produce and consume; see docs/ARCHITECTURE.md ("Service
+// layer").
+
+// ParseVariant maps the conventional variant names ("splittable",
+// "preemptive", "nonpreemptive"/"non-preemptive") to a Variant.
+func ParseVariant(s string) (Variant, error) { return core.ParseVariant(s) }
+
+// ParseTier maps the tier names ("auto", "approx", "ptas", "exact") to a
+// Tier.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "auto":
+		return TierAuto, nil
+	case "approx":
+		return TierApprox, nil
+	case "ptas":
+		return TierPTAS, nil
+	case "exact":
+		return TierExact, nil
+	default:
+		return 0, fmt.Errorf("ccsched: unknown tier %q", s)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler, so tiers serialize as
+// their conventional names in JSON.
+func (t Tier) MarshalText() ([]byte, error) {
+	switch t {
+	case TierAuto, TierApprox, TierPTAS, TierExact:
+		return []byte(t.String()), nil
+	default:
+		return nil, fmt.Errorf("ccsched: cannot marshal unknown tier %d", int(t))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; see ParseTier.
+func (t *Tier) UnmarshalText(text []byte) error {
+	parsed, err := ParseTier(string(text))
+	if err != nil {
+		return err
+	}
+	*t = parsed
+	return nil
+}

@@ -1,0 +1,119 @@
+package ccsched_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ccsched"
+)
+
+// TestOptionsJSONRoundTrip checks Options survives the wire: variants and
+// tiers as names, knobs as numbers, and the process-local Cache excluded.
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	opts := ccsched.Options{
+		Variant:     ccsched.NonPreemptive,
+		Tier:        ccsched.TierPTAS,
+		Epsilon:     0.25,
+		Parallelism: 3,
+		Cache:       ccsched.NewFeasibilityCache(),
+		NoCache:     false,
+		MaxNodes:    500,
+		MaxConfigs:  9000,
+	}
+	data, err := json.Marshal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ccsched.Options
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	want := opts
+	want.Cache = nil // never serialized
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v\nwire %s", back, want, data)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["variant"] != "non-preemptive" || m["tier"] != "ptas" {
+		t.Fatalf("wire names: variant=%v tier=%v", m["variant"], m["tier"])
+	}
+	if _, leaked := m["Cache"]; leaked {
+		t.Fatal("Cache leaked into JSON")
+	}
+}
+
+// TestResultJSONRoundTrip solves a small instance per variant and checks
+// the Result JSON round-trips losslessly: exact rationals come back equal
+// and the decoded schedule still validates against the instance.
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := solveTestInstance(t, 20, 5, 4)
+	for _, variant := range []ccsched.Variant{ccsched.Splittable, ccsched.Preemptive, ccsched.NonPreemptive} {
+		res, err := ccsched.Solve(context.Background(), in, ccsched.Options{Variant: variant, Tier: ccsched.TierApprox})
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		var back ccsched.Result
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		if back.Variant != res.Variant || back.Tier != res.Tier {
+			t.Fatalf("%v: variant/tier changed: %v/%v", variant, back.Variant, back.Tier)
+		}
+		if back.Makespan.Cmp(res.Makespan) != 0 || back.LowerBound.Cmp(res.LowerBound) != 0 {
+			t.Fatalf("%v: rationals changed: %s/%s vs %s/%s",
+				variant, back.Makespan, back.LowerBound, res.Makespan, res.LowerBound)
+		}
+		switch variant {
+		case ccsched.Splittable:
+			if err := back.CompactSplit.Validate(in); err != nil {
+				t.Fatalf("%v: decoded schedule invalid: %v", variant, err)
+			}
+		case ccsched.Preemptive:
+			if err := back.Preemptive.Validate(in); err != nil {
+				t.Fatalf("%v: decoded schedule invalid: %v", variant, err)
+			}
+		case ccsched.NonPreemptive:
+			if err := back.NonPreemptive.Validate(in); err != nil {
+				t.Fatalf("%v: decoded schedule invalid: %v", variant, err)
+			}
+		}
+	}
+}
+
+// TestSolveCanceledSentinel checks the ErrCanceled satellite: cancellation
+// surfaces as an error satisfying both errors.Is(err, ErrCanceled) and the
+// specific context error, with no variant-specific internals leaking.
+func TestSolveCanceledSentinel(t *testing.T) {
+	in := solveTestInstance(t, 20, 4, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ccsched.Solve(ctx, in, ccsched.Options{Variant: ccsched.Splittable})
+	if !errors.Is(err, ccsched.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: got %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("pre-canceled: %v claims DeadlineExceeded too", err)
+	}
+
+	big := cancelInstance(t)
+	dctx, dcancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer dcancel()
+	_, err = ccsched.Solve(dctx, big, ccsched.Options{
+		Variant: ccsched.NonPreemptive, Tier: ccsched.TierPTAS, Epsilon: 0.5, NoCache: true,
+	})
+	if !errors.Is(err, ccsched.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-solve deadline: got %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
