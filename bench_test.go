@@ -211,6 +211,80 @@ func BenchmarkE8NFold(b *testing.B) {
 	})
 }
 
+// E10: the PTAS tier end to end under the PR 4 warm-start pipeline
+// (template/instantiate construction, pooled simplex scratch, basis reuse
+// across branch-and-bound nodes). The cold sub-benchmarks set NoWarmStart —
+// results are bit-identical by construction (see the warm parity tests), so
+// the ns/op delta is pure warm-start effect; the warm rows also report the
+// branch-and-bound work via b.ReportMetric. Sequential and uncached so the
+// numbers measure the solver, not speculation or memoization.
+func BenchmarkE10PTASTier(b *testing.B) {
+	run := func(b *testing.B, variant string, n int, warm bool) {
+		in := benchInstance(n, 101)
+		opts := ptas.Options{Epsilon: 1, Parallelism: 1, NoWarmStart: !warm}
+		var nodes, pivots, hits int64
+		for i := 0; i < b.N; i++ {
+			var rep ptas.Report
+			switch variant {
+			case "splittable":
+				r, err := ptas.SolveSplittable(context.Background(), in, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r.Report
+			case "preemptive":
+				r, err := ptas.SolvePreemptive(context.Background(), in, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r.Report
+			}
+			nodes += rep.BBNodes
+			pivots += rep.BBPivots
+			hits += rep.WarmHits
+		}
+		b.ReportMetric(float64(nodes)/float64(b.N), "bbnodes/op")
+		b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+		if warm && nodes > 0 {
+			b.ReportMetric(float64(hits)/float64(nodes), "warmhit-rate")
+		}
+	}
+	for _, variant := range []string{"splittable", "preemptive"} {
+		for _, n := range []int{100, 1000} {
+			b.Run(fmt.Sprintf("%s/n=%d/warm", variant, n), func(b *testing.B) { run(b, variant, n, true) })
+			b.Run(fmt.Sprintf("%s/n=%d/cold", variant, n), func(b *testing.B) { run(b, variant, n, false) })
+		}
+	}
+	// A δ = 1/2 row where the exact engine branches for real: this is the
+	// node-heavy regime the cross-node basis reuse targets.
+	b.Run("splittable/n=60/eps=0.5/warm", func(b *testing.B) {
+		benchE10Fine(b, false)
+	})
+	b.Run("splittable/n=60/eps=0.5/cold", func(b *testing.B) {
+		benchE10Fine(b, true)
+	})
+}
+
+func benchE10Fine(b *testing.B, noWarm bool) {
+	in := benchInstance(60, 101)
+	opts := ptas.Options{Epsilon: 0.5, Parallelism: 1, MaxNodes: 1500, NoWarmStart: noWarm}
+	var nodes, pivots, hits int64
+	for i := 0; i < b.N; i++ {
+		r, err := ptas.SolveSplittable(context.Background(), in, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes += r.Report.BBNodes
+		pivots += r.Report.BBPivots
+		hits += r.Report.WarmHits
+	}
+	b.ReportMetric(float64(nodes)/float64(b.N), "bbnodes/op")
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+	if !noWarm && nodes > 0 {
+		b.ReportMetric(float64(hits)/float64(nodes), "warmhit-rate")
+	}
+}
+
 // Exact baselines used by E3/E6 ratio columns.
 func BenchmarkExactNonPreemptive(b *testing.B) {
 	in := generator.Uniform(generator.Config{N: 12, Classes: 3, Machines: 3, Slots: 2, PMax: 50, Seed: 82})

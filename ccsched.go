@@ -315,6 +315,12 @@ type Options struct {
 	// splittable approximation materializes an explicit (per-machine)
 	// schedule in addition to the compact one.
 	ExplicitMachineLimit int64 `json:"explicit_machine_limit,omitempty"`
+	// NoWarmStart disables the PTAS pipeline's warm-start reuse (LP basis
+	// reuse across branch-and-bound nodes and probes). Results are
+	// bit-identical either way — warm starts only recognize provably
+	// infeasible subproblems faster — so this is a measurement baseline and
+	// determinism escape hatch, not a semantic knob.
+	NoWarmStart bool `json:"no_warm_start,omitempty"`
 }
 
 // defaultCache is the process-wide feasibility cache used when
@@ -450,6 +456,7 @@ func solvePTAS(ctx context.Context, in *Instance, opts Options, res *Result) err
 		MaxConfigs:     opts.MaxConfigs,
 		HugeMThreshold: opts.HugeMThreshold,
 		Parallelism:    opts.Parallelism,
+		NoWarmStart:    opts.NoWarmStart,
 	}
 	if popts.Epsilon == 0 {
 		popts.Epsilon = 0.5

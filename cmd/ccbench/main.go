@@ -9,6 +9,12 @@
 //	ccbench -exp E1,E4,F5        # run a subset
 //	ccbench -exp E9 -parallelism 8 -timeout 10m
 //	ccbench -json results.json   # additionally write machine-readable JSON
+//	ccbench -exp E8 -cpuprofile cpu.out -memprofile mem.out
+//
+// -cpuprofile/-memprofile write runtime/pprof profiles of the selected
+// experiments (flushed on normal exit; an experiment failure exits without
+// flushing), so solver hot spots can be inspected with `go tool pprof`
+// without building a separate harness.
 //
 // -parallelism sets the worker count E9 compares against the sequential
 // search; -timeout aborts the whole run via context cancellation (enforced
@@ -25,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ccsched/internal/experiments"
@@ -46,8 +54,37 @@ func main() {
 		jsonPath    = flag.String("json", "", "write results as JSON to this file")
 		parallelism = flag.Int("parallelism", 8, "guess-search workers for E9's parallel rows")
 		timeout     = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

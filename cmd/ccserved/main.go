@@ -29,6 +29,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +38,20 @@ import (
 	"ccsched"
 	"ccsched/internal/server"
 )
+
+// pprofMux builds a mux with the standard net/http/pprof endpoints. The
+// handlers are registered explicitly instead of importing the package for
+// its DefaultServeMux side effect, so the service handler can never leak
+// them.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	var (
@@ -50,8 +65,30 @@ func main() {
 		maxBody     = flag.Int64("max-body", 32<<20, "maximum request body bytes")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight solves are canceled")
 		quiet       = flag.Bool("quiet", false, "suppress per-solve logging")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); off by default")
 	)
 	flag.Parse()
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		// A dedicated listener keeps the profiling surface off the public
+		// service port: the pprof mux is registered only here, never on the
+		// API handler, so -pprof on an internal interface exposes nothing
+		// externally. It gets the same slow-client protections as the API
+		// server (long response writes stay unbounded — CPU profiles stream
+		// for their full duration).
+		pprofSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			log.Printf("ccserved: pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ccserved: pprof listener: %v", err)
+			}
+		}()
+	}
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
@@ -101,6 +138,11 @@ func main() {
 		defer scancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			log.Printf("ccserved: http shutdown: %v", err)
+		}
+		if pprofSrv != nil {
+			if err := pprofSrv.Shutdown(sctx); err != nil {
+				log.Printf("ccserved: pprof shutdown: %v", err)
+			}
 		}
 	}()
 

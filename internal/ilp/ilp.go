@@ -3,6 +3,14 @@
 // fallback engine for the paper's configuration N-fold ILPs (see
 // internal/nfold) and is deliberately simple: LP-relaxation bounding,
 // most-fractional branching, depth-first search with a node budget.
+//
+// The search is incremental end to end: the LP is prepared once (sparse
+// columns plus pooled dense scratch), nodes patch a single mutable pair of
+// bound arrays with push/pop edits instead of copying bounds per node, and
+// each child carries its parent's simplex basis so the warm dual restore can
+// prune infeasible children in a few pivots. Warm starts are verdict-only
+// (see lp.Prepared.SolveBounds), so the explored tree — and therefore the
+// returned solution — is bit-identical with NoWarmStart set.
 package ilp
 
 import (
@@ -67,6 +75,16 @@ type Options struct {
 	// FirstFeasible stops at the first integral solution; natural for the
 	// zero-objective feasibility ILPs of the PTAS.
 	FirstFeasible bool
+	// NoWarmStart disables basis reuse between nodes (and the RootBasis
+	// hint). Results are bit-identical either way — warm starts only prune
+	// provably infeasible nodes faster — so this exists as a measurement
+	// baseline and determinism escape hatch.
+	NoWarmStart bool
+	// RootBasis optionally warm-starts the root relaxation from a basis
+	// captured on a structurally compatible problem (same row and variable
+	// counts), e.g. the previous makespan guess's root. Dimension mismatches
+	// are ignored.
+	RootBasis *lp.Basis
 }
 
 // Result is the solver output.
@@ -78,6 +96,15 @@ type Result struct {
 	Obj float64
 	// Nodes counts explored branch-and-bound nodes.
 	Nodes int
+	// Pivots counts simplex pivots across every node's LP solve, including
+	// warm dual-restore pivots.
+	Pivots int
+	// WarmHits counts nodes pruned by the warm dual restore without a cold
+	// LP solve.
+	WarmHits int
+	// RootBasis is the root relaxation's terminal basis when it solved to
+	// optimality, for cross-solve warm-start hints (nil otherwise).
+	RootBasis *lp.Basis
 }
 
 const intTol = 1e-6
@@ -87,47 +114,69 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 	return SolveCtx(context.Background(), p, opts)
 }
 
+// node is one open branch-and-bound node: the bound patch distinguishing it
+// from its parent and the parent's terminal basis for the warm restore.
+// Bounds are materialized lazily by replaying patches on the shared arrays.
+type node struct {
+	depth    int // patches on the path from the root (0 for the root itself)
+	patchVar int // -1 for the root
+	lo, up   float64
+	parent   *lp.Basis
+}
+
+// applied records one in-effect bound patch so backtracking can undo it.
+type applied struct {
+	v      int
+	lo, up float64
+}
+
 // SolveCtx is Solve under a context. Cancellation is checked before every
 // branch-and-bound node and inside each node's LP relaxation (see
-// lp.SolveCtx), so a canceled context aborts the search with ctx.Err()
-// within one node — the promptness guarantee the PTAS's speculative
-// makespan-guess search depends on.
+// lp.Prepared.SolveBounds), so a canceled context aborts the search with
+// ctx.Err() within one node — the promptness guarantee the PTAS's
+// speculative makespan-guess search depends on.
 func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
 	if len(p.Integer) != p.NumVars {
 		return nil, errors.New("ilp: Integer length mismatch")
 	}
 	maxNodes := 200000
 	first := false
+	warmStart := true
+	var rootHint *lp.Basis
 	if opts != nil {
 		if opts.MaxNodes > 0 {
 			maxNodes = opts.MaxNodes
 		}
 		first = opts.FirstFeasible
+		warmStart = !opts.NoWarmStart
+		if warmStart {
+			rootHint = opts.RootBasis
+		}
 	}
-	type node struct {
-		lower, upper []float64
+	prep, err := lp.Prepare(&p.Problem)
+	if err != nil {
+		return nil, err
 	}
-	root := node{
-		lower: append([]float64(nil), p.Lower...),
-		upper: append([]float64(nil), p.Upper...),
-	}
+	defer prep.Release()
+	// The single mutable bound pair every node patches in place.
+	lower := append([]float64(nil), p.Lower...)
+	upper := append([]float64(nil), p.Upper...)
 	// Integer variables get integral bounds up front.
 	for j, isInt := range p.Integer {
 		if !isInt {
 			continue
 		}
-		if !math.IsInf(root.lower[j], -1) {
-			root.lower[j] = math.Ceil(root.lower[j] - intTol)
+		if !math.IsInf(lower[j], -1) {
+			lower[j] = math.Ceil(lower[j] - intTol)
 		}
-		if !math.IsInf(root.upper[j], 1) {
-			root.upper[j] = math.Floor(root.upper[j] + intTol)
+		if !math.IsInf(upper[j], 1) {
+			upper[j] = math.Floor(upper[j] + intTol)
 		}
 	}
-	stack := []node{root}
+	stack := []node{{patchVar: -1, parent: rootHint}}
+	var path []applied
 	res := &Result{Status: Infeasible}
+	var sol lp.Solution
 	var bestObj = math.Inf(1)
 	hitLimit := false
 	for len(stack) > 0 {
@@ -141,12 +190,35 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 		res.Nodes++
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		sub := p.Problem // copy of the shell; rows shared
-		sub.Lower = nd.lower
-		sub.Upper = nd.upper
-		sol, err := lp.SolveCtx(ctx, &sub)
-		if err != nil {
+		// Rewind the applied patches to this node's parent, then apply its
+		// own patch. The stack is LIFO, so the shared bound arrays always
+		// hold exactly the popped node's path.
+		target := nd.depth
+		if nd.patchVar >= 0 {
+			target = nd.depth - 1
+		}
+		for len(path) > target {
+			e := path[len(path)-1]
+			path = path[:len(path)-1]
+			lower[e.v], upper[e.v] = e.lo, e.up
+		}
+		if nd.patchVar >= 0 {
+			path = append(path, applied{nd.patchVar, lower[nd.patchVar], upper[nd.patchVar]})
+			lower[nd.patchVar], upper[nd.patchVar] = nd.lo, nd.up
+		}
+		warm := nd.parent
+		if !warmStart {
+			warm = nil
+		}
+		if err := prep.SolveBounds(ctx, lower, upper, warm, &sol); err != nil {
 			return nil, err
+		}
+		res.Pivots += sol.Iterations
+		if sol.Warm {
+			res.WarmHits++
+		}
+		if nd.patchVar < 0 && sol.Status == lp.Optimal && warmStart {
+			res.RootBasis = prep.CaptureBasis()
 		}
 		switch sol.Status {
 		case lp.Infeasible:
@@ -196,12 +268,15 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 			continue
 		}
 		// Branch: explore the side nearest the fractional value first
-		// (pushed last so it pops first).
+		// (pushed last so it pops first). Both children share the parent's
+		// terminal basis for the warm restore.
+		var pb *lp.Basis
+		if warmStart {
+			pb = prep.CaptureBasis()
+		}
 		v := sol.X[branch]
-		lowChild := node{lower: append([]float64(nil), nd.lower...), upper: append([]float64(nil), nd.upper...)}
-		highChild := node{lower: append([]float64(nil), nd.lower...), upper: append([]float64(nil), nd.upper...)}
-		lowChild.upper[branch] = math.Floor(v)
-		highChild.lower[branch] = math.Ceil(v)
+		lowChild := node{depth: nd.depth + 1, patchVar: branch, lo: lower[branch], up: math.Floor(v), parent: pb}
+		highChild := node{depth: nd.depth + 1, patchVar: branch, lo: math.Ceil(v), up: upper[branch], parent: pb}
 		if v-math.Floor(v) < 0.5 {
 			stack = append(stack, highChild, lowChild)
 		} else {

@@ -1,0 +1,102 @@
+package lp
+
+import "sync"
+
+// The scratch arena. One branch-and-bound run performs thousands of simplex
+// solves over the same matrix, and a PTAS makespan search performs many such
+// runs back to back; without pooling, every solve allocates O(m²) of dense
+// state (basis inverse, refactorization workspace) plus column storage,
+// which dominated the allocation profile of the PTAS tier. A scratch holds
+// one slab per element type and hands out bump-allocated sub-slices; Prepare
+// sizes every slab up front, so handed-out slices are never invalidated by
+// growth. Released scratches return to a sync.Pool and are reused by later
+// Prepare calls, making the steady-state allocation cost of a re-solve zero.
+
+// scratch is a bump-allocated arena for one Prepared solver.
+type scratch struct {
+	f64                                  []float64
+	i32                                  []int32
+	vs                                   []varStatus
+	ints                                 []int
+	cols                                 []spCol
+	rows                                 [][]float64
+	nf64, ni32, nvs, nints, ncols, nrows int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func newScratch() *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.nf64, sc.ni32, sc.nvs, sc.nints, sc.ncols, sc.nrows = 0, 0, 0, 0, 0, 0
+	return sc
+}
+
+func releaseScratch(sc *scratch) {
+	if sc != nil {
+		scratchPool.Put(sc)
+	}
+}
+
+// ensure grows every slab to the given total capacities before any sub-slice
+// is handed out. Growing later would detach already-returned slices from the
+// slab, so Prepare computes exact totals first.
+func (sc *scratch) ensure(f64, i32, vs, ints, cols, rows int) {
+	if cap(sc.f64) < f64 {
+		sc.f64 = make([]float64, f64)
+	}
+	if cap(sc.i32) < i32 {
+		sc.i32 = make([]int32, i32)
+	}
+	if cap(sc.vs) < vs {
+		sc.vs = make([]varStatus, vs)
+	}
+	if cap(sc.ints) < ints {
+		sc.ints = make([]int, ints)
+	}
+	if cap(sc.cols) < cols {
+		sc.cols = make([]spCol, cols)
+	}
+	if cap(sc.rows) < rows {
+		sc.rows = make([][]float64, rows)
+	}
+}
+
+// The bump allocators return full-capacity sub-slices of reused slabs: the
+// contents are garbage from earlier solves, and every consumer initializes
+// what it reads.
+
+func (sc *scratch) f64s(n int) []float64 {
+	out := sc.f64[sc.nf64 : sc.nf64+n : sc.nf64+n]
+	sc.nf64 += n
+	return out
+}
+
+func (sc *scratch) i32s(n int) []int32 {
+	out := sc.i32[sc.ni32 : sc.ni32+n : sc.ni32+n]
+	sc.ni32 += n
+	return out
+}
+
+func (sc *scratch) statuses(n int) []varStatus {
+	out := sc.vs[sc.nvs : sc.nvs+n : sc.nvs+n]
+	sc.nvs += n
+	return out
+}
+
+func (sc *scratch) intSlice(n int) []int {
+	out := sc.ints[sc.nints : sc.nints+n : sc.nints+n]
+	sc.nints += n
+	return out
+}
+
+func (sc *scratch) colHdrs(n int) []spCol {
+	out := sc.cols[sc.ncols : sc.ncols+n : sc.ncols+n]
+	sc.ncols += n
+	return out
+}
+
+func (sc *scratch) rowHdrs(n int) [][]float64 {
+	out := sc.rows[sc.nrows : sc.nrows+n : sc.nrows+n]
+	sc.nrows += n
+	return out
+}

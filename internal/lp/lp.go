@@ -15,6 +15,13 @@
 // ratio test permits bound flips) and Bland's rule as an anti-cycling
 // fallback. It is tuned for the moderate dimensions the PTAS produces
 // (hundreds of rows, thousands of columns), not for industrial scale.
+//
+// Repeated solves over the same rows — branch-and-bound nodes, makespan
+// re-probes — should go through Prepare/SolveBounds: the sparse columns and
+// all dense scratch are built once on a pooled arena, per-solve bounds are
+// patched in place, and a captured Basis enables the verdict-only warm
+// dual-simplex restore (see warm.go) that prunes infeasible child nodes in a
+// handful of pivots without ever changing which solution a solve returns.
 package lp
 
 import (
@@ -134,10 +141,16 @@ func (p *Problem) AddRow(coef []float64, rel Relation, rhs float64) {
 type Solution struct {
 	Status Status
 	// X is the structural variable assignment (valid when Status is
-	// Optimal; best effort otherwise).
+	// Optimal; best effort otherwise). Solutions produced by
+	// Prepared.SolveBounds alias the solver's scratch: copy X before the
+	// next solve on the same Prepared.
 	X []float64
 	// Obj is c·X.
 	Obj float64
-	// Iterations counts simplex pivots over both phases.
+	// Iterations counts simplex pivots over both phases (and any warm
+	// dual-restore pivots that preceded them).
 	Iterations int
+	// Warm reports that the verdict came from the warm-start dual restore
+	// (only ever true for Status Infeasible; see Prepared.SolveBounds).
+	Warm bool
 }

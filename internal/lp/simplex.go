@@ -2,6 +2,7 @@ package lp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -45,13 +46,16 @@ type simplexState struct {
 	basis       []int       // m basic column indices
 	binv        [][]float64 // dense m×m basis inverse
 	xb          []float64   // values of basic variables
+	y, w        []float64   // pivot scratch (dual vector, entering direction)
+	aug         [][]float64 // m×2m refactorization scratch
+	rhs         []float64   // refactorization right-hand-side scratch
 	iters       int
 	maxIters    int
 	degenerate  int // consecutive degenerate pivots
 	bland       bool
 	done        <-chan struct{} // cancellation signal, checked between pivots
-	ctxErr      func() error
-	interrupted bool // the done channel fired mid-optimize
+	ctx         context.Context // for surfacing ctx.Err() on interruption
+	interrupted bool            // the done channel fired mid-optimize
 }
 
 // ctxCheckEvery is how many simplex pivots pass between cancellation polls;
@@ -59,53 +63,193 @@ type simplexState struct {
 // branch-and-bound node.
 const ctxCheckEvery = 32
 
-// Solve runs the two-phase bounded-variable revised simplex.
-func Solve(p *Problem) (*Solution, error) {
-	return SolveCtx(context.Background(), p)
+// Prepared is a reusable solver for one constraint matrix: the sparse
+// standard-form columns and every piece of dense scratch (the m×m basis
+// inverse, basic values, refactorization workspace) are allocated once — on
+// a pooled arena — so repeated solves that differ only in variable bounds
+// (branch-and-bound nodes, makespan-guess re-probes) stop paying O(m²)
+// allocations and the O(m·n) validation scan per solve.
+//
+// A Prepared is NOT safe for concurrent use; each goroutine must Prepare its
+// own. Call Release when done to return the arena to the pool.
+type Prepared struct {
+	p        *Problem // shell; rows, objective and default bounds are read from it
+	m, n     int
+	ncols    int
+	zeroObj  bool
+	st       simplexState
+	phase1   []float64
+	phase2   []float64
+	resid    []float64
+	xout     []float64
+	sc       *scratch
+	released bool
+	// solveSeq/liveID implement the live-state fast path for warm restores:
+	// liveID is nonzero while st still holds the terminal state of the
+	// solve that produced it, so a Basis captured from that solve
+	// (lastCaptured) can be restored without refactoring.
+	solveSeq     uint64
+	liveID       uint64
+	lastCaptured *Basis
 }
 
-// SolveCtx is Solve under a context: cancellation is polled every
-// ctxCheckEvery pivots, so a canceled context aborts the solve with
-// ctx.Err() within a bounded number of pivot steps. The PTAS guess search
-// relies on this to abandon losing speculative makespan probes promptly.
-func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
+// errReleased is returned when a Prepared is used after Release.
+var errReleased = errors.New("lp: Prepared used after Release")
+
+// Prepare validates p once and builds a reusable solver for its rows. The
+// problem's bounds act as defaults; SolveBounds may override them per call.
+func Prepare(p *Problem) (*Prepared, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	m := len(p.A)
-	n := p.NumVars
-	st := &simplexState{
-		m:        m,
-		ncols:    n + 2*m,
-		b:        append([]float64(nil), p.B...),
-		maxIters: 20000 + 200*(n+2*m),
-		done:     ctx.Done(),
-		ctxErr:   ctx.Err,
-	}
-	st.cols = make([]spCol, st.ncols)
-	st.lo = make([]float64, st.ncols)
-	st.up = make([]float64, st.ncols)
-	st.status = make([]varStatus, st.ncols)
-	// Structural columns.
-	for j := 0; j < n; j++ {
-		var col spCol
-		for i := 0; i < m; i++ {
-			if v := p.A[i][j]; v != 0 {
-				col.idx = append(col.idx, int32(i))
-				col.val = append(col.val, v)
+	m, n := len(p.A), p.NumVars
+	ncols := n + 2*m
+	nnz := 0
+	for i := range p.A {
+		row := p.A[i]
+		for j := 0; j < n; j++ {
+			if row[j] != 0 {
+				nnz++
 			}
 		}
-		st.cols[j] = col
-		st.lo[j], st.up[j] = p.Lower[j], p.Upper[j]
+	}
+	pr := &Prepared{p: p, m: m, n: n, ncols: ncols, sc: newScratch()}
+	pr.zeroObj = true
+	for _, c := range p.Obj {
+		if c != 0 {
+			pr.zeroObj = false
+			break
+		}
+	}
+	sc := pr.sc
+	sc.ensure(
+		nnz+2*m+ // column values
+			2*ncols+ // lo, up
+			m+ // b
+			m*m+ // binv
+			2*m*m+ // aug
+			2*ncols+ // phase1, phase2
+			n+ // xout
+			6*m, // xb, y, w, rhs, resid + slack for alignment
+		nnz+2*m, // column indices
+		ncols,   // statuses
+		m,       // basis
+		ncols,   // column headers
+		2*m,     // binv + aug row headers
+	)
+	idxSlab := sc.i32s(nnz + 2*m)
+	valSlab := sc.f64s(nnz + 2*m)
+	cols := sc.colHdrs(ncols)
+	pos := 0
+	for j := 0; j < n; j++ {
+		start := pos
+		for i := 0; i < m; i++ {
+			if v := p.A[i][j]; v != 0 {
+				idxSlab[pos] = int32(i)
+				valSlab[pos] = v
+				pos++
+			}
+		}
+		cols[j] = spCol{idx: idxSlab[start:pos:pos], val: valSlab[start:pos:pos]}
 	}
 	// Slack columns: row i gets slack n+i with A x + s = b.
 	for i := 0; i < m; i++ {
-		col := spCol{idx: []int32{int32(i)}, val: []float64{1}}
+		idxSlab[pos] = int32(i)
+		valSlab[pos] = 1
+		cols[n+i] = spCol{idx: idxSlab[pos : pos+1 : pos+1], val: valSlab[pos : pos+1 : pos+1]}
+		pos++
+	}
+	// Artificial columns: the sign is set per solve from the residuals.
+	for i := 0; i < m; i++ {
+		idxSlab[pos] = int32(i)
+		valSlab[pos] = 1
+		cols[n+m+i] = spCol{idx: idxSlab[pos : pos+1 : pos+1], val: valSlab[pos : pos+1 : pos+1]}
+		pos++
+	}
+	st := &pr.st
+	st.m, st.ncols = m, ncols
+	st.cols = cols
+	st.lo, st.up = sc.f64s(ncols), sc.f64s(ncols)
+	st.b = sc.f64s(m)
+	st.status = sc.statuses(ncols)
+	st.basis = sc.intSlice(m)
+	binvFlat := sc.f64s(m * m)
+	st.binv = sc.rowHdrs(m)
+	for i := 0; i < m; i++ {
+		st.binv[i] = binvFlat[i*m : (i+1)*m : (i+1)*m]
+	}
+	augFlat := sc.f64s(2 * m * m)
+	st.aug = sc.rowHdrs(m)
+	for i := 0; i < m; i++ {
+		st.aug[i] = augFlat[i*2*m : (i+1)*2*m : (i+1)*2*m]
+	}
+	st.xb = sc.f64s(m)
+	st.y = sc.f64s(m)
+	st.w = sc.f64s(m)
+	st.rhs = sc.f64s(m)
+	pr.resid = sc.f64s(m)
+	pr.phase1 = sc.f64s(ncols)
+	pr.phase2 = sc.f64s(ncols)
+	pr.xout = sc.f64s(n)
+	st.maxIters = 20000 + 200*ncols
+	return pr, nil
+}
+
+// Release returns the solver's arena to the pool. The Prepared (and any
+// Solution.X pointing into its scratch) must not be used afterwards.
+func (pr *Prepared) Release() {
+	if pr.released {
+		return
+	}
+	pr.released = true
+	pr.liveID = 0
+	pr.lastCaptured = nil
+	releaseScratch(pr.sc)
+	pr.sc = nil
+}
+
+// SolveBounds solves the prepared program under the given structural bounds
+// (nil slices select the problem's own bounds). The result is written into
+// sol; sol.X aliases internal scratch and is only valid until the next call
+// on this Prepared (callers that keep solutions must copy it).
+//
+// When warm is non-nil and the objective is identically zero, a bounded
+// dual-simplex restore runs first: starting from the captured basis it
+// either proves the new bounds infeasible — returning Status Infeasible with
+// sol.Warm set, in a handful of pivots — or gives up and falls through to
+// the ordinary cold two-phase solve. The restore never influences anything
+// but that early Infeasible verdict, so warm-started and cold solves return
+// bit-identical solutions whenever a solution exists: this is what keeps
+// branch-and-bound trajectories (and therefore every schedule the PTAS
+// emits) independent of warm-starting.
+func (pr *Prepared) SolveBounds(ctx context.Context, lower, upper []float64, warm *Basis, sol *Solution) error {
+	if pr.released {
+		return errReleased
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	*sol = Solution{}
+	m, n := pr.m, pr.n
+	st := &pr.st
+	p := pr.p
+	if lower == nil {
+		lower = p.Lower
+	}
+	if upper == nil {
+		upper = p.Upper
+	}
+	// Structural bounds; an empty box is infeasible without any pivoting.
+	for j := 0; j < n; j++ {
+		if lower[j] > upper[j] {
+			sol.Status = Infeasible
+			return nil
+		}
+		st.lo[j], st.up[j] = lower[j], upper[j]
+	}
+	// Slack bounds are fixed by the row relations.
+	for i := 0; i < m; i++ {
 		j := n + i
-		st.cols[j] = col
 		switch p.Rel[i] {
 		case LE:
 			st.lo[j], st.up[j] = 0, math.Inf(1)
@@ -114,6 +258,42 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		case EQ:
 			st.lo[j], st.up[j] = 0, 0
 		}
+	}
+	copy(st.b, p.B)
+	st.done = ctx.Done()
+	st.ctx = ctx
+	st.interrupted = false
+
+	if warm != nil && pr.zeroObj && warm.m == m && warm.ncols == pr.ncols {
+		proved, pivots := pr.tryWarmInfeasible(warm)
+		sol.Iterations += pivots
+		if st.interrupted {
+			return st.ctx.Err()
+		}
+		if proved {
+			sol.Status = Infeasible
+			sol.Warm = true
+			return nil
+		}
+	}
+	return pr.solveCold(sol)
+}
+
+// solveCold runs the ordinary two-phase simplex from the artificial basis.
+// It is arithmetically identical to the pre-warm-start solver: scratch reuse
+// only changes where the numbers live, never their values.
+func (pr *Prepared) solveCold(sol *Solution) error {
+	m, n := pr.m, pr.n
+	st := &pr.st
+	p := pr.p
+	pr.liveID = 0
+	st.iters = 0
+	st.degenerate = 0
+	st.bland = false
+	// Artificial bounds reset (a preceding solve pinned them to zero).
+	for i := 0; i < m; i++ {
+		j := n + m + i
+		st.lo[j], st.up[j] = 0, math.Inf(1)
 	}
 	// Initial nonbasic statuses.
 	for j := 0; j < n+m; j++ {
@@ -127,7 +307,7 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		}
 	}
 	// Residuals at the initial nonbasic point determine artificial signs.
-	resid := make([]float64, m)
+	resid := pr.resid
 	copy(resid, st.b)
 	for j := 0; j < n+m; j++ {
 		if v := st.nonbasicValue(j); v != 0 {
@@ -139,73 +319,110 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	}
 	// Artificial columns form the initial basis: a diagonal ±1 matrix whose
 	// signs match the residuals, so the basis inverse is the same diagonal.
-	st.basis = make([]int, m)
-	st.xb = make([]float64, m)
-	st.binv = identity(m)
 	for i := 0; i < m; i++ {
-		col := spCol{idx: []int32{int32(i)}, val: []float64{1}}
+		row := st.binv[i]
+		for k := range row {
+			row[k] = 0
+		}
 		j := n + m + i
 		if resid[i] >= 0 {
+			st.cols[j].val[0] = 1
+			st.binv[i][i] = 1
 			st.xb[i] = resid[i]
 		} else {
-			col.val[0] = -1
+			st.cols[j].val[0] = -1
 			st.binv[i][i] = -1
 			st.xb[i] = -resid[i]
 		}
-		st.cols[j] = col
-		st.lo[j], st.up[j] = 0, math.Inf(1)
 		st.status[j] = inBasis
 		st.basis[i] = j
 	}
 
 	// Phase 1: minimize the sum of artificials.
-	phase1 := make([]float64, st.ncols)
+	phase1 := pr.phase1
+	for j := range phase1 {
+		phase1[j] = 0
+	}
 	for i := 0; i < m; i++ {
 		phase1[n+m+i] = 1
 	}
 	stat := st.optimize(phase1)
 	if st.interrupted {
-		return nil, st.ctxErr()
+		return st.ctx.Err()
 	}
 	if stat == IterLimit {
-		return &Solution{Status: IterLimit, X: st.extract(n), Iterations: st.iters}, nil
+		sol.Status = IterLimit
+		sol.X = st.extract(n, pr.xout)
+		sol.Iterations += st.iters
+		return nil
 	}
 	if st.objective(phase1) > 1e-6 {
-		return &Solution{Status: Infeasible, Iterations: st.iters}, nil
+		sol.Status = Infeasible
+		sol.Iterations += st.iters
+		return nil
 	}
 	// Pin artificials to zero so phase 2 cannot reuse them.
 	for i := 0; i < m; i++ {
-		j := n + m + i
-		st.up[j] = 0
+		st.up[n+m+i] = 0
 	}
 	// Phase 2: the real objective (zero on slacks and artificials).
-	phase2 := make([]float64, st.ncols)
+	phase2 := pr.phase2
 	copy(phase2, p.Obj)
+	for j := n; j < len(phase2); j++ {
+		phase2[j] = 0
+	}
 	stat = st.optimize(phase2)
 	if st.interrupted {
-		return nil, st.ctxErr()
+		return st.ctx.Err()
 	}
-	x := st.extract(n)
+	x := st.extract(n, pr.xout)
 	obj := 0.0
 	for j := 0; j < n; j++ {
 		obj += p.Obj[j] * x[j]
 	}
+	sol.X = x
+	sol.Obj = obj
+	sol.Iterations += st.iters
 	switch stat {
 	case Unbounded:
-		return &Solution{Status: Unbounded, X: x, Obj: obj, Iterations: st.iters}, nil
+		sol.Status = Unbounded
 	case IterLimit:
-		return &Solution{Status: IterLimit, X: x, Obj: obj, Iterations: st.iters}, nil
+		sol.Status = IterLimit
+	default:
+		sol.Status = Optimal
+		pr.solveSeq++
+		pr.liveID = pr.solveSeq
 	}
-	return &Solution{Status: Optimal, X: x, Obj: obj, Iterations: st.iters}, nil
+	return nil
 }
 
-func identity(m int) [][]float64 {
-	out := make([][]float64, m)
-	for i := range out {
-		out[i] = make([]float64, m)
-		out[i][i] = 1
+// Solve runs the two-phase bounded-variable revised simplex.
+func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve under a context: cancellation is polled every
+// ctxCheckEvery pivots, so a canceled context aborts the solve with
+// ctx.Err() within a bounded number of pivot steps. The PTAS guess search
+// relies on this to abandon losing speculative makespan probes promptly.
+//
+// Callers solving the same rows repeatedly under changing bounds should use
+// Prepare/SolveBounds instead: this convenience wrapper re-prepares (and
+// copies the solution out of the pooled scratch) on every call.
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
+	pr, err := Prepare(p)
+	if err != nil {
+		return nil, err
 	}
-	return out
+	defer pr.Release()
+	sol := &Solution{}
+	if err := pr.SolveBounds(ctx, nil, nil, nil, sol); err != nil {
+		return nil, err
+	}
+	if sol.X != nil {
+		sol.X = append([]float64(nil), sol.X...)
+	}
+	return sol, nil
 }
 
 func (st *simplexState) nonbasicValue(j int) float64 {
@@ -236,8 +453,8 @@ func (st *simplexState) objective(obj []float64) float64 {
 // unboundedness or the iteration cap.
 func (st *simplexState) optimize(obj []float64) Status {
 	m := st.m
-	y := make([]float64, m)
-	w := make([]float64, m)
+	y := st.y
+	w := st.w
 	for ; st.iters < st.maxIters; st.iters++ {
 		if st.done != nil && st.iters%ctxCheckEvery == 0 {
 			select {
@@ -420,10 +637,13 @@ func (st *simplexState) pivotBinv(r int, w []float64) {
 func (st *simplexState) refactor() error {
 	m := st.m
 	// Assemble [B | I].
-	aug := make([][]float64, m)
+	aug := st.aug
 	for i := 0; i < m; i++ {
-		aug[i] = make([]float64, 2*m)
-		aug[i][m+i] = 1
+		row := aug[i]
+		for k := range row {
+			row[k] = 0
+		}
+		row[m+i] = 1
 	}
 	for k, j := range st.basis {
 		col := st.cols[j]
@@ -462,8 +682,15 @@ func (st *simplexState) refactor() error {
 	for i := 0; i < m; i++ {
 		copy(st.binv[i], aug[i][m:])
 	}
-	// Recompute basic values: xb = B^{-1}(b - Σ_nonbasic A_j v_j).
-	rhs := make([]float64, m)
+	st.recomputeXB()
+	return nil
+}
+
+// recomputeXB refreshes the basic values from the basis inverse:
+// xb = B^{-1}(b − Σ_nonbasic A_j v_j).
+func (st *simplexState) recomputeXB() {
+	m := st.m
+	rhs := st.rhs
 	copy(rhs, st.b)
 	for j := 0; j < st.ncols; j++ {
 		if st.status[j] == inBasis {
@@ -484,12 +711,11 @@ func (st *simplexState) refactor() error {
 		}
 		st.xb[i] = xi
 	}
-	return nil
 }
 
-// extract returns the structural variable values.
-func (st *simplexState) extract(n int) []float64 {
-	x := make([]float64, n)
+// extract writes the structural variable values into out.
+func (st *simplexState) extract(n int, out []float64) []float64 {
+	x := out[:n]
 	for j := 0; j < n; j++ {
 		if st.status[j] != inBasis {
 			x[j] = st.nonbasicValue(j)

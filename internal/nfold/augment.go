@@ -105,15 +105,26 @@ func gcd64(a, b int64) int64 {
 }
 
 // enumerateMoves builds the per-brick move set with cached sparse effects.
-// Bricks sharing block backing arrays share the enumeration and effects.
-func enumerateMoves(p *Problem, opt AugmentOptions) []*brickMoves {
+// Bricks sharing block backing arrays share the enumeration and effects;
+// with a Template, the sharing extends across every solve of the family
+// (the PTAS guess probes reuse block arrays across guesses, so a whole
+// search enumerates each distinct brick shape exactly once).
+func enumerateMoves(p *Problem, opt AugmentOptions, tmpl *Template) []*brickMoves {
 	cache := make(map[brickCacheKey]*brickMoves)
 	out := make([]*brickMoves, p.N)
 	for i := 0; i < p.N; i++ {
-		ck := cacheKey(p, i)
+		ck := cacheKey(p, i, opt)
 		if bm, ok := cache[ck]; ok {
 			out[i] = bm
 			continue
+		}
+		if tmpl != nil {
+			if v, ok := tmpl.moves.Load(ck); ok {
+				bm := v.(*brickMoves)
+				cache[ck] = bm
+				out[i] = bm
+				continue
+			}
 		}
 		var ms []move
 		for j := 0; j < p.T; j++ {
@@ -207,6 +218,12 @@ func enumerateMoves(p *Problem, opt AugmentOptions) []*brickMoves {
 			bm.leff[mi] = sparseEffect(p.B[i], g)
 		}
 		cache[ck] = bm
+		if tmpl != nil {
+			// Concurrent probes may race to compute the same block's moves;
+			// enumeration is deterministic, so either value is identical and
+			// last-write-wins is safe.
+			tmpl.moves.Store(ck, bm)
+		}
 		out[i] = bm
 	}
 	return out
@@ -259,18 +276,24 @@ func sparseEffect(block [][]int64, g move) sparseVec {
 	return sv
 }
 
+// brickCacheKey identifies a brick's move set by the identity of its block
+// slices (not their first elements: builders may alias individual rows
+// between otherwise-different blocks) plus the enumeration knobs, so a key
+// stays valid inside a cross-solve Template cache.
 type brickCacheKey struct {
-	a, b *int64
-	t    int
+	a, b     *[]int64
+	t        int
+	maxCoeff int64
+	maxSwaps int
 }
 
-func cacheKey(p *Problem, i int) brickCacheKey {
-	k := brickCacheKey{t: p.T}
-	if p.R > 0 && p.T > 0 {
-		k.a = &p.A[i][0][0]
+func cacheKey(p *Problem, i int, opt AugmentOptions) brickCacheKey {
+	k := brickCacheKey{t: p.T, maxCoeff: opt.MaxCoeff, maxSwaps: opt.MaxSwapsPerBrick}
+	if p.R > 0 {
+		k.a = &p.A[i][0]
 	}
-	if p.S > 0 && p.T > 0 {
-		k.b = &p.B[i][0][0]
+	if p.S > 0 {
+		k.b = &p.B[i][0]
 	}
 	return k
 }
@@ -320,7 +343,7 @@ func parallelCoeffs(u, v []int64, maxCoeff int64) (int64, int64, bool) {
 }
 
 // newAugState clamps zero into the box and computes residuals.
-func newAugState(p *Problem, opt AugmentOptions) *augState {
+func newAugState(p *Problem, opt AugmentOptions, tmpl *Template) *augState {
 	st := &augState{p: p}
 	st.x = make([][]int64, p.N)
 	for i := 0; i < p.N; i++ {
@@ -359,7 +382,7 @@ func newAugState(p *Problem, opt AugmentOptions) *augState {
 			}
 		}
 	}
-	st.bm = enumerateMoves(p, opt)
+	st.bm = enumerateMoves(p, opt, tmpl)
 	return st
 }
 
@@ -539,7 +562,7 @@ func (st *augState) pairStep() bool {
 // solveAugment runs the augmentation engine for feasibility (and greedy
 // objective descent when Obj is nonzero). Cancellation is polled once per
 // descent step; a canceled context surfaces as ctx.Err().
-func (p *Problem) solveAugment(ctx context.Context, opts *AugmentOptions) (*Result, error) {
+func (p *Problem) solveAugment(ctx context.Context, opts *AugmentOptions, tmpl *Template) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -547,7 +570,7 @@ func (p *Problem) solveAugment(ctx context.Context, opts *AugmentOptions) (*Resu
 		return nil, err
 	}
 	opt := opts.defaults()
-	st := newAugState(p, opt)
+	st := newAugState(p, opt, tmpl)
 	st.ctx = ctx
 	if rest := st.descend(ctx, opt); rest != 0 {
 		if err := ctx.Err(); err != nil {

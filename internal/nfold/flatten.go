@@ -48,8 +48,11 @@ func (p *Problem) Flatten() (*ilp.Problem, error) {
 }
 
 // LPRelaxationInfeasible reports whether even the LP relaxation of the
-// N-fold has no solution — a cheap certificate of integral infeasibility
-// used by the auto engine before paying for branch and bound.
+// N-fold has no solution — a cheap certificate of integral infeasibility.
+// The auto engine no longer calls it (its branch-and-bound root node solves
+// exactly this LP, so the separate pre-check only duplicated work); it
+// remains as a diagnostic for callers that want the certificate without
+// paying for a full exact solve.
 func (p *Problem) LPRelaxationInfeasible() (bool, error) {
 	return p.lpRelaxationInfeasible(context.Background())
 }
@@ -68,17 +71,25 @@ func (p *Problem) lpRelaxationInfeasible(ctx context.Context) (bool, error) {
 }
 
 // solveBranchBound runs the exact fallback engine and converts the answer
-// back to brick form.
-func (p *Problem) solveBranchBound(ctx context.Context, maxNodes int, firstFeasible bool) (*Result, error) {
+// back to brick form. Basis reuse across the probes of a family was tried
+// here (warm-starting each root from the previous probe's terminal root
+// basis via Options.Template) and measured a wash-to-loss: a cross-solve
+// restore must refactorize from scratch (O(m³)), which on the mostly
+// feasible probes of a guess search costs more than the few dozen pivots
+// the cold root solve needs. Warm starts therefore stay within one solve
+// (parent → child), where the factorization is live; callers with
+// workload knowledge can still pass ilp.Options.RootBasis themselves.
+func (p *Problem) solveBranchBound(ctx context.Context, maxNodes int, firstFeasible bool, o *Options) (*Result, error) {
 	mp, err := p.Flatten()
 	if err != nil {
 		return nil, err
 	}
-	res, err := ilp.SolveCtx(ctx, mp, &ilp.Options{MaxNodes: maxNodes, FirstFeasible: firstFeasible})
+	iopts := &ilp.Options{MaxNodes: maxNodes, FirstFeasible: firstFeasible, NoWarmStart: o.NoWarmStart}
+	res, err := ilp.SolveCtx(ctx, mp, iopts)
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Engine: EngineBranchBound, Nodes: res.Nodes}
+	out := &Result{Engine: EngineBranchBound, Nodes: res.Nodes, Pivots: res.Pivots, WarmHits: res.WarmHits}
 	switch res.Status {
 	case ilp.Infeasible:
 		out.Status = Infeasible

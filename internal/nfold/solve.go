@@ -55,6 +55,14 @@ type Options struct {
 	// FirstFeasible stops branch and bound at the first integral solution;
 	// the right choice for the PTAS's zero-objective feasibility ILPs.
 	FirstFeasible bool
+	// NoWarmStart disables LP basis reuse inside (and across) the exact
+	// engine's branch-and-bound solves. Results are bit-identical either
+	// way; see ilp.Options.NoWarmStart.
+	NoWarmStart bool
+	// Template shares the augmentation move-set cache across a family of
+	// related solves (the probes of one PTAS guess search). Nil disables
+	// cross-solve sharing.
+	Template *Template
 }
 
 // Result is a solve outcome. X is indexed [brick][col].
@@ -65,6 +73,12 @@ type Result struct {
 	Engine Engine
 	// Nodes counts branch-and-bound nodes or augmentation steps.
 	Nodes int
+	// Pivots counts simplex pivots across the exact engine's LP solves
+	// (zero for pure augmentation results).
+	Pivots int
+	// WarmHits counts branch-and-bound nodes pruned by the warm dual
+	// restore (see internal/lp); zero with NoWarmStart.
+	WarmHits int
 }
 
 // Solve dispatches to the selected engine. With EngineAuto (default), the
@@ -95,27 +109,21 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 	}
 	switch o.Engine {
 	case EngineAugment:
-		return p.solveAugment(ctx, o.Augment)
+		return p.solveAugment(ctx, o.Augment, o.Template)
 	case EngineBranchBound:
-		return p.solveBranchBound(ctx, maxNodes, o.FirstFeasible)
+		return p.solveBranchBound(ctx, maxNodes, o.FirstFeasible, &o)
 	case EngineAuto:
-		res, err := p.solveAugment(ctx, o.Augment)
+		res, err := p.solveAugment(ctx, o.Augment, o.Template)
 		if err != nil {
 			return nil, err
 		}
 		if res.Status == Feasible && !hasObjective(p) {
 			return res, nil
 		}
-		// Cheap infeasibility certificate before branch and bound: if the
-		// LP relaxation is already infeasible, so is the ILP.
-		if res.Status != Feasible {
-			if bad, err := p.lpRelaxationInfeasible(ctx); err == nil && bad {
-				return &Result{Status: Infeasible, Engine: EngineBranchBound}, nil
-			} else if err != nil && ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-		}
-		exact, err := p.solveBranchBound(ctx, maxNodes, o.FirstFeasible || !hasObjective(p))
+		// No separate LP-relaxation infeasibility pre-check: branch and
+		// bound's root node solves exactly that LP and returns Infeasible
+		// after one node, so the former pre-check only duplicated work.
+		exact, err := p.solveBranchBound(ctx, maxNodes, o.FirstFeasible || !hasObjective(p), &o)
 		if err != nil {
 			return nil, err
 		}

@@ -195,7 +195,7 @@ func instanceDigest(in *core.Instance) [sha256.Size]byte {
 
 // probeCacheKey assembles the cache key for one guess probe of a search.
 func probeCacheKey(variant byte, digest [sha256.Size]byte, g, t int64, opts Options) cacheKey {
-	no := opts.nfoldOptions()
+	no := opts.nfoldOptions(nil)
 	return cacheKey{
 		variant:    variant,
 		digest:     digest,
@@ -207,22 +207,55 @@ func probeCacheKey(variant byte, digest [sha256.Size]byte, g, t int64, opts Opti
 	}
 }
 
+// probeStats aggregates per-probe diagnostics across one guess search.
+// Counters are atomic because speculative probes run concurrently; with
+// Parallelism > 1 the set of probes that complete (and hence the totals)
+// can vary run to run, so these are diagnostics, never solver inputs.
+type probeStats struct {
+	cacheHits atomic.Int64
+	nodes     atomic.Int64
+	pivots    atomic.Int64
+	warmHits  atomic.Int64
+}
+
+// report fills the aggregate counter fields of a Report.
+func (st *probeStats) report(rep *Report) {
+	rep.CacheHits = int(st.cacheHits.Load())
+	rep.BBNodes = st.nodes.Load()
+	rep.BBPivots = st.pivots.Load()
+	rep.WarmHits = st.warmHits.Load()
+}
+
+// fallbackReport is the Report shape shared by every approx-fallback exit.
+func fallbackReport(g, hi int64, tried int, stats *probeStats) Report {
+	rep := Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"}
+	stats.report(&rep)
+	return rep
+}
+
 // solveGuessCached runs one guess probe's N-fold through the feasibility
 // cache — the shared step of all four probe shapes. A hit returns the
-// memoized verdict (counted in cacheHits); a miss builds the N-fold, solves
-// it under pctx, and memoizes the verdict. Errors — including cancellation
-// of a losing speculative probe — are never cached.
-func solveGuessCached(pctx context.Context, opts Options, tag byte, digest [sha256.Size]byte, g, t int64, cacheHits *atomic.Int64, build func() *nfold.Problem) (cacheEntry, error) {
+// memoized verdict (counted in stats.cacheHits); a miss builds the N-fold,
+// solves it under pctx with the search's shared nfold.Template, and
+// memoizes the verdict. Errors — including cancellation of a losing
+// speculative probe — are never cached. The warm-start caches in tmpl never
+// change a verdict (restores are verdict-only and the augment move cache is
+// content-deterministic), so cached entries stay valid across the
+// NoWarmStart settings.
+func solveGuessCached(pctx context.Context, opts Options, tag byte, digest [sha256.Size]byte, g, t int64, stats *probeStats, tmpl *nfold.Template, build func() *nfold.Problem) (cacheEntry, error) {
 	key := probeCacheKey(tag, digest, g, t, opts)
 	if entry, ok := opts.Cache.lookup(key); ok {
-		cacheHits.Add(1)
+		stats.cacheHits.Add(1)
 		return entry, nil
 	}
 	prob := build()
-	res, err := nfold.SolveCtx(pctx, prob, opts.nfoldOptions())
+	res, err := nfold.SolveCtx(pctx, prob, opts.nfoldOptions(tmpl))
 	if err != nil {
 		return cacheEntry{}, err
 	}
+	stats.nodes.Add(int64(res.Nodes))
+	stats.pivots.Add(int64(res.Pivots))
+	stats.warmHits.Add(int64(res.WarmHits))
 	entry := cacheEntry{
 		feasible: res.Status == nfold.Feasible, x: res.X,
 		params: prob.Params(), engine: res.Engine,

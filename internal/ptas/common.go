@@ -65,6 +65,12 @@ type Options struct {
 	// ILPs. Nil disables caching. A single Cache is safe to share between
 	// concurrent solves.
 	Cache *Cache
+	// NoWarmStart disables LP basis reuse inside and across the exact
+	// engine's branch-and-bound solves. Warm starts are verdict-only (see
+	// internal/lp), so accepted guesses, probe counts and schedules are
+	// bit-identical either way; this is the measurement baseline and
+	// determinism escape hatch checked by the warm-parity tests.
+	NoWarmStart bool
 }
 
 func (o Options) hugeMThreshold() int64 {
@@ -88,7 +94,7 @@ func (o Options) maxConfigs() int {
 	return 200000
 }
 
-func (o Options) nfoldOptions() *nfold.Options {
+func (o Options) nfoldOptions(tmpl *nfold.Template) *nfold.Options {
 	maxNodes := o.MaxNodes
 	if maxNodes <= 0 {
 		// Probes at infeasible guesses must not explode: reject after a
@@ -96,7 +102,10 @@ func (o Options) nfoldOptions() *nfold.Options {
 		// accepted makespan up one grid step).
 		maxNodes = 4000
 	}
-	return &nfold.Options{Engine: o.Engine, MaxNodes: maxNodes, FirstFeasible: true}
+	return &nfold.Options{
+		Engine: o.Engine, MaxNodes: maxNodes, FirstFeasible: true,
+		NoWarmStart: o.NoWarmStart, Template: tmpl,
+	}
 }
 
 // Report captures per-run diagnostics for the experiment harness.
@@ -117,6 +126,14 @@ type Report struct {
 	// CacheHits counts guess probes answered from the feasibility cache
 	// during this search.
 	CacheHits int `json:"cache_hits,omitempty"`
+	// BBNodes, BBPivots and WarmHits aggregate the exact engine's
+	// branch-and-bound nodes, simplex pivots, and warm-restore prunes across
+	// every probe this search solved (cache hits add nothing). Under
+	// Parallelism > 1 the set of completed speculative probes varies run to
+	// run, so these are diagnostics rather than deterministic quantities.
+	BBNodes  int64 `json:"bb_nodes,omitempty"`
+	BBPivots int64 `json:"bb_pivots,omitempty"`
+	WarmHits int64 `json:"warm_hits,omitempty"`
 }
 
 // guessGrid returns the multiplicative (1+δ)-grid of integral makespan

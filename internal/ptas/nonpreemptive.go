@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -98,6 +97,13 @@ func groupJobs(in *core.Instance, jobs []int, g, t int64) ([]npJob, bool) {
 }
 
 func newNPGuessCtx(in *core.Instance, g, t int64, limit int) (*npGuessCtx, error) {
+	return newNPTemplate(in, g, limit).instantiate(t)
+}
+
+// instantiate performs the per-guess grouping, rounding and enumeration
+// (all guess-dependent for this scheme; see npTemplate).
+func (tm *npTemplate) instantiate(t int64) (*npGuessCtx, error) {
+	in, g, limit := tm.in, tm.g, tm.limit
 	ctx := &npGuessCtx{in: in, g: g, t: t}
 	c := int64(in.Slots)
 	ctx.tBarUnits = (g*g + 5*g + 6) * c
@@ -105,7 +111,7 @@ func newNPGuessCtx(in *core.Instance, g, t int64, limit int) (*npGuessCtx, error
 	if c < ctx.cStar {
 		ctx.cStar = c
 	}
-	byClass := in.ClassJobs()
+	byClass := tm.byClass
 	ctx.jobs = make([][]npJob, len(byClass))
 	ctx.small = make([]bool, len(byClass))
 	ctx.smallUnits = make([]int64, len(byClass))
@@ -184,7 +190,12 @@ func (ctx *npGuessCtx) classList() []int {
 	return out
 }
 
-// buildNFold encodes the non-preemptive constraints (0)–(5).
+// buildNFold encodes the non-preemptive constraints (0)–(5). The A and B
+// blocks depend on the brick's class only through the (3)-row z coefficient
+// of small classes, so one large-class A block, per-rounded-load small
+// blocks, and a single B block are shared across all bricks — keeping the
+// augmentation engine's pointer-keyed move cache to one enumeration per
+// distinct shape.
 func (ctx *npGuessCtx) buildNFold(m int64) *nfold.Problem {
 	nM, nK, nHB, nP := len(ctx.modules), len(ctx.configs), len(ctx.hbPairs), len(ctx.sizes)
 	tWidth := nK + nM + 3*nHB
@@ -194,79 +205,94 @@ func (ctx *npGuessCtx) buildNFold(m int64) *nfold.Problem {
 	cUnits := int64(ctx.in.Slots)
 	classes := ctx.classList()
 	p := &nfold.Problem{N: len(classes), R: r, S: s, T: tWidth}
-	sizeIdxOfModSize := make(map[int64]int)
-	for i, v := range ctx.modSizes {
-		sizeIdxOfModSize[v] = i
+
+	largeA := make([][]int64, r)
+	for k := range largeA {
+		largeA[k] = make([]int64, tWidth)
 	}
-	for _, u := range classes {
+	for ci := range ctx.configs {
+		largeA[0][xOff+ci] = 1
+	}
+	// (1) per module size q: Σ K_q x − Σ_{Λ(M)=q} y_M = 0.
+	for qi, q := range ctx.modSizes {
+		row := largeA[1+qi]
+		for ci, cc := range ctx.configs {
+			if cc.counts[qi] != 0 {
+				row[xOff+ci] = cc.counts[qi]
+			}
+		}
+		for mi, mv := range ctx.modules {
+			if mv.total == q {
+				row[yOff+mi] = -1
+			}
+		}
+	}
+	// (2),(3) per (h,b) pair; the (3)-row z coefficient is 1 for large
+	// classes and is patched per small class below.
+	for hi, hb := range ctx.hbPairs {
+		row2 := largeA[1+len(ctx.modSizes)+hi]
+		row3 := largeA[1+len(ctx.modSizes)+nHB+hi]
+		row2[zOff+hi] = 1
+		row2[s2Off+hi] = 1
+		row3[s3Off+hi] = 1
+		row3[zOff+hi] = 1
+		for _, ci := range hb.configs {
+			row2[xOff+ci] = hb.b - cUnits
+			row3[xOff+ci] = hb.h - ctx.tBarUnits
+		}
+	}
+	smallAs := make(map[int64][][]int64)
+	smallABlock := func(units int64) [][]int64 {
+		if a, ok := smallAs[units]; ok {
+			return a
+		}
 		a := make([][]int64, r)
-		for k := range a {
-			a[k] = make([]int64, tWidth)
+		copy(a, largeA)
+		for hi := 0; hi < nHB; hi++ {
+			ri := 1 + len(ctx.modSizes) + nHB + hi
+			row := append([]int64(nil), largeA[ri]...)
+			row[zOff+hi] = units
+			a[ri] = row
 		}
-		for ci := range ctx.configs {
-			a[0][xOff+ci] = 1
-		}
-		// (1) per module size q: Σ K_q x − Σ_{Λ(M)=q} y_M = 0.
-		for qi, q := range ctx.modSizes {
-			row := a[1+qi]
-			for ci, cc := range ctx.configs {
-				if cc.counts[qi] != 0 {
-					row[xOff+ci] = cc.counts[qi]
-				}
-			}
-			for mi, mv := range ctx.modules {
-				if mv.total == q {
-					row[yOff+mi] = -1
-				}
-			}
-		}
-		for hi, hb := range ctx.hbPairs {
-			row2 := a[1+len(ctx.modSizes)+hi]
-			row3 := a[1+len(ctx.modSizes)+nHB+hi]
-			row2[zOff+hi] = 1
-			row2[s2Off+hi] = 1
-			row3[s3Off+hi] = 1
-			if ctx.small[u] {
-				row3[zOff+hi] = ctx.smallUnits[u]
-			} else {
-				row3[zOff+hi] = 1
-			}
-			for _, ci := range hb.configs {
-				row2[xOff+ci] = hb.b - cUnits
-				row3[xOff+ci] = hb.h - ctx.tBarUnits
-			}
-		}
-		p.A = append(p.A, a)
+		smallAs[units] = a
+		return a
+	}
 
-		b := make([][]int64, s)
-		for k := range b {
-			b[k] = make([]int64, tWidth)
-		}
-		// (4) per size p: Σ_M M_p y_M = (1-ξ_u) n^u_p.
-		for pi := range ctx.sizes {
-			for mi, mv := range ctx.modules {
-				if mv.counts[pi] != 0 {
-					b[pi][yOff+mi] = mv.counts[pi]
-				}
+	sharedB := make([][]int64, s)
+	for k := range sharedB {
+		sharedB[k] = make([]int64, tWidth)
+	}
+	// (4) per size p: Σ_M M_p y_M = (1-ξ_u) n^u_p.
+	for pi := range ctx.sizes {
+		for mi, mv := range ctx.modules {
+			if mv.counts[pi] != 0 {
+				sharedB[pi][yOff+mi] = mv.counts[pi]
 			}
 		}
-		// (5) Σ z = ξ_u.
-		for hi := range ctx.hbPairs {
-			b[nP][zOff+hi] = 1
-		}
-		p.B = append(p.B, b)
+	}
+	// (5) Σ z = ξ_u.
+	for hi := range ctx.hbPairs {
+		sharedB[nP][zOff+hi] = 1
+	}
+	zeroRow := make([]int64, tWidth)
+	smallLRHS := make([]int64, s)
+	smallLRHS[nP] = 1
 
-		lrhs := make([]int64, s)
+	for _, u := range classes {
 		if ctx.small[u] {
-			lrhs[nP] = 1
+			p.A = append(p.A, smallABlock(ctx.smallUnits[u]))
+			p.LocalRHS = append(p.LocalRHS, smallLRHS)
 		} else {
+			p.A = append(p.A, largeA)
+			lrhs := make([]int64, s)
 			for pi, sz := range ctx.sizes {
 				lrhs[pi] = ctx.nUP[[2]int64{int64(u), sz}]
 			}
+			p.LocalRHS = append(p.LocalRHS, lrhs)
 		}
-		p.LocalRHS = append(p.LocalRHS, lrhs)
+		p.B = append(p.B, sharedB)
 
-		lower := make([]int64, tWidth)
+		lower := zeroRow
 		upper := make([]int64, tWidth)
 		for ci := range ctx.configs {
 			upper[xOff+ci] = m
@@ -289,7 +315,7 @@ func (ctx *npGuessCtx) buildNFold(m int64) *nfold.Problem {
 		}
 		p.Lower = append(p.Lower, lower)
 		p.Upper = append(p.Upper, upper)
-		p.Obj = append(p.Obj, make([]int64, tWidth))
+		p.Obj = append(p.Obj, zeroRow)
 	}
 	p.GlobalRHS = make([]int64, r)
 	p.GlobalRHS[0] = m
@@ -346,13 +372,14 @@ func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*
 		report Report
 	}
 	digest := instanceDigest(in)
-	var cacheHits atomic.Int64
+	var stats probeStats
+	tm := newNPTemplate(in, g, opts.maxConfigs())
 	best, guess, tried, err := searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
-		gctx, err := newNPGuessCtx(in, g, t, opts.maxConfigs())
+		gctx, err := tm.instantiate(t)
 		if err != nil {
 			return payload{}, false, err
 		}
-		entry, err := solveGuessCached(pctx, opts, cacheNonPreemptive, digest, g, t, &cacheHits,
+		entry, err := solveGuessCached(pctx, opts, cacheNonPreemptive, digest, g, t, &stats, tm.nf,
 			func() *nfold.Problem { return gctx.buildNFold(in.M) })
 		if err != nil {
 			return payload{}, false, err
@@ -375,12 +402,12 @@ func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*
 		}
 		return &NonPreemptiveResult{
 			Schedule: apx.Schedule,
-			Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback", CacheHits: int(cacheHits.Load())},
+			Report:   fallbackReport(g, hi, tried, &stats),
 		}, nil
 	}
 	best.report.Guess = guess
 	best.report.Guesses = tried
-	best.report.CacheHits = int(cacheHits.Load())
+	stats.report(&best.report)
 	// Return the better of the PTAS construction and the 7/3 schedule;
 	// both are feasible and the scheme's constants are large for coarse δ.
 	if apx.Makespan(in) < best.sched.Makespan(in) {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
-	"sync/atomic"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -50,6 +49,7 @@ type preGuessCtx struct {
 	hbPairs    []hbPair
 	hbIndex    map[hbKey]int
 	tBarUnits  int64
+	tm         *preTemplate
 }
 
 // preConfig is a configuration: disjoint intervals, at most c* of them.
@@ -109,15 +109,27 @@ func enumerateIntervalConfigs(modules []interval, maxSlots int64, limit int) ([]
 }
 
 func newPreGuessCtx(in *core.Instance, g, t int64, limit int) (*preGuessCtx, error) {
-	ctx := &preGuessCtx{in: in, g: g, t: t}
-	c := int64(in.Slots)
-	ctx.tBarUnits = (g*g + 3*g + 2) * c
-	ctx.layers = int((g*g + 3*g + 2)) // tBarUnits / c
-	ctx.cStar = int64(ctx.layers)
-	if c < ctx.cStar {
-		ctx.cStar = c
+	tm, err := newPreTemplate(in, g, limit)
+	if err != nil {
+		return nil, err
 	}
-	byClass := in.ClassJobs()
+	return tm.instantiate(t)
+}
+
+// instantiate performs the per-guess grouping and rounding; the layer
+// geometry and interval-configuration enumeration come from the template.
+func (tm *preTemplate) instantiate(t int64) (*preGuessCtx, error) {
+	in, g := tm.in, tm.g
+	ctx := &preGuessCtx{in: in, g: g, t: t, tm: tm}
+	c := int64(in.Slots)
+	ctx.tBarUnits = tm.tBarUnits
+	ctx.layers = tm.layers
+	ctx.cStar = tm.cStar
+	ctx.modules = tm.modules
+	ctx.configs = tm.configs
+	ctx.hbPairs = tm.hbPairs
+	ctx.hbIndex = tm.hbIndex
+	byClass := tm.byClass
 	ctx.jobs = make([][]npJob, len(byClass))
 	ctx.small = make([]bool, len(byClass))
 	ctx.smallUnits = make([]int64, len(byClass))
@@ -154,27 +166,6 @@ func newPreGuessCtx(in *core.Instance, g, t int64, limit int) (*preGuessCtx, err
 			return nil, errGuessTooSmall
 		}
 	}
-	for lo := 0; lo < ctx.layers; lo++ {
-		for hi := lo + 1; hi <= ctx.layers; hi++ {
-			ctx.modules = append(ctx.modules, interval{lo, hi})
-		}
-	}
-	var err error
-	ctx.configs, err = enumerateIntervalConfigs(ctx.modules, ctx.cStar, limit)
-	if err != nil {
-		return nil, err
-	}
-	ctx.hbIndex = make(map[hbKey]int)
-	for ci, cc := range ctx.configs {
-		k := hbKey{cc.size, cc.slots}
-		idx, ok := ctx.hbIndex[k]
-		if !ok {
-			idx = len(ctx.hbPairs)
-			ctx.hbIndex[k] = idx
-			ctx.hbPairs = append(ctx.hbPairs, hbPair{h: cc.size, b: cc.slots})
-		}
-		ctx.hbPairs[idx].configs = append(ctx.hbPairs[idx].configs, ci)
-	}
 	return ctx, nil
 }
 
@@ -190,7 +181,12 @@ func (ctx *preGuessCtx) classList() []int {
 	return out
 }
 
-// buildNFold encodes constraints (0)–(6) of the preemptive scheme.
+// buildNFold encodes constraints (0)–(6) of the preemptive scheme. As in
+// the other schemes, the blocks depend on the brick's class only through
+// the (3)-row z coefficient of small classes, so one large-class A block,
+// per-rounded-load small blocks, and one B block are shared by all bricks —
+// and, because the block values reference sizes only by index, by every
+// probe whose distinct-size count matches (see preTemplate.blocksFor).
 func (ctx *preGuessCtx) buildNFold(m int64) *nfold.Problem {
 	nM, nK, nHB, nP, nL := len(ctx.modules), len(ctx.configs), len(ctx.hbPairs), len(ctx.sizes), ctx.layers
 	// Brick layout: [x_K | y_M | z_hb | s2_hb | s3_hb | a_{p,ℓ}].
@@ -201,81 +197,24 @@ func (ctx *preGuessCtx) buildNFold(m int64) *nfold.Problem {
 	cUnits := int64(ctx.in.Slots)
 	classes := ctx.classList()
 	p := &nfold.Problem{N: len(classes), R: r, S: s, T: tWidth}
+	bl := ctx.tm.blocksFor(nP)
+
 	for _, u := range classes {
-		a := make([][]int64, r)
-		for k := range a {
-			a[k] = make([]int64, tWidth)
-		}
-		for ci := range ctx.configs {
-			a[0][xOff+ci] = 1
-		}
-		// (1) per module M: Σ_K K_M x_K − y_M = 0.
-		for mi := range ctx.modules {
-			a[1+mi][yOff+mi] = -1
-		}
-		for ci, cc := range ctx.configs {
-			for _, mi := range cc.intervals {
-				a[1+mi][xOff+ci] = 1
-			}
-		}
-		for hi, hb := range ctx.hbPairs {
-			row2 := a[1+nM+hi]
-			row3 := a[1+nM+nHB+hi]
-			row2[zOff+hi] = 1
-			row2[s2Off+hi] = 1
-			row3[s3Off+hi] = 1
-			if ctx.small[u] {
-				row3[zOff+hi] = ctx.smallUnits[u]
-			} else {
-				row3[zOff+hi] = 1
-			}
-			for _, ci := range hb.configs {
-				row2[xOff+ci] = hb.b - cUnits
-				row3[xOff+ci] = hb.h - ctx.tBarUnits
-			}
-		}
-		p.A = append(p.A, a)
-
-		b := make([][]int64, s)
-		for k := range b {
-			b[k] = make([]int64, tWidth)
-		}
-		// (4) per size p: Σ_ℓ a_{p,ℓ} = (1-ξ)·w_p·n^u_p.
-		for pi := range ctx.sizes {
-			for l := 0; l < nL; l++ {
-				b[pi][aOff+pi*nL+l] = 1
-			}
-		}
-		// (5) per layer ℓ: Σ_M M_ℓ y_M − Σ_p a_{p,ℓ} = 0.
-		for l := 0; l < nL; l++ {
-			row := b[nP+l]
-			for mi, iv := range ctx.modules {
-				if iv.lo <= l && l < iv.hi {
-					row[yOff+mi] = 1
-				}
-			}
-			for pi := range ctx.sizes {
-				row[aOff+pi*nL+l] = -1
-			}
-		}
-		// (6) Σ z = ξ.
-		for hi := range ctx.hbPairs {
-			b[nP+nL][zOff+hi] = 1
-		}
-		p.B = append(p.B, b)
-
-		lrhs := make([]int64, s)
 		if ctx.small[u] {
-			lrhs[nP+nL] = 1
+			p.A = append(p.A, ctx.tm.smallABlock(nP, ctx.smallUnits[u]))
+			p.LocalRHS = append(p.LocalRHS, bl.smallLRHS)
 		} else {
+			p.A = append(p.A, bl.largeA)
+			lrhs := make([]int64, s)
 			for pi, sz := range ctx.sizes {
 				wp := sz / cUnits
 				lrhs[pi] = wp * ctx.nUP[[2]int64{int64(u), sz}]
 			}
+			p.LocalRHS = append(p.LocalRHS, lrhs)
 		}
-		p.LocalRHS = append(p.LocalRHS, lrhs)
+		p.B = append(p.B, bl.sharedB)
 
-		lower := make([]int64, tWidth)
+		lower := bl.zeroRow
 		upper := make([]int64, tWidth)
 		for ci := range ctx.configs {
 			upper[xOff+ci] = m
@@ -306,7 +245,7 @@ func (ctx *preGuessCtx) buildNFold(m int64) *nfold.Problem {
 		}
 		p.Lower = append(p.Lower, lower)
 		p.Upper = append(p.Upper, upper)
-		p.Obj = append(p.Obj, make([]int64, tWidth))
+		p.Obj = append(p.Obj, bl.zeroRow)
 	}
 	p.GlobalRHS = make([]int64, r)
 	p.GlobalRHS[0] = m
@@ -379,44 +318,50 @@ func SolvePreemptive(ctx context.Context, in *core.Instance, opts Options) (*Pre
 		report Report
 	}
 	digest := instanceDigest(in)
-	var cacheHits atomic.Int64
-	best, guess, tried, err := searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
-		gctx, err := newPreGuessCtx(in, g, t, opts.maxConfigs())
-		if err == errGuessTooSmall {
-			return payload{}, false, nil
-		}
-		if err != nil {
-			return payload{}, false, err
-		}
-		entry, err := solveGuessCached(pctx, opts, cachePreemptive, digest, g, t, &cacheHits,
-			func() *nfold.Problem { return gctx.buildNFold(in.M) })
-		if err != nil {
-			return payload{}, false, err
-		}
-		if !entry.feasible {
-			return payload{}, false, nil
-		}
-		sched, err := gctx.constructSchedule(entry.x)
-		if err != nil {
-			return payload{}, false, err
-		}
-		return payload{sched, Report{
-			InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
-			TheoreticalCostLog2: entry.costLog2,
-		}}, true, nil
-	})
+	var stats probeStats
+	tried := 0
+	tm, err := newPreTemplate(in, g, opts.maxConfigs())
+	var best payload
+	var guess int64
+	if err == nil {
+		best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+			gctx, err := tm.instantiate(t)
+			if err == errGuessTooSmall {
+				return payload{}, false, nil
+			}
+			if err != nil {
+				return payload{}, false, err
+			}
+			entry, err := solveGuessCached(pctx, opts, cachePreemptive, digest, g, t, &stats, tm.nf,
+				func() *nfold.Problem { return gctx.buildNFold(in.M) })
+			if err != nil {
+				return payload{}, false, err
+			}
+			if !entry.feasible {
+				return payload{}, false, nil
+			}
+			sched, err := gctx.constructSchedule(entry.x)
+			if err != nil {
+				return payload{}, false, err
+			}
+			return payload{sched, Report{
+				InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
+				TheoreticalCostLog2: entry.costLog2,
+			}}, true, nil
+		})
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		return &PreemptiveResult{
 			Schedule: apx.Schedule,
-			Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback", CacheHits: int(cacheHits.Load())},
+			Report:   fallbackReport(g, hi, tried, &stats),
 		}, nil
 	}
 	best.report.Guess = guess
 	best.report.Guesses = tried
-	best.report.CacheHits = int(cacheHits.Load())
+	stats.report(&best.report)
 	// Return the better of the PTAS construction and the 2-approximation.
 	if apx.Makespan().Cmp(best.sched.Makespan()) < 0 {
 		best.report.Engine = "approx-min"

@@ -126,6 +126,12 @@ func searchGuessesSpec[T any](ctx context.Context, grid []int64, parallelism int
 	bestGuess := int64(-1)
 	tried := 0
 	lo, hi := 0, len(grid)-1
+	// The cancellation frontier: everything in [prevLo, prevHi] is still
+	// live, everything outside was already cancelled by an earlier verdict.
+	// Each verdict therefore cancels only the newly excluded indices —
+	// O(grid) total over the whole search instead of O(grid²) (the old
+	// sweep re-cancelled every out-of-interval probe on every verdict).
+	prevLo, prevHi := lo, hi
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		p := probes[mid]
@@ -142,13 +148,15 @@ func searchGuessesSpec[T any](ctx context.Context, grid []int64, parallelism int
 		} else {
 			lo = mid + 1
 		}
-		// Probes outside the narrowed interval can never be consumed: stop
+		// Probes that just left the interval can never be consumed: stop
 		// their speculative ILP solves so the workers move to live branches.
-		for i, q := range probes {
-			if i < lo || i > hi {
-				q.cancel()
-			}
+		for i := prevLo; i < lo && i <= prevHi; i++ {
+			probes[i].cancel()
 		}
+		for i := prevHi; i > hi && i >= prevLo; i-- {
+			probes[i].cancel()
+		}
+		prevLo, prevHi = lo, hi
 	}
 	return finishSearch(grid, best, bestGuess, tried)
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
-	"sync/atomic"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -26,7 +25,9 @@ import (
 // multiplicities) and z^u_{h,b} (small-class placement) plus two slack
 // columns per (h,b) pair, exactly constraints (0)–(5) of the paper.
 
-// splitGuessCtx carries everything derived from one makespan guess.
+// splitGuessCtx carries everything derived from one makespan guess. The
+// enumeration fields alias the search's shared splitTemplate; only the
+// classification and rounded loads are per-guess.
 type splitGuessCtx struct {
 	in    *core.Instance
 	g     int64 // 1/δ
@@ -40,6 +41,7 @@ type splitGuessCtx struct {
 	configs []configK
 	hbPairs []hbPair
 	hbIndex map[hbKey]int
+	tm      *splitTemplate
 }
 
 // configK is a configuration: a multiset of module sizes (ℓ-units).
@@ -91,50 +93,15 @@ func enumerateConfigs(modules []int64, maxSize, maxSlots int64, limit int) ([]co
 	return out, nil
 }
 
-// newSplitGuessCtx performs grouping and rounding for one guess.
+// newSplitGuessCtx performs grouping and rounding for one guess on a fresh
+// one-shot template; search loops build one template and instantiate it per
+// guess instead.
 func newSplitGuessCtx(in *core.Instance, g, t int64, limit int) (*splitGuessCtx, error) {
-	ctx := &splitGuessCtx{in: in, g: g, t: t}
-	ctx.loads = in.ClassLoads()
-	c := int64(in.Slots)
-	ctx.cStar = g + 4
-	if c < ctx.cStar {
-		ctx.cStar = c
-	}
-	ctx.small = make([]bool, len(ctx.loads))
-	ctx.pUnits = make([]int64, len(ctx.loads))
-	for u, pu := range ctx.loads {
-		if pu == 0 {
-			continue
-		}
-		if pu*g > t {
-			// Large: round to multiples of δ²T = c units.
-			ctx.pUnits[u] = ceilDivBig(pu, g*g, t) * c
-		} else {
-			ctx.small[u] = true
-			// Small: round to multiples of δ²T/c = 1 unit.
-			ctx.pUnits[u] = ceilDivBig(pu, g*g*c, t)
-		}
-	}
-	for ell := g; ell <= g*g+4*g; ell++ {
-		ctx.modules = append(ctx.modules, ell)
-	}
-	var err error
-	ctx.configs, err = enumerateConfigs(ctx.modules, g*g+4*g, ctx.cStar, limit)
+	tm, err := newSplitTemplate(in, g, limit)
 	if err != nil {
 		return nil, err
 	}
-	ctx.hbIndex = make(map[hbKey]int)
-	for ci, cc := range ctx.configs {
-		k := hbKey{cc.size, cc.slots}
-		idx, ok := ctx.hbIndex[k]
-		if !ok {
-			idx = len(ctx.hbPairs)
-			ctx.hbIndex[k] = idx
-			ctx.hbPairs = append(ctx.hbPairs, hbPair{h: cc.size, b: cc.slots})
-		}
-		ctx.hbPairs[idx].configs = append(ctx.hbPairs[idx].configs, ci)
-	}
-	return ctx, nil
+	return tm.instantiate(t)
 }
 
 // ceilDivBig returns ⌈a·b/d⌉ using big arithmetic to dodge overflow.
@@ -148,8 +115,13 @@ func ceilDivBig(a, b, d int64) int64 {
 	return q.Int64()
 }
 
-// buildNFold encodes constraints (0)–(5) for the guess.
+// buildNFold encodes constraints (0)–(5) for the guess. Blocks come from
+// the shared template: every large-class brick aliases one A block, small
+// classes alias per-rounded-load patched blocks, and all bricks share one B
+// block — so identical bricks are pointer-identical and the augmentation
+// engine's move cache enumerates each distinct shape once per search.
 func (ctx *splitGuessCtx) buildNFold(m int64) *nfold.Problem {
+	tm := ctx.tm
 	nM, nK, nHB := len(ctx.modules), len(ctx.configs), len(ctx.hbPairs)
 	// Brick layout: [x_K | y_q | z_hb | s2_hb | s3_hb].
 	tWidth := nK + nM + 3*nHB
@@ -158,78 +130,19 @@ func (ctx *splitGuessCtx) buildNFold(m int64) *nfold.Problem {
 	cUnits := int64(ctx.in.Slots)
 	tBar := (ctx.g*ctx.g + 4*ctx.g) * cUnits // T̄ in δ²T/c units
 
-	classes := []int{}
-	for u := range ctx.loads {
-		if ctx.loads[u] > 0 {
-			classes = append(classes, u)
-		}
-	}
+	classes := tm.classes
 	n := len(classes)
 	p := &nfold.Problem{N: n, R: r, S: 2, T: tWidth}
-	// Globally uniform rows; the z/s coefficients in row groups (2)/(3)
-	// depend on the brick's class (p'_u), so A blocks differ per brick.
 	for _, u := range classes {
-		a := make([][]int64, r)
-		for k := range a {
-			a[k] = make([]int64, tWidth)
-		}
-		// (0) Σ x_K = m
-		for ci := range ctx.configs {
-			a[0][xOff+ci] = 1
-		}
-		// (1) per module size: Σ K_q x_K − y_q = 0
-		for qi := range ctx.modules {
-			row := a[1+qi]
-			for ci, cc := range ctx.configs {
-				if cc.counts[qi] != 0 {
-					row[xOff+ci] = cc.counts[qi]
-				}
-			}
-			row[yOff+qi] = -1
-		}
-		// (2),(3) per (h,b) pair.
-		for hi, hb := range ctx.hbPairs {
-			row2 := a[1+nM+hi]
-			row3 := a[1+nM+nHB+hi]
-			row2[zOff+hi] = 1
-			row2[s2Off+hi] = 1
-			row3[s3Off+hi] = 1
-			if ctx.small[u] {
-				row3[zOff+hi] = ctx.pUnits[u]
-			} else {
-				row3[zOff+hi] = 1 // placeholder, z is forced to 0 for large u
-			}
-			for _, ci := range hb.configs {
-				row2[xOff+ci] = hb.b - cUnits
-				row3[xOff+ci] = hb.h*cUnits - tBar
-			}
-		}
-		p.A = append(p.A, a)
-
-		b := make([][]int64, 2)
-		b[0] = make([]int64, tWidth)
-		b[1] = make([]int64, tWidth)
-		// (4) Σ q·y_q = (1-ξ_u)·p'_u   (q in δ²T/c units = ℓ·c)
-		for qi, ell := range ctx.modules {
-			b[0][yOff+qi] = ell * cUnits
-		}
-		// (5) Σ z = ξ_u
-		for hi := range ctx.hbPairs {
-			b[1][zOff+hi] = 1
-		}
-		p.B = append(p.B, b)
-
-		lrhs := make([]int64, 2)
 		if ctx.small[u] {
-			lrhs[0] = 0
-			lrhs[1] = 1
+			p.A = append(p.A, tm.smallABlock(ctx.pUnits[u]))
+			p.LocalRHS = append(p.LocalRHS, tm.smallLRHS)
 		} else {
-			lrhs[0] = ctx.pUnits[u]
-			lrhs[1] = 0
+			p.A = append(p.A, tm.largeA)
+			p.LocalRHS = append(p.LocalRHS, []int64{ctx.pUnits[u], 0})
 		}
-		p.LocalRHS = append(p.LocalRHS, lrhs)
+		p.B = append(p.B, tm.sharedB)
 
-		lower := make([]int64, tWidth)
 		upper := make([]int64, tWidth)
 		for ci := range ctx.configs {
 			upper[xOff+ci] = m
@@ -249,9 +162,9 @@ func (ctx *splitGuessCtx) buildNFold(m int64) *nfold.Problem {
 			upper[s2Off+hi] = cUnits * m
 			upper[s3Off+hi] = tBar * m
 		}
-		p.Lower = append(p.Lower, lower)
+		p.Lower = append(p.Lower, tm.zeroRow)
 		p.Upper = append(p.Upper, upper)
-		p.Obj = append(p.Obj, make([]int64, tWidth))
+		p.Obj = append(p.Obj, tm.zeroRow)
 	}
 	p.GlobalRHS = make([]int64, r)
 	p.GlobalRHS[0] = m
@@ -331,59 +244,65 @@ func solveSplittableAnyM(ctx context.Context, in *core.Instance, g int64, opts O
 		report Report
 	}
 	digest := instanceDigest(in)
-	var cacheHits atomic.Int64
-	best, guess, tried, err := searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
-		gctx, err := newSplitGuessCtx(in, g, t, opts.maxConfigs())
-		if err != nil {
-			return payload{}, false, err
-		}
-		entry, err := solveGuessCached(pctx, opts, cacheSplit, digest, g, t, &cacheHits,
-			func() *nfold.Problem { return gctx.buildNFold(in.M) })
-		if err != nil {
-			return payload{}, false, err
-		}
-		if !entry.feasible {
-			return payload{}, false, nil
-		}
-		sched, err := gctx.constructSchedule(entry.x)
-		if err != nil {
-			return payload{}, false, err
-		}
-		return payload{sched, Report{
-			InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
-			TheoreticalCostLog2: entry.costLog2,
-		}}, true, nil
-	})
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		// Degrade gracefully: the 2-approximation schedule is always
-		// available when every guess is rejected within budget.
-		if apx.Explicit != nil {
+	var stats probeStats
+	tried := 0
+	tm, err := newSplitTemplate(in, g, opts.maxConfigs())
+	if err == nil {
+		var best payload
+		var guess int64
+		best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+			gctx, err := tm.instantiate(t)
+			if err != nil {
+				return payload{}, false, err
+			}
+			entry, err := solveGuessCached(pctx, opts, cacheSplit, digest, g, t, &stats, tm.nf,
+				func() *nfold.Problem { return gctx.buildNFold(in.M) })
+			if err != nil {
+				return payload{}, false, err
+			}
+			if !entry.feasible {
+				return payload{}, false, nil
+			}
+			sched, err := gctx.constructSchedule(entry.x)
+			if err != nil {
+				return payload{}, false, err
+			}
+			return payload{sched, Report{
+				InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
+				TheoreticalCostLog2: entry.costLog2,
+			}}, true, nil
+		})
+		if err == nil {
+			best.report.Guess = guess
+			best.report.Guesses = tried
+			stats.report(&best.report)
+			// The grid search may accept a guess whose constructed schedule
+			// is worse than the 2-approximation (the scheme's constants are
+			// large for coarse δ); both schedules are feasible, so return
+			// the better one.
+			if apx.Explicit != nil && apx.Makespan().Cmp(best.sched.Makespan()) < 0 {
+				best.report.Engine = "approx-min"
+				return &SplitResult{Schedule: apx.Explicit, Compact: apx.Compact, Report: best.report}, nil
+			}
 			return &SplitResult{
-				Schedule: apx.Explicit,
-				Compact:  apx.Compact,
-				Report:   Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback", CacheHits: int(cacheHits.Load())},
+				Schedule: best.sched,
+				Compact:  core.FromSplit(best.sched),
+				Report:   best.report,
 			}, nil
 		}
-		return nil, err
 	}
-	best.report.Guess = guess
-	best.report.Guesses = tried
-	best.report.CacheHits = int(cacheHits.Load())
-	// The grid search may accept a guess whose constructed schedule is
-	// worse than the 2-approximation (the scheme's constants are large for
-	// coarse δ); both schedules are feasible, so return the better one.
-	if apx.Explicit != nil && apx.Makespan().Cmp(best.sched.Makespan()) < 0 {
-		best.report.Engine = "approx-min"
-		return &SplitResult{Schedule: apx.Explicit, Compact: apx.Compact, Report: best.report}, nil
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
-	return &SplitResult{
-		Schedule: best.sched,
-		Compact:  core.FromSplit(best.sched),
-		Report:   best.report,
-	}, nil
+	// Degrade gracefully: the 2-approximation schedule is always available
+	// when every guess is rejected within budget (or the configuration
+	// enumeration exceeds its limit).
+	if apx.Explicit != nil {
+		rep := Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"}
+		stats.report(&rep)
+		return &SplitResult{Schedule: apx.Explicit, Compact: apx.Compact, Report: rep}, nil
+	}
+	return nil, err
 }
 
 // constructSchedule realizes an N-fold solution as an explicit splittable

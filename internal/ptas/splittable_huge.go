@@ -3,7 +3,6 @@ package ptas
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -48,27 +47,32 @@ func solveSplittableHuge(ctx context.Context, in *core.Instance, g int64, opts O
 		report Report
 	}
 	digest := instanceDigest(in)
-	var cacheHits atomic.Int64
-	best, guess, tried, err := searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
-		sched, rep, ok, err := solveHugeGuess(pctx, in, g, t, opts, digest, &cacheHits)
-		if err != nil || !ok {
-			return payload{}, false, err
-		}
-		return payload{sched, rep}, true, nil
-	})
+	var stats probeStats
+	tried := 0
+	tm, err := newSplitTemplate(in, g, opts.maxConfigs())
+	var best payload
+	var guess int64
+	if err == nil {
+		best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+			sched, rep, ok, err := solveHugeGuess(pctx, in, g, t, opts, tm, digest, &stats)
+			if err != nil || !ok {
+				return payload{}, false, err
+			}
+			return payload{sched, rep}, true, nil
+		})
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		// Degrade gracefully to the 2-approximation's compact schedule.
-		return &SplitResult{
-			Compact: apx.Compact,
-			Report:  Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback", CacheHits: int(cacheHits.Load())},
-		}, nil
+		rep := Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"}
+		stats.report(&rep)
+		return &SplitResult{Compact: apx.Compact, Report: rep}, nil
 	}
 	best.report.Guess = guess
 	best.report.Guesses = tried
-	best.report.CacheHits = int(cacheHits.Load())
+	stats.report(&best.report)
 	// Best-of floor: never worse than the 2-approximation.
 	if apx.Makespan().Cmp(best.sched.Makespan()) < 0 {
 		best.report.Engine = "approx-min"
@@ -77,8 +81,8 @@ func solveSplittableHuge(ctx context.Context, in *core.Instance, g int64, opts O
 	return &SplitResult{Compact: best.sched, Report: best.report}, nil
 }
 
-func solveHugeGuess(pctx context.Context, in *core.Instance, g, t int64, opts Options, digest [32]byte, cacheHits *atomic.Int64) (*core.CompactSplitSchedule, Report, bool, error) {
-	ctx, err := newSplitGuessCtx(in, g, t, opts.maxConfigs())
+func solveHugeGuess(pctx context.Context, in *core.Instance, g, t int64, opts Options, tm *splitTemplate, digest [32]byte, stats *probeStats) (*core.CompactSplitSchedule, Report, bool, error) {
+	ctx, err := tm.instantiate(t)
 	if err != nil {
 		return nil, Report{}, false, err
 	}
@@ -126,7 +130,7 @@ func solveHugeGuess(pctx context.Context, in *core.Instance, g, t int64, opts Op
 	}
 	// The N-fold (and mResid) is a deterministic function of (in, g, t), so
 	// the verdict caches under the huge-path tag like an ordinary probe.
-	entry, err := solveGuessCached(pctx, opts, cacheSplitHuge, digest, g, t, cacheHits,
+	entry, err := solveGuessCached(pctx, opts, cacheSplitHuge, digest, g, t, stats, tm.nf,
 		func() *nfold.Problem { return ctx.buildNFold(mResid) })
 	if err != nil {
 		return nil, Report{}, false, err

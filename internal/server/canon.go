@@ -97,7 +97,11 @@ type key [sha256.Size]byte
 // result-affecting options. Parallelism and caching knobs are excluded —
 // Solve guarantees bit-identical results for any setting of either — and
 // TierAuto resolves to TierPTAS (and ε to its 0.5 default) so equivalent
-// requests share one entry.
+// requests share one entry. NoWarmStart is included even though results are
+// warm/cold-identical too: it is a measurement baseline, and serving a
+// cold-baseline request from a warm flight's cache entry would silently
+// hand back the warm run's diagnostics (bb_pivots, warm_hits) instead of
+// actually running cold.
 func requestKey(canon *ccsched.Instance, opts ccsched.Options) key {
 	h := sha256.New()
 	var buf [8]byte
@@ -131,6 +135,9 @@ func requestKey(canon *ccsched.Instance, opts ccsched.Options) key {
 	put(int64(opts.MaxConfigs))
 	put(opts.HugeMThreshold)
 	put(opts.ExplicitMachineLimit)
+	if opts.NoWarmStart {
+		put(1)
+	}
 	var k key
 	h.Sum(k[:0])
 	return k
