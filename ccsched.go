@@ -378,6 +378,14 @@ type Result struct {
 // bit-identical to the sequential, uncached search for any setting of
 // either knob.
 func Solve(ctx context.Context, in *Instance, opts Options) (*Result, error) {
+	return solveWith(ctx, in, opts, nil)
+}
+
+// solveWith is Solve with optional session warm state (nil for one-shot
+// solves). Sessions thread their ptas.SessionState here; every reuse it
+// enables is verdict-preserving, so the result is bit-identical to a
+// stateless Solve of the same instance and options.
+func solveWith(ctx context.Context, in *Instance, opts Options, st *ptas.SessionState) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -399,7 +407,7 @@ func Solve(ctx context.Context, in *Instance, opts Options) (*Result, error) {
 		err = solveApprox(in, opts, res)
 	case TierAuto, TierPTAS:
 		res.Tier = TierPTAS
-		err = solvePTAS(ctx, in, opts, res)
+		err = solvePTAS(ctx, in, opts, st, res)
 	case TierExact:
 		err = solveExact(ctx, in, opts, res)
 	default:
@@ -449,7 +457,7 @@ func solveApprox(in *Instance, opts Options, res *Result) error {
 
 // solvePTAS dispatches the approximation-scheme tier with the parallel
 // guess search and the feasibility cache resolved from opts.
-func solvePTAS(ctx context.Context, in *Instance, opts Options, res *Result) error {
+func solvePTAS(ctx context.Context, in *Instance, opts Options, st *ptas.SessionState, res *Result) error {
 	popts := ptas.Options{
 		Epsilon:        opts.Epsilon,
 		MaxNodes:       opts.MaxNodes,
@@ -457,6 +465,7 @@ func solvePTAS(ctx context.Context, in *Instance, opts Options, res *Result) err
 		HugeMThreshold: opts.HugeMThreshold,
 		Parallelism:    opts.Parallelism,
 		NoWarmStart:    opts.NoWarmStart,
+		Session:        st,
 	}
 	if popts.Epsilon == 0 {
 		popts.Epsilon = 0.5

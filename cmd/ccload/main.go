@@ -9,14 +9,25 @@
 // its original in the deck, likely still in flight) or from the result
 // cache (duplicate placed at the tail, after its original finished).
 //
+// With -churn > 0 ccload instead exercises the incremental session API:
+// it creates one /v1/sessions session and, for -rounds rounds, mutates a
+// -churn fraction of the jobs (resizes of up to ±-churn-resize-pct percent)
+// with PATCH and records the per-round re-solve latencies plus the server's
+// session counters, which ccserved labels separately from one-shot solves.
+// -verify additionally re-solves every round's instance cold in-process and
+// fails unless the session makespans are bit-identical.
+//
 // Usage:
 //
 //	ccload -url http://localhost:8080 -clients 64 -requests 256 -dup 0.5 \
 //	       -family uniform -n 200 -variant splittable -tier approx -out BENCH_PR3.json
+//	ccload -url http://localhost:8080 -churn 0.05 -rounds 20 \
+//	       -family uniform -n 1000 -tier ptas -eps 1 -verify -out churn.json
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,6 +52,23 @@ type report struct {
 	Totals     totals         `json:"totals"`
 	LatencyMs  latencySummary `json:"latency_ms"`
 	Server     serverDeltas   `json:"server_deltas"`
+	// Session is populated by -churn runs only.
+	Session *sessionReport `json:"session,omitempty"`
+}
+
+// sessionReport summarizes a -churn run: per-round PATCH latencies and the
+// session-labeled server counters, so incremental re-solves are
+// attributable separately from one-shot solves.
+type sessionReport struct {
+	Rounds          int            `json:"rounds"`
+	ChurnFraction   float64        `json:"churn_fraction"`
+	ResizePct       float64        `json:"resize_pct"`
+	RoundLatencyMs  latencySummary `json:"round_latency_ms"`
+	SolveMsMean     float64        `json:"solve_ms_mean"`
+	SessionResolves int64          `json:"session_resolves"`
+	SessionSolveMs  float64        `json:"session_solve_ms_total"`
+	CacheHits       int64          `json:"result_cache_hits"`
+	Verified        bool           `json:"verified_bit_identical,omitempty"`
 }
 
 // runConfig echoes the generator and client parameters of the run.
@@ -100,6 +128,199 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// churnConfig parameterizes one -churn session run.
+type churnConfig struct {
+	url               string
+	family            string
+	n, classes, slots int
+	m                 int64
+	pmax, seed        int64
+	opts              ccsched.Options
+	churn, resizePct  float64
+	rounds            int
+	verify            bool
+	timeoutMs         int64
+	wait              time.Duration
+	out, label        string
+	cfg               runConfig
+}
+
+// sessionRequest performs one /v1/sessions call and decodes the response.
+func sessionRequest(client *http.Client, method, url string, body any) (*server.SessionResponse, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return nil, err
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var sr server.SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("%s %s: %w", method, url, err)
+	}
+	if resp.StatusCode != http.StatusOK || sr.Status != server.StatusDone {
+		return &sr, fmt.Errorf("%s %s: status %d (%s): %s", method, url, resp.StatusCode, sr.Status, sr.Error)
+	}
+	return &sr, nil
+}
+
+// runChurn drives the incremental session API: one session, c.rounds PATCH
+// rounds each mutating c.churn of the jobs, per-round latency and the
+// session-labeled server counters recorded. With c.verify every round's
+// makespan is checked bit-identical against an in-process cold solve.
+func runChurn(c churnConfig) {
+	if c.rounds < 1 {
+		fail(fmt.Errorf("-churn mode needs -rounds >= 1, got %d", c.rounds))
+	}
+	in, err := ccsched.Generate(c.family, ccsched.GeneratorConfig{
+		N: c.n, Classes: c.classes, Machines: c.m, Slots: c.slots, PMax: c.pmax, Seed: c.seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	client := &http.Client{Timeout: c.wait}
+	before, err := fetchMetrics(c.url)
+	if err != nil {
+		fail(fmt.Errorf("reading initial metrics (is ccserved running?): %w", err))
+	}
+	start := time.Now()
+	sr, err := sessionRequest(client, "POST", c.url+"/v1/sessions?wait="+c.wait.String(), server.SessionCreateRequest{
+		Instance: in, Options: c.opts, TimeoutMs: c.timeoutMs,
+	})
+	if err != nil {
+		fail(err)
+	}
+	sid := sr.SessionID
+	mirror := in.Clone()
+	ids := sr.JobIDs
+
+	rng := rand.New(rand.NewSource(c.seed*7717 + 5))
+	latencies := make([]time.Duration, 0, c.rounds)
+	var solveMsSum float64
+	verified := true
+	var tot totals
+	tot.ByStatus = map[int]int64{http.StatusOK: 1}
+	for round := 1; round <= c.rounds; round++ {
+		// Mutate churn·n jobs: resize by up to ±resizePct of the current
+		// size (the steady-state "jobs re-estimate" trickle).
+		k := int(c.churn * float64(len(ids)))
+		if k < 1 {
+			k = 1
+		}
+		delta := server.SessionDelta{TimeoutMs: c.timeoutMs}
+		for j := 0; j < k; j++ {
+			pos := rng.Intn(len(ids))
+			cur := mirror.P[pos]
+			span := int64(float64(cur) * c.resizePct / 100)
+			next := cur + rng.Int63n(2*span+1) - span
+			if next < 1 {
+				next = 1
+			}
+			mirror.P[pos] = next
+			delta.Resize = append(delta.Resize, server.SessionResize{ID: ids[pos], P: next})
+		}
+		reqStart := time.Now()
+		pr, err := sessionRequest(client, "PATCH", c.url+"/v1/sessions/"+sid+"?wait="+c.wait.String(), delta)
+		latencies = append(latencies, time.Since(reqStart))
+		if err != nil {
+			fail(fmt.Errorf("round %d: %w", round, err))
+		}
+		tot.OK++
+		tot.ByStatus[http.StatusOK]++
+		if pr.Coalesced {
+			tot.Coalesced++
+		}
+		if pr.Cached {
+			tot.Cached++
+		}
+		solveMsSum += pr.SolveMs
+		ids = pr.JobIDs
+		if c.verify {
+			coldOpts := c.opts
+			coldOpts.Cache = ccsched.NewFeasibilityCache()
+			want, err := ccsched.Solve(context.Background(), mirror, coldOpts)
+			if err != nil {
+				fail(fmt.Errorf("round %d: cold verify solve: %w", round, err))
+			}
+			if pr.Result == nil || pr.Result.Makespan.Cmp(want.Makespan) != 0 {
+				verified = false
+				fail(fmt.Errorf("round %d: session makespan %v != cold %s — parity broken",
+					round, pr.Result.Makespan, want.Makespan.RatString()))
+			}
+		}
+	}
+	wall := time.Since(start)
+	after, err := fetchMetrics(c.url)
+	if err != nil {
+		fail(err)
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) float64 {
+		return float64(latencies[int(p*float64(len(latencies)-1))]) / float64(time.Millisecond)
+	}
+	var sum time.Duration
+	for _, d := range latencies {
+		sum += d
+	}
+	roundLatency := latencySummary{
+		P50: pct(0.50), P90: pct(0.90), P99: pct(0.99),
+		Max:  float64(latencies[len(latencies)-1]) / float64(time.Millisecond),
+		Mean: float64(sum) / float64(len(latencies)) / float64(time.Millisecond),
+	}
+	rep := report{
+		Label:      c.label,
+		Config:     c.cfg,
+		WallS:      wall.Seconds(),
+		Throughput: float64(c.rounds) / wall.Seconds(),
+		Totals:     tot,
+		LatencyMs:  roundLatency,
+		Server: serverDeltas{
+			Admitted:              after.AdmittedTotal - before.AdmittedTotal,
+			Solves:                after.SolvesTotal - before.SolvesTotal,
+			CoalescedHits:         after.CoalescedHitsTotal - before.CoalescedHitsTotal,
+			ResultCacheHits:       after.ResultCacheHitsTotal - before.ResultCacheHitsTotal,
+			RejectedQueueFull:     after.RejectedQueueFullTotal - before.RejectedQueueFullTotal,
+			SolveErrors:           after.SolveErrorsTotal - before.SolveErrorsTotal,
+			FeasibilityCacheHits:  after.FeasibilityCache.Hits - before.FeasibilityCache.Hits,
+			FeasibilityCacheMiss:  after.FeasibilityCache.Misses - before.FeasibilityCache.Misses,
+			ResultCacheEntriesNow: after.ResultCacheEntries,
+		},
+		Session: &sessionReport{
+			Rounds:          c.rounds,
+			ChurnFraction:   c.churn,
+			ResizePct:       c.resizePct,
+			RoundLatencyMs:  roundLatency,
+			SolveMsMean:     solveMsSum / float64(c.rounds),
+			SessionResolves: after.SessionResolvesTotal - before.SessionResolvesTotal,
+			SessionSolveMs:  after.SessionSolveLatency.SumMs - before.SessionSolveLatency.SumMs,
+			CacheHits:       after.ResultCacheHitsTotal - before.ResultCacheHitsTotal,
+			Verified:        c.verify && verified,
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if c.out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(c.out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("ccload: session churn %d rounds in %.2fs (mean %.1fms/round, %d session re-solves, verified=%v) → %s\n",
+		c.rounds, wall.Seconds(), rep.LatencyMs.Mean, rep.Session.SessionResolves, rep.Session.Verified, c.out)
+}
+
 // fetchMetrics reads the server's /metrics snapshot.
 func fetchMetrics(url string) (server.MetricsSnapshot, error) {
 	var m server.MetricsSnapshot
@@ -142,6 +363,10 @@ func main() {
 		wait      = flag.Duration("wait", 5*time.Minute, "client-side wait per request")
 		out       = flag.String("out", "", "write the JSON report here (default stdout)")
 		label     = flag.String("label", "", "free-form label recorded in the report")
+		churn     = flag.Float64("churn", 0, "session mode: fraction of jobs mutated per round (0 = classic load mode)")
+		rounds    = flag.Int("rounds", 20, "session mode: delta rounds")
+		resizePct = flag.Float64("churn-resize-pct", 2, "session mode: max resize magnitude as a percentage of the current size")
+		verify    = flag.Bool("verify", false, "session mode: cold-solve each round in-process and require bit-identical makespans")
 	)
 	flag.Parse()
 	v, err := ccsched.ParseVariant(*variant)
@@ -155,6 +380,23 @@ func main() {
 	opts := ccsched.Options{Variant: v, Tier: tr}
 	if tr == ccsched.TierPTAS || tr == ccsched.TierAuto {
 		opts.Epsilon = *eps
+	}
+
+	if *churn > 0 {
+		runChurn(churnConfig{
+			url: *url, family: *family, n: *n, classes: *classes, m: *m,
+			slots: *slots, pmax: *pmax, seed: *seed, opts: opts,
+			churn: *churn, rounds: *rounds, resizePct: *resizePct,
+			verify: *verify, timeoutMs: *timeoutMs, wait: *wait,
+			out: *out, label: *label,
+			cfg: runConfig{
+				URL: *url, Clients: 1, Requests: *rounds, Family: *family,
+				N: *n, Classes: *classes, Machines: *m, Slots: *slots,
+				PMax: *pmax, Seed: *seed, Variant: v.String(), Tier: tr.String(),
+				Epsilon: opts.Epsilon, TimeoutMs: *timeoutMs,
+			},
+		})
+		return
 	}
 
 	// Build the request deck: originals, with half the duplicates placed

@@ -11,12 +11,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve       submit {"instance":..., "options":..., "timeout_ms":...};
-//	                     ?wait=30s blocks for the result (default), ?wait=0
-//	                     returns 202 with a job id immediately
-//	GET  /v1/jobs/{id}   poll a submission (?wait= blocks)
-//	GET  /healthz        liveness + queue gauges
-//	GET  /metrics        counters, caches, latency histogram (JSON)
+//	POST   /v1/solve          submit {"instance":..., "options":..., "timeout_ms":...};
+//	                          ?wait=30s blocks for the result (default), ?wait=0
+//	                          returns 202 with a job id immediately
+//	GET    /v1/jobs/{id}      poll a submission (?wait= blocks)
+//	POST   /v1/sessions       create a scheduling session (live instance +
+//	                          warm solver state held server-side)
+//	PATCH  /v1/sessions/{id}  apply job/machine deltas, incremental re-solve
+//	GET    /v1/sessions/{id}  current schedule
+//	DELETE /v1/sessions/{id}  drop the session
+//	GET    /healthz           liveness + queue gauges
+//	GET    /metrics           counters, caches, labeled latency histograms (JSON)
 //
 // SIGINT/SIGTERM starts a graceful shutdown: admission stops (503), the
 // queue drains, and solves still running when -grace expires are canceled
@@ -62,6 +67,7 @@ func main() {
 		defTimeout  = flag.Duration("default-timeout", 120*time.Second, "solve deadline for requests without timeout_ms")
 		maxTimeout  = flag.Duration("max-timeout", 15*time.Minute, "cap on the wire-settable timeout_ms")
 		maxJobs     = flag.Int("max-jobs", 100000, "largest admitted instance (jobs)")
+		maxSessions = flag.Int("max-sessions", 1024, "cap on live scheduling sessions (excess creations get 429)")
 		maxBody     = flag.Int64("max-body", 32<<20, "maximum request body bytes")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight solves are canceled")
 		quiet       = flag.Bool("quiet", false, "suppress per-solve logging")
@@ -100,6 +106,7 @@ func main() {
 		DefaultTimeout:     *defTimeout,
 		MaxTimeout:         *maxTimeout,
 		MaxJobs:            *maxJobs,
+		MaxSessions:        *maxSessions,
 		MaxBodyBytes:       *maxBody,
 		Cache:              ccsched.NewFeasibilityCache(),
 		Logf:               logf,

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzInstanceJSON round-trips arbitrary bytes through the Instance JSON
+// codec: any input that decodes must satisfy the validated invariants
+// (decode runs Validate), re-encode, and decode back to the same instance.
+// This is the wire surface ccserved exposes to untrusted clients, so the
+// codec must never accept an instance the solvers cannot safely run.
+func FuzzInstanceJSON(f *testing.F) {
+	f.Add([]byte(`{"machines": 4, "slots": 2, "p": [5, 3, 8], "class": [0, 1, 0]}`))
+	f.Add([]byte(`{"machines": 1, "slots": 1, "p": [1], "class": [0]}`))
+	f.Add([]byte(`{"machines": 1152921504606846976, "slots": 3, "p": [9223372036854775807], "class": [7]}`))
+	f.Add([]byte(`{"machines": 0, "slots": 0, "p": [], "class": []}`))
+	f.Add([]byte(`{"machines": 2, "slots": 1, "p": [4611686018427387904, 4611686018427387904, 1], "class": [0, 1, 2]}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var in Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return // rejected inputs are fine; accepting a bad one is not
+		}
+		// Whatever decoded must already be safe for the solvers.
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoded instance fails Validate: %v\ninput: %q", err, data)
+		}
+		out, err := json.Marshal(&in)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded instance: %v", err)
+		}
+		var back Instance
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("decoding the re-encoded instance: %v\nencoded: %s", err, out)
+		}
+		if !reflect.DeepEqual(normalizeEmpty(&in), normalizeEmpty(&back)) {
+			t.Fatalf("round trip changed the instance:\n first: %+v\nsecond: %+v", in, back)
+		}
+	})
+}
+
+// normalizeEmpty maps nil and empty slices onto one representation; the
+// JSON round trip may turn [] into null, which is semantically identical.
+func normalizeEmpty(in *Instance) *Instance {
+	out := *in
+	if len(out.P) == 0 {
+		out.P = nil
+	}
+	if len(out.Class) == 0 {
+		out.Class = nil
+	}
+	return &out
+}

@@ -105,6 +105,13 @@ type Result struct {
 	// RootBasis is the root relaxation's terminal basis when it solved to
 	// optimality, for cross-solve warm-start hints (nil otherwise).
 	RootBasis *lp.Basis
+	// InfeasibleRay is the root relaxation's Farkas ray when the whole
+	// problem was refuted at the root by a cold LP solve: a row-price
+	// vector (in row order) certifying the root LP infeasible. Callers can
+	// re-verify it against a structurally related problem to prove that
+	// problem infeasible without solving (see
+	// nfold.Problem.CertifiesInfeasible). Nil otherwise.
+	InfeasibleRay []float64
 }
 
 const intTol = 1e-6
@@ -219,6 +226,9 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 		}
 		if nd.patchVar < 0 && sol.Status == lp.Optimal && warmStart {
 			res.RootBasis = prep.CaptureBasis()
+		}
+		if nd.patchVar < 0 && sol.Status == lp.Infeasible {
+			res.InfeasibleRay = prep.InfeasibilityRay()
 		}
 		switch sol.Status {
 		case lp.Infeasible:

@@ -91,6 +91,12 @@ type Prepared struct {
 	solveSeq     uint64
 	liveID       uint64
 	lastCaptured *Basis
+	// rayValid marks that the most recent SolveBounds ended in a cold
+	// phase-1 infeasibility and st still holds its terminal state, so
+	// InfeasibilityRay can derive the Farkas ray on demand (the derivation
+	// is O(m²); deferring it keeps non-root infeasible nodes, which nobody
+	// asks a ray of, at zero extra cost).
+	rayValid bool
 }
 
 // errReleased is returned when a Prepared is used after Release.
@@ -230,6 +236,7 @@ func (pr *Prepared) SolveBounds(ctx context.Context, lower, upper []float64, war
 		return err
 	}
 	*sol = Solution{}
+	pr.rayValid = false
 	m, n := pr.m, pr.n
 	st := &pr.st
 	p := pr.p
@@ -359,6 +366,7 @@ func (pr *Prepared) solveCold(sol *Solution) error {
 	if st.objective(phase1) > 1e-6 {
 		sol.Status = Infeasible
 		sol.Iterations += st.iters
+		pr.rayValid = true
 		return nil
 	}
 	// Pin artificials to zero so phase 2 cannot reuse them.
@@ -394,6 +402,36 @@ func (pr *Prepared) solveCold(sol *Solution) error {
 		pr.liveID = pr.solveSeq
 	}
 	return nil
+}
+
+// InfeasibilityRay derives the Farkas ray of the most recent SolveBounds
+// call if (and only if) it ended with a cold phase-1 Infeasible verdict:
+// y = c_B·B⁻¹ with the phase-1 costs (1 on artificials). At the phase-1
+// optimum with positive objective, max over the bound box of y·Ax is
+// strictly below y·b, so y certifies that no x satisfies the rows — a
+// certificate a caller can cheaply re-verify against a *related* problem
+// (see nfold.Problem.CertifiesInfeasible) without trusting this
+// derivation. Warm-restore infeasibility verdicts and all non-infeasible
+// outcomes return nil. The derivation reads the solver's terminal state,
+// so call it before the next solve on this Prepared; the returned slice is
+// freshly allocated and safe to retain.
+func (pr *Prepared) InfeasibilityRay() []float64 {
+	if pr.released || !pr.rayValid {
+		return nil
+	}
+	st := &pr.st
+	ray := make([]float64, pr.m)
+	for k := 0; k < pr.m; k++ {
+		cb := pr.phase1[st.basis[k]]
+		if cb == 0 {
+			continue
+		}
+		row := st.binv[k]
+		for i := 0; i < pr.m; i++ {
+			ray[i] += cb * row[i]
+		}
+	}
+	return ray
 }
 
 // Solve runs the two-phase bounded-variable revised simplex.

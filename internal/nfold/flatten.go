@@ -84,12 +84,15 @@ func (p *Problem) solveBranchBound(ctx context.Context, maxNodes int, firstFeasi
 	if err != nil {
 		return nil, err
 	}
-	iopts := &ilp.Options{MaxNodes: maxNodes, FirstFeasible: firstFeasible, NoWarmStart: o.NoWarmStart}
+	iopts := &ilp.Options{MaxNodes: maxNodes, FirstFeasible: firstFeasible, NoWarmStart: o.NoWarmStart, RootBasis: o.RootBasis}
 	res, err := ilp.SolveCtx(ctx, mp, iopts)
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Engine: EngineBranchBound, Nodes: res.Nodes, Pivots: res.Pivots, WarmHits: res.WarmHits}
+	out := &Result{
+		Engine: EngineBranchBound, Nodes: res.Nodes, Pivots: res.Pivots, WarmHits: res.WarmHits,
+		RootBasis: res.RootBasis, InfeasibleRay: res.InfeasibleRay,
+	}
 	switch res.Status {
 	case ilp.Infeasible:
 		out.Status = Infeasible

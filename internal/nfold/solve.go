@@ -3,6 +3,8 @@ package nfold
 import (
 	"context"
 	"fmt"
+
+	"ccsched/internal/lp"
 )
 
 // Engine identifies which solver produced a result.
@@ -63,6 +65,12 @@ type Options struct {
 	// related solves (the probes of one PTAS guess search). Nil disables
 	// cross-solve sharing.
 	Template *Template
+	// RootBasis optionally warm-starts the exact engine's root relaxation
+	// from a basis captured on a structurally compatible flattened problem
+	// (e.g. the same probe shape in the previous solve of a scheduling
+	// session). The restore is verdict-only, so results are bit-identical
+	// with or without the hint; dimension mismatches are ignored.
+	RootBasis *lp.Basis
 }
 
 // Result is a solve outcome. X is indexed [brick][col].
@@ -79,6 +87,16 @@ type Result struct {
 	// WarmHits counts branch-and-bound nodes pruned by the warm dual
 	// restore (see internal/lp); zero with NoWarmStart.
 	WarmHits int
+	// RootBasis is the exact engine's terminal root-relaxation basis when
+	// it solved to optimality (nil otherwise); pass it back through
+	// Options.RootBasis to warm-start a related later solve.
+	RootBasis *lp.Basis
+	// InfeasibleRay is a Farkas certificate of this problem's LP-relaxation
+	// infeasibility when the exact engine refuted it at the root with a
+	// cold LP solve (nil otherwise). Re-verify it against a related problem
+	// with CertifiesInfeasible to prove that problem Infeasible without an
+	// engine run.
+	InfeasibleRay []float64
 }
 
 // Solve dispatches to the selected engine. With EngineAuto (default), the

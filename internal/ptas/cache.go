@@ -4,10 +4,10 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 	"sync"
 	"sync/atomic"
 
-	"ccsched/internal/core"
 	"ccsched/internal/nfold"
 )
 
@@ -71,10 +71,20 @@ func (e cacheEntry) size() int64 {
 // they build different N-folds from the same instance and guess. The engine
 // budget knobs are part of the key: a verdict reached under a smaller node
 // budget is not valid under a larger one.
+//
+// The digest covers the *derived* probe data — the rounded class loads,
+// classifications and grouped sizes the guess N-fold is actually built from
+// — rather than the raw instance. Everything the N-fold depends on beyond
+// the digest is (g, slots, machine count), all inside the digest, so two
+// probes with equal keys build bit-identical N-folds and the deterministic
+// engines return bit-identical verdicts and solutions. The guess T itself is
+// deliberately absent: the schemes work in δ²T/c units, making the N-fold a
+// function of the rounded data only, so neighboring guesses (and re-solves
+// of a mutated session instance whose roundings coincide) share entries.
 type cacheKey struct {
 	variant    byte
 	digest     [sha256.Size]byte
-	g, t       int64
+	g          int64
 	maxConfigs int
 	maxNodes   int
 	engine     nfold.Engine
@@ -168,39 +178,88 @@ func (c *Cache) Len() int {
 	return len(c.m)
 }
 
-// instanceDigest hashes everything about an instance that the guess N-folds
-// depend on: machine count, slot budget, and the (processing time, class)
-// job list in order. Probes key their cache entries on it, so instances that
-// differ anywhere get disjoint entries.
-func instanceDigest(in *core.Instance) [sha256.Size]byte {
-	h := sha256.New()
-	var buf [8]byte
-	put := func(v int64) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
+// probeDigest incrementally hashes a probe's derived data.
+type probeDigest struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newProbeDigest() *probeDigest { return &probeDigest{h: sha256.New()} }
+
+func (d *probeDigest) put(v int64) {
+	binary.LittleEndian.PutUint64(d.buf[:], uint64(v))
+	d.h.Write(d.buf[:])
+}
+
+func (d *probeDigest) putBool(b bool) {
+	if b {
+		d.put(1)
+	} else {
+		d.put(0)
 	}
-	put(in.M)
-	put(int64(in.Slots))
-	put(int64(in.N()))
-	for _, p := range in.P {
-		put(p)
-	}
-	for _, cl := range in.Class {
-		put(int64(cl))
-	}
+}
+
+func (d *probeDigest) sum() [sha256.Size]byte {
 	var out [sha256.Size]byte
-	h.Sum(out[:0])
+	d.h.Sum(out[:0])
 	return out
 }
 
+// splitDigest hashes the derived data of one splittable (or splittable-huge)
+// probe: machine count, slot budget, accuracy, and the rounded load and
+// classification of every class in brick order. This is exactly what
+// splitGuessCtx.buildNFold reads, so equal digests mean bit-identical
+// N-folds.
+func splitDigest(m int64, slots int, g int64, classes []int, pUnits []int64, small []bool) [sha256.Size]byte {
+	d := newProbeDigest()
+	d.put(m)
+	d.put(int64(slots))
+	d.put(g)
+	d.put(int64(len(classes)))
+	for _, u := range classes {
+		d.put(pUnits[u])
+		d.putBool(small[u])
+	}
+	return d.sum()
+}
+
+// groupedDigest hashes the derived data of a non-preemptive or preemptive
+// probe: machine count, slot budget, accuracy, the distinct rounded job
+// sizes, and per class (in brick order) either the rounded small load or the
+// per-size job counts. Both schemes' buildNFold reads exactly this (their
+// module/configuration enumerations are deterministic functions of it), so
+// equal digests mean bit-identical N-folds.
+func groupedDigest(m int64, slots int, g int64, sizes []int64, classes []int, small []bool, smallUnits []int64, nUP map[[2]int64]int64) [sha256.Size]byte {
+	d := newProbeDigest()
+	d.put(m)
+	d.put(int64(slots))
+	d.put(g)
+	d.put(int64(len(sizes)))
+	for _, s := range sizes {
+		d.put(s)
+	}
+	d.put(int64(len(classes)))
+	for _, u := range classes {
+		if small[u] {
+			d.put(1)
+			d.put(smallUnits[u])
+			continue
+		}
+		d.put(0)
+		for _, s := range sizes {
+			d.put(nUP[[2]int64{int64(u), s}])
+		}
+	}
+	return d.sum()
+}
+
 // probeCacheKey assembles the cache key for one guess probe of a search.
-func probeCacheKey(variant byte, digest [sha256.Size]byte, g, t int64, opts Options) cacheKey {
+func probeCacheKey(variant byte, digest [sha256.Size]byte, g int64, opts Options) cacheKey {
 	no := opts.nfoldOptions(nil)
 	return cacheKey{
 		variant:    variant,
 		digest:     digest,
 		g:          g,
-		t:          t,
 		maxConfigs: opts.maxConfigs(),
 		maxNodes:   no.MaxNodes,
 		engine:     no.Engine,
@@ -213,6 +272,7 @@ func probeCacheKey(variant byte, digest [sha256.Size]byte, g, t int64, opts Opti
 // can vary run to run, so these are diagnostics, never solver inputs.
 type probeStats struct {
 	cacheHits atomic.Int64
+	certHits  atomic.Int64
 	nodes     atomic.Int64
 	pivots    atomic.Int64
 	warmHits  atomic.Int64
@@ -221,6 +281,7 @@ type probeStats struct {
 // report fills the aggregate counter fields of a Report.
 func (st *probeStats) report(rep *Report) {
 	rep.CacheHits = int(st.cacheHits.Load())
+	rep.CertHits = int(st.certHits.Load())
 	rep.BBNodes = st.nodes.Load()
 	rep.BBPivots = st.pivots.Load()
 	rep.WarmHits = st.warmHits.Load()
@@ -235,24 +296,40 @@ func fallbackReport(g, hi int64, tried int, stats *probeStats) Report {
 
 // solveGuessCached runs one guess probe's N-fold through the feasibility
 // cache — the shared step of all four probe shapes. A hit returns the
-// memoized verdict (counted in stats.cacheHits); a miss builds the N-fold,
-// solves it under pctx with the search's shared nfold.Template, and
-// memoizes the verdict. Errors — including cancellation of a losing
-// speculative probe — are never cached. The warm-start caches in tmpl never
-// change a verdict (restores are verdict-only and the augment move cache is
-// content-deterministic), so cached entries stay valid across the
-// NoWarmStart settings.
-func solveGuessCached(pctx context.Context, opts Options, tag byte, digest [sha256.Size]byte, g, t int64, stats *probeStats, tmpl *nfold.Template, build func() *nfold.Problem) (cacheEntry, error) {
-	key := probeCacheKey(tag, digest, g, t, opts)
+// memoized verdict (counted in stats.cacheHits); a miss builds the N-fold
+// and, in a session re-solve (rec non-nil), first tries to refute it with
+// the previous round's Farkas certificate — a sparse re-verification that
+// can never flip a verdict, only skip the engines (see
+// nfold.Problem.CertifiesInfeasible). Otherwise it solves under pctx with
+// the search's shared nfold.Template and memoizes the verdict. Errors —
+// including cancellation of a losing speculative probe — are never cached.
+// The warm-start caches in tmpl, the session root-basis hint and the
+// certificate never change a verdict (restores and certificates are
+// verdict-only and the augment move cache is content-deterministic), so
+// cached entries stay valid across NoWarmStart settings and between session
+// and cold solves.
+func solveGuessCached(pctx context.Context, opts Options, key cacheKey, t int64, stats *probeStats, tmpl *nfold.Template, rec *sessionRecorder, build func() *nfold.Problem) (cacheEntry, error) {
 	if entry, ok := opts.Cache.lookup(key); ok {
 		stats.cacheHits.Add(1)
 		return entry, nil
 	}
 	prob := build()
-	res, err := nfold.SolveCtx(pctx, prob, opts.nfoldOptions(tmpl))
+	if rec.tryCertificate(prob, stats) {
+		entry := cacheEntry{
+			feasible: false,
+			params:   prob.Params(), engine: engineCertificate,
+			costLog2: prob.TheoreticalCostLog2(),
+		}
+		opts.Cache.store(key, entry)
+		return entry, nil
+	}
+	no := opts.nfoldOptions(tmpl)
+	no.RootBasis = rec.rootHint(t)
+	res, err := nfold.SolveCtx(pctx, prob, no)
 	if err != nil {
 		return cacheEntry{}, err
 	}
+	rec.note(res)
 	stats.nodes.Add(int64(res.Nodes))
 	stats.pivots.Add(int64(res.Pivots))
 	stats.warmHits.Add(int64(res.WarmHits))

@@ -71,6 +71,14 @@ type Options struct {
 	// bit-identical either way; this is the measurement baseline and
 	// determinism escape hatch checked by the warm-parity tests.
 	NoWarmStart bool
+	// Session carries warm state across the re-solves of a scheduling
+	// session: guess templates, the previous accepted guess (seeding the
+	// search window), the boundary reject's Farkas certificate and the root
+	// basis hint. All reuse is verdict-preserving, so results are
+	// bit-identical to a cold solve of the same instance; solves with a
+	// Session run the sequential guess search regardless of Parallelism.
+	// A SessionState must not be shared by concurrent solves.
+	Session *SessionState
 }
 
 func (o Options) hugeMThreshold() int64 {
@@ -126,6 +134,10 @@ type Report struct {
 	// CacheHits counts guess probes answered from the feasibility cache
 	// during this search.
 	CacheHits int `json:"cache_hits,omitempty"`
+	// CertHits counts guess probes refuted by re-verifying a session-carried
+	// Farkas certificate instead of running the engines (session re-solves
+	// only).
+	CertHits int `json:"cert_hits,omitempty"`
 	// BBNodes, BBPivots and WarmHits aggregate the exact engine's
 	// branch-and-bound nodes, simplex pivots, and warm-restore prunes across
 	// every probe this search solved (cache hits add nothing). Under

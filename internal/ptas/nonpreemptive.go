@@ -371,15 +371,21 @@ func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*
 		sched  *core.NonPreemptiveSchedule
 		report Report
 	}
-	digest := instanceDigest(in)
 	var stats probeStats
+	// The non-preemptive template is guess-dependent almost entirely (see
+	// npTemplate), so sessions rebuild it per re-solve — carrying it would
+	// only grow the move cache without reuse — and warm up through the seed,
+	// the certificate and the derived-digest cache instead.
 	tm := newNPTemplate(in, g, opts.maxConfigs())
-	best, guess, tried, err := searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+	seed, rec := opts.Session.probeSeed(cacheNonPreemptive, 1)
+	probe := func(pctx context.Context, t int64) (payload, bool, error) {
 		gctx, err := tm.instantiate(t)
 		if err != nil {
 			return payload{}, false, err
 		}
-		entry, err := solveGuessCached(pctx, opts, cacheNonPreemptive, digest, g, t, &stats, tm.nf,
+		key := probeCacheKey(cacheNonPreemptive,
+			groupedDigest(in.M, in.Slots, g, gctx.sizes, gctx.classList(), gctx.small, gctx.smallUnits, gctx.nUP), g, opts)
+		entry, err := solveGuessCached(pctx, opts, key, t, &stats, tm.nf, rec,
 			func() *nfold.Problem { return gctx.buildNFold(in.M) })
 		if err != nil {
 			return payload{}, false, err
@@ -395,7 +401,18 @@ func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*
 			InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
 			TheoreticalCostLog2: entry.costLog2,
 		}}, true, nil
-	})
+	}
+	var best payload
+	var guess int64
+	var tried int
+	if opts.Session != nil {
+		best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, probe)
+	} else {
+		best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, probe)
+	}
+	if err == nil {
+		opts.Session.noteSearch(cacheNonPreemptive, guess, 1, rec)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()

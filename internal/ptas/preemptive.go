@@ -293,13 +293,20 @@ func SolvePreemptive(ctx context.Context, in *core.Instance, opts Options) (*Pre
 		return nil, err
 	}
 	if scale := scaleFactor(lbRat, in.PMax(), 4*g*g); scale > 1 {
-		res, err := SolvePreemptive(ctx, scaleInstance(in, scale), opts)
+		res, err := solvePreemptiveScaled(ctx, scaleInstance(in, scale), g, scale, opts)
 		if err != nil {
 			return nil, err
 		}
 		descalePreemptive(res, scale)
 		return res, nil
 	}
+	return solvePreemptiveScaled(ctx, in, g, 1, opts)
+}
+
+// solvePreemptiveScaled runs the guess search on the (possibly scaled)
+// instance; scale is recorded with session seeds so later re-solves under a
+// different scaling rescale the seed guess.
+func solvePreemptiveScaled(ctx context.Context, in *core.Instance, g, scale int64, opts Options) (*PreemptiveResult, error) {
 	lo, err := lowerBoundInt(in, core.Preemptive)
 	if err != nil {
 		return nil, err
@@ -317,14 +324,14 @@ func SolvePreemptive(ctx context.Context, in *core.Instance, opts Options) (*Pre
 		sched  *core.PreemptiveSchedule
 		report Report
 	}
-	digest := instanceDigest(in)
 	var stats probeStats
 	tried := 0
-	tm, err := newPreTemplate(in, g, opts.maxConfigs())
+	tm, err := preTemplateFor(opts.Session, in, g, opts.maxConfigs())
 	var best payload
 	var guess int64
 	if err == nil {
-		best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+		seed, rec := opts.Session.probeSeed(cachePreemptive, scale)
+		probe := func(pctx context.Context, t int64) (payload, bool, error) {
 			gctx, err := tm.instantiate(t)
 			if err == errGuessTooSmall {
 				return payload{}, false, nil
@@ -332,7 +339,9 @@ func SolvePreemptive(ctx context.Context, in *core.Instance, opts Options) (*Pre
 			if err != nil {
 				return payload{}, false, err
 			}
-			entry, err := solveGuessCached(pctx, opts, cachePreemptive, digest, g, t, &stats, tm.nf,
+			key := probeCacheKey(cachePreemptive,
+				groupedDigest(in.M, in.Slots, g, gctx.sizes, gctx.classList(), gctx.small, gctx.smallUnits, gctx.nUP), g, opts)
+			entry, err := solveGuessCached(pctx, opts, key, t, &stats, tm.nf, rec,
 				func() *nfold.Problem { return gctx.buildNFold(in.M) })
 			if err != nil {
 				return payload{}, false, err
@@ -348,7 +357,15 @@ func SolvePreemptive(ctx context.Context, in *core.Instance, opts Options) (*Pre
 				InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
 				TheoreticalCostLog2: entry.costLog2,
 			}}, true, nil
-		})
+		}
+		if opts.Session != nil {
+			best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, probe)
+		} else {
+			best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, probe)
+		}
+		if err == nil {
+			opts.Session.noteSearch(cachePreemptive, guess, scale, rec)
+		}
 	}
 	if err != nil {
 		if ctx.Err() != nil {

@@ -3,6 +3,7 @@ package ptas
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -157,6 +158,117 @@ func searchGuessesSpec[T any](ctx context.Context, grid []int64, parallelism int
 			probes[i].cancel()
 		}
 		prevLo, prevHi = lo, hi
+	}
+	return finishSearch(grid, best, bestGuess, tried)
+}
+
+// seedWindow bounds how far the seeded search walks from the seed position
+// before falling back to the full binary search. Churn re-solves move the
+// boundary by at most a grid step or two; a wider window would only delay
+// the fallback on the rare large jumps.
+const seedWindow = 3
+
+// searchGuessesSeeded is the session re-solve search: it starts at the grid
+// position of the previous accepted guess and walks outward to bracket the
+// boundary — the smallest accepted guess whose predecessor is rejected —
+// within seedWindow probes, falling back to the plain sequential binary
+// search (re-consuming every verdict already obtained, via the memo) when
+// the window misses. Feasibility is monotone in T for the paper's schemes
+// (Lemma 7), and for a monotone predicate the bracketed boundary IS the
+// binary search's answer, so the session search accepts the same guess a
+// cold Solve accepts; the budgeted engines' rare monotonicity violations
+// are guarded end to end by the session differential tests. A zero seed
+// (first solve of a session) runs the plain binary search directly.
+//
+// The search is strictly sequential: a session's probes are few, and its
+// shared template is retargeted between searches, which speculative
+// stragglers could otherwise race.
+func searchGuessesSeeded[T any](ctx context.Context, grid []int64, seed int64, feasibleAt func(context.Context, int64) (T, bool, error)) (T, int64, int, error) {
+	type verdict struct {
+		payload T
+		ok      bool
+	}
+	memo := make(map[int]verdict)
+	tried := 0
+	var evalErr error
+	eval := func(i int) verdict {
+		if v, ok := memo[i]; ok {
+			return v
+		}
+		payload, ok, err := feasibleAt(ctx, grid[i])
+		if err != nil {
+			evalErr = err
+			return verdict{}
+		}
+		tried++
+		v := verdict{payload, ok}
+		memo[i] = v
+		return v
+	}
+	if seed > 0 && len(grid) > 1 {
+		i0 := sort.Search(len(grid), func(i int) bool { return grid[i] >= seed })
+		if i0 == len(grid) {
+			i0 = len(grid) - 1
+		}
+		if v0 := eval(i0); evalErr == nil && v0.ok {
+			// Walk down until the reject below the boundary.
+			bottom := i0 - seedWindow
+			if bottom < 0 {
+				bottom = 0
+			}
+			for i := i0 - 1; i >= bottom; i-- {
+				v := eval(i)
+				if evalErr != nil {
+					break
+				}
+				if !v.ok {
+					return memo[i+1].payload, grid[i+1], tried, nil
+				}
+			}
+			if evalErr == nil && bottom == 0 {
+				// Accepted all the way down to the grid bottom: minimal.
+				return memo[0].payload, grid[0], tried, nil
+			}
+		} else if evalErr == nil {
+			// Walk up to the first accept.
+			top := i0 + seedWindow
+			if top > len(grid)-1 {
+				top = len(grid) - 1
+			}
+			for i := i0 + 1; i <= top; i++ {
+				v := eval(i)
+				if evalErr != nil {
+					break
+				}
+				if v.ok {
+					return v.payload, grid[i], tried, nil
+				}
+			}
+		}
+		if evalErr != nil {
+			var zero T
+			return zero, 0, tried, evalErr
+		}
+	}
+	// No seed, or the window missed the boundary: plain sequential binary
+	// search, with window verdicts answered from the memo for free.
+	var best T
+	bestGuess := int64(-1)
+	lo, hi := 0, len(grid)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		v := eval(mid)
+		if evalErr != nil {
+			var zero T
+			return zero, 0, tried, evalErr
+		}
+		if v.ok {
+			best = v.payload
+			bestGuess = grid[mid]
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
 	}
 	return finishSearch(grid, best, bestGuess, tried)
 }

@@ -1,0 +1,235 @@
+package ptas
+
+import (
+	"math/big"
+
+	"ccsched/internal/core"
+	"ccsched/internal/lp"
+	"ccsched/internal/nfold"
+)
+
+// Session state. A scheduling session re-solves a slowly mutating instance
+// over and over; SessionState carries everything a completed guess search
+// learned that the next search can legally reuse:
+//
+//   - the guess templates (splittable and preemptive) with their embedded
+//     nfold move-set caches and shared block arrays — valid as long as the
+//     brick shapes are unchanged, i.e. the accuracy g, the slot budget and
+//     the configuration limit match; the per-instance pieces (class loads,
+//     job partitions) are re-derived by retarget on every reuse;
+//   - the previous accepted guess per probe shape, seeding the next search's
+//     boundary window (searchGuessesSeeded) before it falls back to the
+//     full binary search over the [LB, hi] grid;
+//   - the previous boundary reject's Farkas certificate, re-verified against
+//     each new reject-candidate N-fold (nfold.Problem.CertifiesInfeasible)
+//     so unchanged rejects skip the engines entirely;
+//   - the previous search's terminal root basis, passed as a verdict-only
+//     warm hint to expected-infeasible probes (nfold.Options.RootBasis).
+//
+// Every mechanism is verdict-preserving by construction — certificates are
+// re-verified from scratch, restores are verdict-only, cache keys are
+// derived-data-exact, and the seeded window returns the same bracketed
+// boundary the binary search finds — so a session re-solve returns a
+// makespan bit-identical to a cold Solve on the mutated instance. The
+// end-to-end guarantee is proven by the session differential tests.
+//
+// A SessionState is NOT safe for concurrent use: it belongs to exactly one
+// session, whose re-solves are serialized by the owner. Solves carrying a
+// SessionState therefore run the sequential guess search regardless of
+// Options.Parallelism (a re-solve probes a handful of guesses; speculation
+// has nothing to overlap, and a speculative straggler could otherwise race
+// a later retarget).
+type SessionState struct {
+	split *splitTemplate
+	pre   *preTemplate
+	seeds map[byte]*sessionSeed
+}
+
+// sessionSeed is the per-probe-shape warm state (keyed by the cacheKey
+// variant tags).
+type sessionSeed struct {
+	// guess is the previously accepted makespan guess, in the units of the
+	// scale it was found under.
+	guess int64
+	scale int64
+	// ray is the Farkas certificate of the previous boundary reject.
+	ray []float64
+	// root is the previous search's last captured root-relaxation basis.
+	root *lp.Basis
+}
+
+// NewSessionState returns empty warm state for one scheduling session.
+func NewSessionState() *SessionState {
+	return &SessionState{seeds: make(map[byte]*sessionSeed)}
+}
+
+// seedFor returns the seed guess (rescaled into the current scale when the
+// previous solve ran under a different power-of-two scaling), certificate
+// and root hint for one probe shape. A zero guess means "no seed".
+func (st *SessionState) seedFor(tag byte, scale int64) (guess int64, ray []float64, root *lp.Basis) {
+	if st == nil {
+		return 0, nil, nil
+	}
+	s := st.seeds[tag]
+	if s == nil {
+		return 0, nil, nil
+	}
+	guess = s.guess
+	if s.scale != scale && s.scale > 0 {
+		q := new(big.Int).Mul(big.NewInt(s.guess), big.NewInt(scale))
+		q.Quo(q, big.NewInt(s.scale))
+		guess = q.Int64()
+		if guess < 1 {
+			guess = 1
+		}
+	}
+	return guess, s.ray, s.root
+}
+
+// probeSeed builds one re-solve's seed guess and recorder for a probe
+// shape; a nil state returns a zero seed and nil recorder, which select the
+// cold search behavior everywhere downstream.
+func (st *SessionState) probeSeed(tag byte, scale int64) (int64, *sessionRecorder) {
+	if st == nil {
+		return 0, nil
+	}
+	guess, ray, root := st.seedFor(tag, scale)
+	return guess, &sessionRecorder{seedGuess: guess, ray: ray, root: root}
+}
+
+// noteSearch records a completed search's accepted guess and the recorder's
+// certificate and root basis for the next re-solve. When this search
+// produced no fresh certificate or basis (every probe answered from the
+// cache), the previous ones are kept as long as the scale still matches.
+func (st *SessionState) noteSearch(tag byte, guess, scale int64, rec *sessionRecorder) {
+	if st == nil {
+		return
+	}
+	s := &sessionSeed{guess: guess, scale: scale}
+	if rec != nil {
+		s.ray, s.root = rec.newRay, rec.newRoot
+	}
+	if prev := st.seeds[tag]; prev != nil && prev.scale == scale {
+		if s.ray == nil {
+			s.ray = prev.ray
+		}
+		if s.root == nil {
+			s.root = prev.root
+		}
+	}
+	st.seeds[tag] = s
+}
+
+// splitTemplateFor returns the carried splittable template retargeted at in
+// when the brick shapes are unchanged (same g, slot budget and configuration
+// limit), else builds a fresh one and carries it. A nil state builds
+// one-shot templates exactly like the cold path.
+func splitTemplateFor(st *SessionState, in *core.Instance, g int64, limit int) (*splitTemplate, error) {
+	if st != nil && st.split != nil && st.split.g == g && st.split.limit == limit && st.split.in.Slots == in.Slots {
+		st.split.retarget(in)
+		return st.split, nil
+	}
+	tm, err := newSplitTemplate(in, g, limit)
+	if err == nil && st != nil {
+		st.split = tm
+	}
+	return tm, err
+}
+
+// preTemplateFor is splitTemplateFor for the preemptive scheme.
+func preTemplateFor(st *SessionState, in *core.Instance, g int64, limit int) (*preTemplate, error) {
+	if st != nil && st.pre != nil && st.pre.g == g && st.pre.limit == limit && st.pre.in.Slots == in.Slots {
+		st.pre.retarget(in)
+		return st.pre, nil
+	}
+	tm, err := newPreTemplate(in, g, limit)
+	if err == nil && st != nil {
+		st.pre = tm
+	}
+	return tm, err
+}
+
+// retarget points a carried splittable template at a mutated instance: the
+// enumerations and shared blocks depend only on (g, slots, limit) and stay;
+// the class loads and the brick order are re-derived. Only safe between
+// searches (sessions run sequential searches, so no probe is in flight).
+func (tm *splitTemplate) retarget(in *core.Instance) {
+	tm.in = in
+	tm.loads = in.ClassLoads()
+	tm.classes = tm.classes[:0]
+	for u, pu := range tm.loads {
+		if pu > 0 {
+			tm.classes = append(tm.classes, u)
+		}
+	}
+}
+
+// retarget points a carried preemptive template at a mutated instance; the
+// layer geometry, enumerations and per-width block caches all stay.
+func (tm *preTemplate) retarget(in *core.Instance) {
+	tm.in = in
+	tm.byClass = in.ClassJobs()
+}
+
+// engineCertificate marks a cache entry whose Infeasible verdict came from
+// re-verifying a session-carried Farkas certificate instead of an engine
+// run. Reject verdicts never surface an engine name in results, so the
+// marker is diagnostic only.
+const engineCertificate nfold.Engine = "session-certificate"
+
+// sessionRecorder threads one re-solve's warm hints into its probes and
+// collects the next round's. It is used only by the sequential seeded
+// search, so no locking.
+type sessionRecorder struct {
+	// seedGuess gates the root hint: only probes strictly below the seed —
+	// the expected-infeasible side of the boundary — try the warm restore,
+	// where a certified prune skips a whole branch-and-bound run. (On the
+	// feasible side a cross-solve restore can only waste its refactor; see
+	// the measurement note in nfold.solveBranchBound.)
+	seedGuess int64
+	ray       []float64
+	root      *lp.Basis
+
+	// Collected for the next round.
+	newRay  []float64
+	newRoot *lp.Basis
+}
+
+// tryCertificate re-verifies the carried Farkas certificate against prob.
+// On success the certificate stays valid and is carried forward.
+func (r *sessionRecorder) tryCertificate(prob *nfold.Problem, stats *probeStats) bool {
+	if r == nil || r.ray == nil {
+		return false
+	}
+	if !prob.CertifiesInfeasible(r.ray) {
+		return false
+	}
+	stats.certHits.Add(1)
+	if r.newRay == nil {
+		r.newRay = r.ray
+	}
+	return true
+}
+
+// rootHint returns the carried root basis for probes below the seed guess.
+func (r *sessionRecorder) rootHint(t int64) *lp.Basis {
+	if r == nil || r.seedGuess <= 0 || t >= r.seedGuess {
+		return nil
+	}
+	return r.root
+}
+
+// note collects a solved probe's certificate and root basis. Later probes
+// overwrite earlier ones, so the search ends holding the boundary reject's
+// ray (the last reject solved) and the most recent captured basis.
+func (r *sessionRecorder) note(res *nfold.Result) {
+	if r == nil {
+		return
+	}
+	if res.InfeasibleRay != nil {
+		r.newRay = res.InfeasibleRay
+	}
+	if res.RootBasis != nil {
+		r.newRoot = res.RootBasis
+	}
+}

@@ -212,19 +212,19 @@ func SolveSplittable(ctx context.Context, in *core.Instance, opts Options) (*Spl
 		return nil, err
 	}
 	if scale := scaleFactor(lbRat, in.PMax(), 4*g*g); scale > 1 {
-		res, err := solveSplittableAnyM(ctx, scaleInstance(in, scale), g, opts)
+		res, err := solveSplittableAnyM(ctx, scaleInstance(in, scale), g, scale, opts)
 		if err != nil {
 			return nil, err
 		}
 		descaleSplit(res, scale)
 		return res, nil
 	}
-	return solveSplittableAnyM(ctx, in, g, opts)
+	return solveSplittableAnyM(ctx, in, g, 1, opts)
 }
 
-func solveSplittableAnyM(ctx context.Context, in *core.Instance, g int64, opts Options) (*SplitResult, error) {
+func solveSplittableAnyM(ctx context.Context, in *core.Instance, g, scale int64, opts Options) (*SplitResult, error) {
 	if in.M > opts.hugeMThreshold() {
-		return solveSplittableHuge(ctx, in, g, opts)
+		return solveSplittableHuge(ctx, in, g, scale, opts)
 	}
 	lo, err := lowerBoundInt(in, core.Splittable)
 	if err != nil {
@@ -243,19 +243,18 @@ func solveSplittableAnyM(ctx context.Context, in *core.Instance, g int64, opts O
 		sched  *core.SplitSchedule
 		report Report
 	}
-	digest := instanceDigest(in)
 	var stats probeStats
 	tried := 0
-	tm, err := newSplitTemplate(in, g, opts.maxConfigs())
+	tm, err := splitTemplateFor(opts.Session, in, g, opts.maxConfigs())
 	if err == nil {
-		var best payload
-		var guess int64
-		best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
+		seed, rec := opts.Session.probeSeed(cacheSplit, scale)
+		probe := func(pctx context.Context, t int64) (payload, bool, error) {
 			gctx, err := tm.instantiate(t)
 			if err != nil {
 				return payload{}, false, err
 			}
-			entry, err := solveGuessCached(pctx, opts, cacheSplit, digest, g, t, &stats, tm.nf,
+			key := probeCacheKey(cacheSplit, splitDigest(in.M, in.Slots, g, tm.classes, gctx.pUnits, gctx.small), g, opts)
+			entry, err := solveGuessCached(pctx, opts, key, t, &stats, tm.nf, rec,
 				func() *nfold.Problem { return gctx.buildNFold(in.M) })
 			if err != nil {
 				return payload{}, false, err
@@ -271,8 +270,16 @@ func solveSplittableAnyM(ctx context.Context, in *core.Instance, g int64, opts O
 				InvDelta: g, Guess: t, NFold: entry.params, Engine: entry.engine,
 				TheoreticalCostLog2: entry.costLog2,
 			}}, true, nil
-		})
+		}
+		var best payload
+		var guess int64
+		if opts.Session != nil {
+			best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, probe)
+		} else {
+			best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, probe)
+		}
 		if err == nil {
+			opts.Session.noteSearch(cacheSplit, guess, scale, rec)
 			best.report.Guess = guess
 			best.report.Guesses = tried
 			stats.report(&best.report)

@@ -28,7 +28,7 @@ import (
 // The reserve of (C + 1/δ + 4) machines per class keeps the residual loads
 // large so classification (large/small) is unchanged.
 
-func solveSplittableHuge(ctx context.Context, in *core.Instance, g int64, opts Options) (*SplitResult, error) {
+func solveSplittableHuge(ctx context.Context, in *core.Instance, g, scale int64, opts Options) (*SplitResult, error) {
 	lo, err := lowerBoundInt(in, core.Splittable)
 	if err != nil {
 		return nil, err
@@ -46,20 +46,28 @@ func solveSplittableHuge(ctx context.Context, in *core.Instance, g int64, opts O
 		sched  *core.CompactSplitSchedule
 		report Report
 	}
-	digest := instanceDigest(in)
 	var stats probeStats
 	tried := 0
-	tm, err := newSplitTemplate(in, g, opts.maxConfigs())
+	tm, err := splitTemplateFor(opts.Session, in, g, opts.maxConfigs())
 	var best payload
 	var guess int64
 	if err == nil {
-		best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, func(pctx context.Context, t int64) (payload, bool, error) {
-			sched, rep, ok, err := solveHugeGuess(pctx, in, g, t, opts, tm, digest, &stats)
+		seed, rec := opts.Session.probeSeed(cacheSplitHuge, scale)
+		probe := func(pctx context.Context, t int64) (payload, bool, error) {
+			sched, rep, ok, err := solveHugeGuess(pctx, in, g, t, opts, tm, rec, &stats)
 			if err != nil || !ok {
 				return payload{}, false, err
 			}
 			return payload{sched, rep}, true, nil
-		})
+		}
+		if opts.Session != nil {
+			best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, probe)
+		} else {
+			best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, probe)
+		}
+		if err == nil {
+			opts.Session.noteSearch(cacheSplitHuge, guess, scale, rec)
+		}
 	}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -81,7 +89,7 @@ func solveSplittableHuge(ctx context.Context, in *core.Instance, g int64, opts O
 	return &SplitResult{Compact: best.sched, Report: best.report}, nil
 }
 
-func solveHugeGuess(pctx context.Context, in *core.Instance, g, t int64, opts Options, tm *splitTemplate, digest [32]byte, stats *probeStats) (*core.CompactSplitSchedule, Report, bool, error) {
+func solveHugeGuess(pctx context.Context, in *core.Instance, g, t int64, opts Options, tm *splitTemplate, rec *sessionRecorder, stats *probeStats) (*core.CompactSplitSchedule, Report, bool, error) {
 	ctx, err := tm.instantiate(t)
 	if err != nil {
 		return nil, Report{}, false, err
@@ -129,8 +137,11 @@ func solveHugeGuess(pctx context.Context, in *core.Instance, g, t int64, opts Op
 		mResid = cap
 	}
 	// The N-fold (and mResid) is a deterministic function of (in, g, t), so
-	// the verdict caches under the huge-path tag like an ordinary probe.
-	entry, err := solveGuessCached(pctx, opts, cacheSplitHuge, digest, g, t, stats, tm.nf,
+	// the verdict caches under the huge-path tag like an ordinary probe; the
+	// digest covers the peeled rounded loads and the residual machine count
+	// the residual N-fold is actually built from.
+	key := probeCacheKey(cacheSplitHuge, splitDigest(mResid, in.Slots, g, tm.classes, ctx.pUnits, ctx.small), g, opts)
+	entry, err := solveGuessCached(pctx, opts, key, t, stats, tm.nf, rec,
 		func() *nfold.Problem { return ctx.buildNFold(mResid) })
 	if err != nil {
 		return nil, Report{}, false, err

@@ -51,6 +51,80 @@ type SolveResponse struct {
 	Cached bool `json:"cached,omitempty"`
 }
 
+// SessionCreateRequest is the body of POST /v1/sessions.
+type SessionCreateRequest struct {
+	// Instance is the session's initial CCS instance.
+	Instance *ccsched.Instance `json:"instance"`
+	// Options selects variant, tier and knobs for every re-solve of this
+	// session; fixed at creation.
+	Options ccsched.Options `json:"options"`
+	// TimeoutMs, when positive, is the default per-re-solve deadline in
+	// milliseconds. Zero selects the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// SessionJob is one arriving job in a SessionDelta.
+type SessionJob struct {
+	// P is the processing time.
+	P int64 `json:"p"`
+	// Class is the 0-based class.
+	Class int `json:"class"`
+}
+
+// SessionResize changes one job's processing time.
+type SessionResize struct {
+	// ID is the stable job id (from SessionResponse.JobIDs).
+	ID int64 `json:"id"`
+	// P is the new processing time.
+	P int64 `json:"p"`
+}
+
+// SessionDelta is the body of PATCH /v1/sessions/{id}: a batch of instance
+// mutations applied atomically per sub-batch (add, then resize, then
+// remove, then machine/slot changes) before one incremental re-solve.
+type SessionDelta struct {
+	// Add appends jobs; their minted ids come back in
+	// SessionResponse.JobIDs.
+	Add []SessionJob `json:"add,omitempty"`
+	// Resize changes processing times of existing jobs.
+	Resize []SessionResize `json:"resize,omitempty"`
+	// Remove deletes jobs by stable id (all-or-nothing).
+	Remove []int64 `json:"remove,omitempty"`
+	// SetMachines changes the machine count (0 = unchanged).
+	SetMachines int64 `json:"set_machines,omitempty"`
+	// SetSlots changes the per-machine class-slot budget (0 = unchanged).
+	SetSlots int `json:"set_slots,omitempty"`
+	// TimeoutMs, when positive, overrides this re-solve's deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// SessionResponse is the body of every /v1/sessions endpoint.
+type SessionResponse struct {
+	// SessionID identifies the session for PATCH/GET/DELETE.
+	SessionID string `json:"session_id"`
+	// Status is one of the Status* constants, or "deleted".
+	Status string `json:"status"`
+	// JobIDs are the stable ids of the current jobs, parallel to the job
+	// indices used by Result's schedules.
+	JobIDs []int64 `json:"job_ids,omitempty"`
+	// Machines echoes the current machine count.
+	Machines int64 `json:"machines,omitempty"`
+	// Resolves counts the session's executed re-solves so far.
+	Resolves int64 `json:"resolves,omitempty"`
+	// Result is the current schedule when Status is "done".
+	Result *ccsched.Result `json:"result,omitempty"`
+	// Error is the solve or delta error when Status is "error".
+	Error string `json:"error,omitempty"`
+	// SolveMs is the re-solve wall clock in milliseconds (zero when the
+	// response came from the result cache).
+	SolveMs float64 `json:"solve_ms,omitempty"`
+	// Coalesced reports the re-solve attached to an identical in-flight
+	// solve instead of running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Cached reports the re-solve was answered from the result cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	// Error describes what was rejected and why.

@@ -143,6 +143,17 @@ func requestKey(canon *ccsched.Instance, opts ccsched.Options) key {
 	return k
 }
 
+// invertPerm returns the inverse permutation: out[perm[i]] = i. Used to map
+// a session-order result into canonical order for publication (the reverse
+// direction of remapResult).
+func invertPerm(perm []int) []int {
+	out := make([]int, len(perm))
+	for i, p := range perm {
+		out[p] = i
+	}
+	return out
+}
+
 // remapResult translates a canonical-form result back into the submitter's
 // original job indices using its permutation. Schedules are copied (the
 // canonical result is shared across requests and must stay immutable);

@@ -1,15 +1,12 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
-
-	"ccsched"
 )
 
 // The HTTP surface:
@@ -35,6 +32,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("PATCH /v1/sessions/{id}", s.handleSessionPatch)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -162,16 +163,7 @@ func (s *Server) flightStatus(f *flight) string {
 func (s *Server) respondOutcome(w http.ResponseWriter, sub *submission, out outcome, cached bool) {
 	ms := float64(out.elapsed) / float64(time.Millisecond)
 	if out.err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(out.err, context.DeadlineExceeded):
-			status = http.StatusRequestTimeout
-		case errors.Is(out.err, ccsched.ErrCanceled), errors.Is(out.err, context.Canceled):
-			status = statusClientClosedRequest
-		case errors.Is(out.err, ccsched.ErrInfeasible), errors.Is(out.err, ccsched.ErrTooLarge):
-			status = http.StatusUnprocessableEntity
-		}
-		writeJSON(w, status, SolveResponse{
+		writeJSON(w, solveErrorStatus(out.err), SolveResponse{
 			ID: sub.id, Status: StatusError, Error: out.err.Error(),
 			SolveMs: ms, Coalesced: sub.coalesced, Cached: cached,
 		})

@@ -6,9 +6,46 @@ import (
 )
 
 // latencyBucketsMs are the upper bounds (in milliseconds) of the solve
-// latency histogram, roughly logarithmic from 1ms to 30s; observations
+// latency histograms, roughly logarithmic from 1ms to 30s; observations
 // beyond the last bound land in the implicit +Inf bucket.
 var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// latencyHist is one lock-free cumulative latency histogram.
+type latencyHist struct {
+	counts [15]atomic.Int64 // len(latencyBucketsMs)+1, last is +Inf
+	total  atomic.Int64
+	sumUs  atomic.Int64
+}
+
+// observe records one wall-clock duration.
+func (h *latencyHist) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumUs.Add(int64(d / time.Microsecond))
+}
+
+// snapshot renders the histogram.
+func (h *latencyHist) snapshot() LatencySnapshot {
+	out := LatencySnapshot{
+		Count: h.total.Load(),
+		SumMs: float64(h.sumUs.Load()) / 1000,
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b := LatencyBucket{Count: cum}
+		if i < len(latencyBucketsMs) {
+			b.LeMs = latencyBucketsMs[i]
+		}
+		out.Buckets = append(out.Buckets, b)
+	}
+	return out
+}
 
 // metrics holds the service counters. All fields are atomics, so the hot
 // path never takes a lock to count.
@@ -18,26 +55,20 @@ type metrics struct {
 	rejectedFull    atomic.Int64 // submissions refused with 429 (queue full)
 	coalesced       atomic.Int64 // submissions attached to an in-flight solve
 	resultCacheHits atomic.Int64 // submissions answered from the result LRU
-	solves          atomic.Int64 // solver invocations completed
+	solves          atomic.Int64 // solver invocations completed (one-shot + session)
 	solveErrors     atomic.Int64 // solver invocations that returned an error
 	solveCanceled   atomic.Int64 // ...of which cancellations/deadline expiries
 	workersBusy     atomic.Int64 // workers currently inside the solver
 
-	latencyCounts [15]atomic.Int64 // len(latencyBucketsMs)+1, last is +Inf
-	latencyTotal  atomic.Int64
-	latencySumUs  atomic.Int64
-}
+	sessionsCreated atomic.Int64 // sessions ever created
+	sessionResolves atomic.Int64 // session re-solves executed by workers
 
-// observe records one solve wall-clock duration in the histogram.
-func (m *metrics) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
-		i++
-	}
-	m.latencyCounts[i].Add(1)
-	m.latencyTotal.Add(1)
-	m.latencySumUs.Add(int64(d / time.Microsecond))
+	// Solve latency is labeled: session re-solves land in sessionLatency,
+	// everything else in solveLatency, so a churn workload's incremental
+	// wins are attributable instead of being averaged into the one-shot
+	// histogram.
+	solveLatency   latencyHist
+	sessionLatency latencyHist
 }
 
 // LatencyBucket is one cumulative histogram bucket: Count observations took
@@ -47,7 +78,7 @@ type LatencyBucket struct {
 	Count int64   `json:"count"`
 }
 
-// LatencySnapshot is the solve latency histogram at one point in time.
+// LatencySnapshot is a solve latency histogram at one point in time.
 type LatencySnapshot struct {
 	// Count is the number of completed solves observed.
 	Count int64 `json:"count"`
@@ -68,8 +99,8 @@ type CacheStats struct {
 }
 
 // MetricsSnapshot is the JSON document served at /metrics: admission,
-// coalescing and cache counters, queue and worker gauges, and the solve
-// latency histogram.
+// coalescing and cache counters, queue and worker gauges, session gauges,
+// and the labeled solve latency histograms.
 type MetricsSnapshot struct {
 	// RequestsTotal counts solve submissions received, whatever the outcome.
 	RequestsTotal int64 `json:"requests_total"`
@@ -83,13 +114,21 @@ type MetricsSnapshot struct {
 	// ResultCacheHitsTotal counts submissions answered from the full-result
 	// LRU without touching the queue.
 	ResultCacheHitsTotal int64 `json:"result_cache_hits_total"`
-	// SolvesTotal counts completed solver invocations.
+	// SolvesTotal counts completed solver invocations, one-shot and session
+	// re-solves alike (SessionResolvesTotal is the session subset).
 	SolvesTotal int64 `json:"solves_total"`
 	// SolveErrorsTotal counts solver invocations that returned any error.
 	SolveErrorsTotal int64 `json:"solve_errors_total"`
 	// SolveCanceledTotal counts solver errors that were cancellations or
 	// deadline expiries (a subset of SolveErrorsTotal).
 	SolveCanceledTotal int64 `json:"solve_canceled_total"`
+	// SessionsActive is the number of live sessions right now.
+	SessionsActive int `json:"sessions_active"`
+	// SessionsCreatedTotal counts sessions ever created.
+	SessionsCreatedTotal int64 `json:"sessions_created_total"`
+	// SessionResolvesTotal counts session re-solves executed by the worker
+	// pool (result-cache hits and coalesced waits add nothing here).
+	SessionResolvesTotal int64 `json:"session_resolves_total"`
 	// QueueDepth and QueueCapacity describe the admission queue right now.
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
@@ -102,26 +141,12 @@ type MetricsSnapshot struct {
 	ResultCacheEntries int `json:"result_cache_entries"`
 	// FeasibilityCache reports the shared per-guess cache under the LRU.
 	FeasibilityCache CacheStats `json:"feasibility_cache"`
-	// SolveLatency is the histogram of completed solve wall clocks.
+	// SolveLatency is the histogram of completed one-shot solve wall
+	// clocks (session re-solves excluded — see SessionSolveLatency).
 	SolveLatency LatencySnapshot `json:"solve_latency"`
+	// SessionSolveLatency is the histogram of completed session re-solve
+	// wall clocks, kept separate so incremental re-solves are attributable.
+	SessionSolveLatency LatencySnapshot `json:"session_solve_latency"`
 	// UptimeSeconds is the time since the server was created.
 	UptimeSeconds float64 `json:"uptime_seconds"`
-}
-
-// latencySnapshot renders the histogram.
-func (m *metrics) latencySnapshot() LatencySnapshot {
-	out := LatencySnapshot{
-		Count: m.latencyTotal.Load(),
-		SumMs: float64(m.latencySumUs.Load()) / 1000,
-	}
-	var cum int64
-	for i := range m.latencyCounts {
-		cum += m.latencyCounts[i].Load()
-		b := LatencyBucket{Count: cum}
-		if i < len(latencyBucketsMs) {
-			b.LeMs = latencyBucketsMs[i]
-		}
-		out.Buckets = append(out.Buckets, b)
-	}
-	return out
 }

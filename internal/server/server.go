@@ -55,6 +55,11 @@ type Config struct {
 	// cancellable mid-solve), so admission is where instance size must be
 	// policed. Zero selects 100000.
 	MaxJobs int
+	// MaxSessions bounds the number of live scheduling sessions (each holds
+	// an instance, warm solver state and a private feasibility cache).
+	// Creations beyond it are refused with 429 until sessions are deleted.
+	// Zero selects 1024.
+	MaxSessions int
 	// MaxBodyBytes bounds request bodies. Zero selects 32 MiB.
 	MaxBodyBytes int64
 	// Cache is the feasibility cache shared by all workers. Nil creates a
@@ -88,6 +93,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 100000
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
@@ -118,6 +126,14 @@ type flight struct {
 	key  key
 	in   *ccsched.Instance // canonical
 	opts ccsched.Options
+	// run, when non-nil, replaces the configured Solver for this flight (a
+	// session re-solve executes through its Session's warm state). It must
+	// return the result in canonical job order, like the Solver path, so
+	// coalesced one-shot waiters and the result LRU stay correct.
+	run func(ctx context.Context) (*ccsched.Result, error)
+	// session labels the flight for the metrics split (session_solve_latency
+	// vs solve_latency).
+	session bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -150,6 +166,9 @@ type Server struct {
 	results *lruCache[key, outcome]
 	jobs    *lruCache[string, jobEntry]
 	jobSeq  uint64
+
+	sessions   map[string]*svcSession
+	sessionSeq uint64
 
 	queue chan *flight
 	wg    sync.WaitGroup
@@ -190,6 +209,7 @@ func New(cfg Config) *Server {
 		flights:    make(map[key]*flight),
 		results:    newLRU[key, outcome](cfg.ResultCacheEntries),
 		jobs:       newLRU[string, jobEntry](4 * cfg.ResultCacheEntries),
+		sessions:   make(map[string]*svcSession),
 		queue:      make(chan *flight, cfg.QueueDepth),
 		start:      time.Now(),
 	}
@@ -355,12 +375,23 @@ func (s *Server) worker() {
 		s.mu.Unlock()
 		s.met.workersBusy.Add(1)
 		start := time.Now()
-		res, err := s.cfg.Solver(f.ctx, f.in, f.opts)
+		var res *ccsched.Result
+		var err error
+		if f.run != nil {
+			res, err = f.run(f.ctx)
+		} else {
+			res, err = s.cfg.Solver(f.ctx, f.in, f.opts)
+		}
 		elapsed := time.Since(start)
 		f.cancel() // release the deadline timer
 		s.met.workersBusy.Add(-1)
 		s.met.solves.Add(1)
-		s.met.observe(elapsed)
+		if f.session {
+			s.met.sessionResolves.Add(1)
+			s.met.sessionLatency.observe(elapsed)
+		} else {
+			s.met.solveLatency.observe(elapsed)
+		}
 		canceled := errors.Is(err, ccsched.ErrCanceled) ||
 			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 		if err != nil {
@@ -431,6 +462,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	inFlight := len(s.flights)
 	resultEntries := s.results.len()
+	sessionsActive := len(s.sessions)
 	s.mu.Unlock()
 	hits, misses := s.cfg.Cache.Stats()
 	return MetricsSnapshot{
@@ -442,6 +474,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		SolvesTotal:            s.met.solves.Load(),
 		SolveErrorsTotal:       s.met.solveErrors.Load(),
 		SolveCanceledTotal:     s.met.solveCanceled.Load(),
+		SessionsActive:         sessionsActive,
+		SessionsCreatedTotal:   s.met.sessionsCreated.Load(),
+		SessionResolvesTotal:   s.met.sessionResolves.Load(),
 		QueueDepth:             len(s.queue),
 		QueueCapacity:          cap(s.queue),
 		Workers:                s.cfg.Workers,
@@ -449,7 +484,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 		InFlight:               inFlight,
 		ResultCacheEntries:     resultEntries,
 		FeasibilityCache:       CacheStats{Hits: hits, Misses: misses, Entries: s.cfg.Cache.Len()},
-		SolveLatency:           s.met.latencySnapshot(),
+		SolveLatency:           s.met.solveLatency.snapshot(),
+		SessionSolveLatency:    s.met.sessionLatency.snapshot(),
 		UptimeSeconds:          time.Since(s.start).Seconds(),
 	}
 }

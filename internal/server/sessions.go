@@ -1,0 +1,413 @@
+// Scheduling sessions over HTTP: a session holds a live instance plus the
+// solver's warm state (ccsched.Session) on the server, and clients send
+// deltas instead of full instances:
+//
+//	POST   /v1/sessions        {instance, options, timeout_ms} → create + solve
+//	PATCH  /v1/sessions/{id}   {add, remove, resize, set_machines, set_slots}
+//	                           → apply deltas + incremental re-solve
+//	GET    /v1/sessions/{id}   → current schedule (re-solving if needed)
+//	DELETE /v1/sessions/{id}   → drop the session and its warm state
+//
+// Session re-solves run through the same pipeline as /v1/solve: the current
+// instance is canonicalized, the result LRU and in-flight coalescing are
+// consulted first (a re-solve identical to anything already solved — by a
+// one-shot request or another session — costs nothing), and misses are
+// admitted into the bounded worker queue under the same deadline plumbing;
+// the flight's runner executes the session's warm re-solve instead of a
+// stateless ccsched.Solve and publishes the result in canonical order, so
+// one-shot requests coalesce onto session flights and vice versa. The
+// session parity invariant (re-solve makespan ≡ cold solve of the mutated
+// instance, proven by the ccsched differential tests) is what makes this
+// sharing sound.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ccsched"
+)
+
+// svcSession is one live server-side session. mu serializes delta
+// application and re-solves (the warm state belongs to one solve at a
+// time); concurrent PATCHes to the same session queue up behind it.
+type svcSession struct {
+	id string
+
+	mu      sync.Mutex
+	sess    *ccsched.Session
+	opts    ccsched.Options // sanitized; part of every re-solve's request key
+	timeout time.Duration   // default per-re-solve deadline from create
+}
+
+// ErrTooManySessions reports that Config.MaxSessions live sessions already
+// exist; the HTTP layer maps it to 429.
+var ErrTooManySessions = errors.New("server: too many live sessions")
+
+// createSession registers a new session under the cap.
+func (s *Server) createSession(in *ccsched.Instance, opts ccsched.Options, timeout time.Duration) (*svcSession, error) {
+	if in.N() > s.cfg.MaxJobs {
+		return nil, fmt.Errorf("%w: %d jobs > %d", ErrInstanceTooLarge, in.N(), s.cfg.MaxJobs)
+	}
+	opts = sanitizeOptions(opts)
+	// Sessions carry their own feasibility cache (created by NewSession) so
+	// guess verdicts stay hot under the session key and die with it; the
+	// wire cannot name a cache, so clear whatever decoding left.
+	opts.Cache = nil
+	sess, err := ccsched.NewSession(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, fmt.Errorf("%w: %d live", ErrTooManySessions, len(s.sessions))
+	}
+	s.sessionSeq++
+	sv := &svcSession{
+		id:      fmt.Sprintf("s-%016x", s.sessionSeq),
+		sess:    sess,
+		opts:    opts,
+		timeout: timeout,
+	}
+	s.sessions[sv.id] = sv
+	s.met.sessionsCreated.Add(1)
+	return sv, nil
+}
+
+// dropSession removes a session; reports whether it existed.
+func (s *Server) dropSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return false
+	}
+	delete(s.sessions, id)
+	return true
+}
+
+// lookupSession finds a live session.
+func (s *Server) lookupSession(id string) (*svcSession, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.sessions[id]
+	return sv, ok
+}
+
+// handleSessionCreate creates a session and answers its initial solve.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	wait, err := parseWait(r, defaultWait)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req SessionCreateRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Instance == nil {
+		writeError(w, http.StatusBadRequest, "missing \"instance\"")
+		return
+	}
+	s.met.requests.Add(1)
+	sv, err := s.createSession(req.Instance, req.Options, time.Duration(req.TimeoutMs)*time.Millisecond)
+	if err != nil {
+		s.writeSessionError(w, "", err)
+		return
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	// The session outlives an initial-solve admission failure (queue full):
+	// the client holds the id and retries the solve with GET. Sessions are
+	// bounded by MaxSessions and freed by DELETE either way.
+	s.solveSession(w, r, sv, 0, wait)
+}
+
+// handleSessionPatch applies a delta batch and answers the re-solve.
+func (s *Server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
+	wait, err := parseWait(r, defaultWait)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sv, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	var delta SessionDelta
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&delta); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding delta: %v", err)
+		return
+	}
+	s.met.requests.Add(1)
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if err := s.applyDelta(sv, &delta); err != nil {
+		if errors.Is(err, ErrInstanceTooLarge) {
+			s.writeSessionError(w, sv.id, err)
+			return
+		}
+		// Anything else is a malformed delta (unknown id, bad size): the
+		// client's mistake, reported as such.
+		writeJSON(w, http.StatusBadRequest, SessionResponse{SessionID: sv.id, Status: StatusError, Error: err.Error()})
+		return
+	}
+	// An admission failure leaves the deltas applied — the session is the
+	// durable state, the solve is retryable via GET (or the next PATCH).
+	s.solveSession(w, r, sv, time.Duration(delta.TimeoutMs)*time.Millisecond, wait)
+}
+
+// handleSessionGet reports the current schedule, re-solving when pending
+// deltas exist (e.g. after an earlier re-solve was canceled or rejected).
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	wait, err := parseWait(r, defaultWait)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sv, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	s.met.requests.Add(1)
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	s.solveSession(w, r, sv, 0, wait)
+}
+
+// handleSessionDelete drops a session.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.dropSession(id) {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id, Status: "deleted"})
+}
+
+// applyDelta validates and applies one delta batch; caller holds sv.mu.
+// Validation failures reject the whole batch only when they hit the first
+// failing operation — operations are applied in add, resize, remove,
+// machines, slots order, and each sub-batch is all-or-nothing.
+func (s *Server) applyDelta(sv *svcSession, d *SessionDelta) error {
+	if len(d.Add) > 0 {
+		n := len(sv.sess.JobIDs()) + len(d.Add)
+		if n > s.cfg.MaxJobs {
+			return fmt.Errorf("%w: %d jobs > %d", ErrInstanceTooLarge, n, s.cfg.MaxJobs)
+		}
+		p := make([]int64, len(d.Add))
+		class := make([]int, len(d.Add))
+		for i, a := range d.Add {
+			p[i], class[i] = a.P, a.Class
+		}
+		if _, err := sv.sess.AddJobs(p, class); err != nil {
+			return err
+		}
+	}
+	for _, rs := range d.Resize {
+		if err := sv.sess.Resize(rs.ID, rs.P); err != nil {
+			return err
+		}
+	}
+	if len(d.Remove) > 0 {
+		if err := sv.sess.RemoveJobs(d.Remove...); err != nil {
+			return err
+		}
+	}
+	if d.SetMachines != 0 {
+		if err := sv.sess.SetMachines(d.SetMachines); err != nil {
+			return err
+		}
+	}
+	if d.SetSlots != 0 {
+		if err := sv.sess.SetSlots(d.SetSlots); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solveSession runs one session re-solve through the shared pipeline
+// (result LRU → coalesce → bounded queue → worker) and writes the response.
+// The caller holds sv.mu for the whole call, serializing the session.
+// timeout zero selects the session's default. An admission failure (queue
+// full, draining) is reported to the client and leaves the session's
+// pending deltas durable — GET retries the solve.
+func (s *Server) solveSession(w http.ResponseWriter, r *http.Request, sv *svcSession, timeout time.Duration, wait time.Duration) {
+	// Snapshot the state this request is about: the request key, the remap
+	// permutation, the job ids of the response, and — crucially — the
+	// instance a queued flight will solve. Once sv.mu is released (a waiter
+	// outliving its budget leaves the flight pinned in the queue), later
+	// deltas may mutate the session; the generation-checked SolveSnapshot
+	// keeps the flight's published result consistent with its key anyway.
+	cur, ids, gen := sv.sess.Snapshot()
+	canon := canonicalize(cur)
+	k := requestKey(canon.in, sv.opts)
+	if timeout <= 0 {
+		timeout = sv.timeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.writeSessionError(w, sv.id, ErrShuttingDown)
+		return
+	}
+	if out, ok := s.results.get(k); ok {
+		s.met.resultCacheHits.Add(1)
+		s.mu.Unlock()
+		s.respondSession(w, sv, snapshotView{perm: canon.perm, ids: ids, machines: cur.M}, out, false, true)
+		return
+	}
+	if f, ok := s.flights[k]; ok && f.ctx.Err() == nil {
+		f.waiters++
+		s.met.coalesced.Add(1)
+		s.mu.Unlock()
+		s.awaitSessionFlight(w, r, sv, snapshotView{perm: canon.perm, ids: ids, machines: cur.M}, f, wait, true)
+		return
+	}
+	inv := invertPerm(canon.perm)
+	fctx, fcancel := context.WithTimeout(s.baseCtx, timeout)
+	f := &flight{
+		key: k, in: canon.in, opts: sv.opts,
+		ctx: fctx, cancel: fcancel, done: make(chan struct{}),
+		waiters: 1, session: true,
+		run: func(ctx context.Context) (*ccsched.Result, error) {
+			// Solve the snapshot, not whatever the session holds by the time
+			// a worker gets here: the flight's key, permutation and any
+			// coalesced one-shot waiters are all about the snapshot.
+			res, err := sv.sess.SolveSnapshot(ctx, cur, gen)
+			if err != nil {
+				return nil, err
+			}
+			// Publish in canonical order so one-shot requests for the same
+			// canonical instance can share this flight and the LRU entry.
+			return remapResult(res, inv), nil
+		},
+	}
+	select {
+	case s.queue <- f:
+	default:
+		fcancel()
+		s.met.rejectedFull.Add(1)
+		s.mu.Unlock()
+		s.writeSessionError(w, sv.id, ErrQueueFull)
+		return
+	}
+	s.flights[k] = f
+	s.met.admitted.Add(1)
+	s.mu.Unlock()
+	s.awaitSessionFlight(w, r, sv, snapshotView{perm: canon.perm, ids: ids, machines: cur.M}, f, wait, false)
+}
+
+// snapshotView is the request-scoped view of the session state one
+// re-solve was keyed on: the canonical→session permutation, the job ids
+// parallel to the result's job order, and the machine count.
+type snapshotView struct {
+	perm     []int
+	ids      []int64
+	machines int64
+}
+
+// awaitSessionFlight blocks one session request on its flight and responds,
+// mirroring awaitFlight's semantics (completion / wait budget / client
+// disconnect) with the session response shape.
+func (s *Server) awaitSessionFlight(w http.ResponseWriter, r *http.Request, sv *svcSession, view snapshotView, f *flight, wait time.Duration, coalesced bool) {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-f.done:
+		s.detach(f)
+		s.respondSession(w, sv, view, outcome{res: f.res, err: f.err, elapsed: f.elapsed}, coalesced, false)
+	case <-timer.C:
+		// The client outwaited its budget; the re-solve keeps running and a
+		// later GET picks the result up from the LRU.
+		s.pin(f)
+		s.detach(f)
+		writeJSON(w, http.StatusAccepted, SessionResponse{SessionID: sv.id, Status: s.flightStatus(f)})
+	case <-r.Context().Done():
+		s.detach(f)
+		writeError(w, statusClientClosedRequest, "client closed request")
+	}
+}
+
+// respondSession renders one finished session re-solve, remapping the
+// canonical result into the snapshot's job order.
+func (s *Server) respondSession(w http.ResponseWriter, sv *svcSession, view snapshotView, out outcome, coalesced, cached bool) {
+	ms := float64(out.elapsed) / float64(time.Millisecond)
+	resp := SessionResponse{
+		SessionID: sv.id,
+		JobIDs:    view.ids,
+		Machines:  view.machines,
+		Resolves:  sv.sess.Resolves(),
+		SolveMs:   ms,
+		Coalesced: coalesced,
+		Cached:    cached,
+	}
+	if out.err != nil {
+		resp.Status = StatusError
+		resp.Error = out.err.Error()
+		writeJSON(w, solveErrorStatus(out.err), resp)
+		return
+	}
+	resp.Status = StatusDone
+	resp.Result = remapResult(out.res, view.perm)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSessionError maps session pipeline errors onto HTTP statuses,
+// carrying the session id when one exists.
+func (s *Server) writeSessionError(w http.ResponseWriter, id string, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTooManySessions):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrInstanceTooLarge):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, ccsched.ErrInfeasible):
+		status = http.StatusUnprocessableEntity
+	}
+	if id == "" {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, status, SessionResponse{SessionID: id, Status: StatusError, Error: err.Error()})
+}
+
+// solveErrorStatus maps a finished solve's error onto an HTTP status (the
+// same mapping respondOutcome uses).
+func solveErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	case errors.Is(err, ccsched.ErrCanceled), errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, ccsched.ErrInfeasible), errors.Is(err, ccsched.ErrTooLarge):
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
