@@ -17,12 +17,27 @@
 // -verify additionally re-solves every round's instance cold in-process and
 // fails unless the session makespans are bit-identical.
 //
+// -retries N retries session-mode requests (and /metrics reads) up to N
+// times on 429, 503 and transport errors with exponential backoff plus
+// jitter — the knob that lets a churn run ride out a server restart. The
+// classic deck mode never retries: its 429s are the measurement.
+//
+// With -kill9 (session mode, requires -server-cmd so ccload owns the server
+// process) the run becomes a crash-recovery proof: at -kill9-round the
+// server is killed with SIGKILL mid-churn, restarted, and the session must
+// come back from its snapshot — ccload re-syncs the instance with one
+// repair PATCH and fails unless the re-solve's makespan is bit-identical to
+// the pre-kill round and answered warm from the restored cache
+// (report.cache_hits > 0, snapshot_restores_total >= 1).
+//
 // Usage:
 //
 //	ccload -url http://localhost:8080 -clients 64 -requests 256 -dup 0.5 \
 //	       -family uniform -n 200 -variant splittable -tier approx -out BENCH_PR3.json
 //	ccload -url http://localhost:8080 -churn 0.05 -rounds 20 \
 //	       -family uniform -n 1000 -tier ptas -eps 1 -verify -out churn.json
+//	ccload -url http://localhost:8081 -churn 0.05 -rounds 10 -verify -retries 8 \
+//	       -kill9 -server-cmd "./ccserved -addr :8081 -state-dir /tmp/ccstate -checkpoint 200ms"
 package main
 
 import (
@@ -31,12 +46,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/exec"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ccsched"
@@ -69,6 +88,14 @@ type sessionReport struct {
 	SessionSolveMs  float64        `json:"session_solve_ms_total"`
 	CacheHits       int64          `json:"result_cache_hits"`
 	Verified        bool           `json:"verified_bit_identical,omitempty"`
+	// Kill9/KillRound record that the run killed and restarted the server
+	// mid-churn; RestoredWarm reports the post-restart re-solve answered its
+	// probes from the restored cache, and SnapshotRestores is the restarted
+	// server's snapshot_restores_total.
+	Kill9            bool  `json:"kill9,omitempty"`
+	KillRound        int   `json:"kill_round,omitempty"`
+	RestoredWarm     bool  `json:"restored_warm,omitempty"`
+	SnapshotRestores int64 `json:"snapshot_restores,omitempty"`
 }
 
 // runConfig echoes the generator and client parameters of the run.
@@ -143,21 +170,61 @@ type churnConfig struct {
 	wait              time.Duration
 	out, label        string
 	cfg               runConfig
+	retries           int
+	kill9             bool
+	serverCmd         string
+	kill9Round        int
+	kill9Wait         time.Duration
 }
 
-// sessionRequest performs one /v1/sessions call and decodes the response.
-func sessionRequest(client *http.Client, method, url string, body any) (*server.SessionResponse, error) {
-	var buf bytes.Buffer
+// backoff returns the sleep before retry attempt (0-based): 50ms doubling
+// per attempt, capped at 2s, plus up to 50% jitter so retriers desynchronize.
+func backoff(attempt int) time.Duration {
+	d := 50 * time.Millisecond << uint(attempt)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// doWithRetry performs one HTTP call with up to retries retries on 429, 503
+// and transport errors (connection refused during a server restart looks
+// like the latter). mk builds a fresh request per attempt — bodies cannot be
+// replayed from a consumed reader. The final attempt's response or error is
+// returned as is.
+func doWithRetry(client *http.Client, retries int, mk func() (*http.Request, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if attempt >= retries {
+			return resp, err
+		}
+		if err == nil {
+			if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+				return resp, nil
+			}
+			resp.Body.Close()
+		}
+		time.Sleep(backoff(attempt))
+	}
+}
+
+// sessionRequest performs one /v1/sessions call (with up to retries retries
+// on 429/503/transport errors) and decodes the response.
+func sessionRequest(client *http.Client, retries int, method, url string, body any) (*server.SessionResponse, error) {
+	var encoded []byte
 	if body != nil {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		var err error
+		if encoded, err = json.Marshal(body); err != nil {
 			return nil, err
 		}
 	}
-	req, err := http.NewRequest(method, url, &buf)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := client.Do(req)
+	resp, err := doWithRetry(client, retries, func() (*http.Request, error) {
+		return http.NewRequest(method, url, bytes.NewReader(encoded))
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -180,19 +247,45 @@ func runChurn(c churnConfig) {
 	if c.rounds < 1 {
 		fail(fmt.Errorf("-churn mode needs -rounds >= 1, got %d", c.rounds))
 	}
+	if c.kill9 {
+		if c.serverCmd == "" {
+			fail(fmt.Errorf("-kill9 needs -server-cmd (ccload must own the server process to SIGKILL it)"))
+		}
+		if c.kill9Round <= 0 {
+			c.kill9Round = c.rounds / 2
+		}
+		if c.kill9Round < 1 || c.kill9Round > c.rounds {
+			fail(fmt.Errorf("-kill9-round %d outside [1,%d]", c.kill9Round, c.rounds))
+		}
+	}
 	in, err := ccsched.Generate(c.family, ccsched.GeneratorConfig{
 		N: c.n, Classes: c.classes, Machines: c.m, Slots: c.slots, PMax: c.pmax, Seed: c.seed,
 	})
 	if err != nil {
 		fail(err)
 	}
+	var srv *exec.Cmd
+	if c.serverCmd != "" {
+		if srv, err = startServerCmd(c.serverCmd); err != nil {
+			fail(err)
+		}
+		defer func() {
+			if srv != nil && srv.Process != nil {
+				srv.Process.Signal(syscall.SIGTERM)
+				srv.Wait()
+			}
+		}()
+		if err := waitHealthy(c.url, 30*time.Second); err != nil {
+			fail(err)
+		}
+	}
 	client := &http.Client{Timeout: c.wait}
-	before, err := fetchMetrics(c.url)
+	before, err := fetchMetrics(c.url, c.retries)
 	if err != nil {
 		fail(fmt.Errorf("reading initial metrics (is ccserved running?): %w", err))
 	}
 	start := time.Now()
-	sr, err := sessionRequest(client, "POST", c.url+"/v1/sessions?wait="+c.wait.String(), server.SessionCreateRequest{
+	sr, err := sessionRequest(client, c.retries, "POST", c.url+"/v1/sessions?wait="+c.wait.String(), server.SessionCreateRequest{
 		Instance: in, Options: c.opts, TimeoutMs: c.timeoutMs,
 	})
 	if err != nil {
@@ -208,6 +301,13 @@ func runChurn(c churnConfig) {
 	verified := true
 	var tot totals
 	tot.ByStatus = map[int]int64{http.StatusOK: 1}
+	// Cross-restart metric accounting: counters reset with the process, so a
+	// kill splits the run into two windows and the final deltas are
+	// (preKill - before) + (after - postBoot).
+	var preKill, postBoot server.MetricsSnapshot
+	killed := false
+	restoredWarm := false
+	var snapRestores int64
 	for round := 1; round <= c.rounds; round++ {
 		// Mutate churn·n jobs: resize by up to ±resizePct of the current
 		// size (the steady-state "jobs re-estimate" trickle).
@@ -228,7 +328,7 @@ func runChurn(c churnConfig) {
 			delta.Resize = append(delta.Resize, server.SessionResize{ID: ids[pos], P: next})
 		}
 		reqStart := time.Now()
-		pr, err := sessionRequest(client, "PATCH", c.url+"/v1/sessions/"+sid+"?wait="+c.wait.String(), delta)
+		pr, err := sessionRequest(client, c.retries, "PATCH", c.url+"/v1/sessions/"+sid+"?wait="+c.wait.String(), delta)
 		latencies = append(latencies, time.Since(reqStart))
 		if err != nil {
 			fail(fmt.Errorf("round %d: %w", round, err))
@@ -256,11 +356,98 @@ func runChurn(c churnConfig) {
 					round, pr.Result.Makespan, want.Makespan.RatString()))
 			}
 		}
+		if c.kill9 && round == c.kill9Round {
+			if pr.Result == nil {
+				fail(fmt.Errorf("round %d: no result to verify the crash recovery against", round))
+			}
+			preMakespan := pr.Result.Makespan
+			// Give the background checkpointer one interval to persist the
+			// round's warm state before the crash.
+			time.Sleep(c.kill9Wait)
+			// Export as a fallback: if the restarted server did not restore
+			// the session from disk, the snapshot is PUT back — the same
+			// live-migration path, pointed at the "new" server.
+			snap, expErr := exportSession(client, c.url, sid, c.retries)
+			if preKill, err = fetchMetrics(c.url, c.retries); err != nil {
+				fail(fmt.Errorf("round %d: pre-kill metrics: %w", round, err))
+			}
+			fmt.Fprintf(os.Stderr, "ccload: round %d: SIGKILL to server pid %d\n", round, srv.Process.Pid)
+			if err := srv.Process.Kill(); err != nil {
+				fail(fmt.Errorf("round %d: kill: %w", round, err))
+			}
+			srv.Wait()
+			if srv, err = startServerCmd(c.serverCmd); err != nil {
+				fail(fmt.Errorf("round %d: restart: %w", round, err))
+			}
+			if err := waitHealthy(c.url, 30*time.Second); err != nil {
+				fail(fmt.Errorf("round %d: restarted %w", round, err))
+			}
+			if postBoot, err = fetchMetrics(c.url, c.retries); err != nil {
+				fail(fmt.Errorf("round %d: post-boot metrics: %w", round, err))
+			}
+			// Did the session survive on disk? If not, put the export back.
+			if _, err := sessionRequest(client, c.retries, "GET", c.url+"/v1/sessions/"+sid+"?wait="+c.wait.String(), nil); err != nil {
+				if expErr != nil {
+					fail(fmt.Errorf("round %d: session lost and export failed too: %v / %v", round, err, expErr))
+				}
+				if err := importSession(client, c.url, sid, snap, c.retries); err != nil {
+					fail(fmt.Errorf("round %d: session lost and import failed: %w", round, err))
+				}
+				fmt.Fprintf(os.Stderr, "ccload: round %d: session re-imported from export\n", round)
+			}
+			// Repair PATCH: resize every job to its mirror value. The restored
+			// checkpoint may predate the last deltas; absolute resizes make
+			// the server instance bit-identical to the mirror regardless, and
+			// the re-solve must then reproduce the pre-kill makespan from the
+			// restored warm state.
+			repair := server.SessionDelta{TimeoutMs: c.timeoutMs}
+			for pos := range ids {
+				repair.Resize = append(repair.Resize, server.SessionResize{ID: ids[pos], P: mirror.P[pos]})
+			}
+			rr, err := sessionRequest(client, c.retries, "PATCH", c.url+"/v1/sessions/"+sid+"?wait="+c.wait.String(), repair)
+			if err != nil {
+				fail(fmt.Errorf("round %d: repair re-solve: %w", round, err))
+			}
+			if rr.Result == nil || rr.Result.Makespan.Cmp(preMakespan) != 0 {
+				fail(fmt.Errorf("round %d: post-restart makespan %v != pre-kill %s — recovery broke the verdict",
+					round, rr.Result, preMakespan.RatString()))
+			}
+			restoredWarm = rr.Result.Report.CacheHits > 0
+			if !restoredWarm {
+				fail(fmt.Errorf("round %d: post-restart re-solve ran fully cold (report %+v) — warm state not restored",
+					round, rr.Result.Report))
+			}
+			m, err := fetchMetrics(c.url, c.retries)
+			if err != nil {
+				fail(err)
+			}
+			snapRestores = m.SnapshotRestoresTotal
+			if snapRestores < 1 {
+				fail(fmt.Errorf("round %d: snapshot_restores_total = %d after restart, want >= 1", round, snapRestores))
+			}
+			killed = true
+			fmt.Fprintf(os.Stderr, "ccload: round %d: recovery verified (makespan bit-identical, cache_hits=%d, snapshot_restores=%d)\n",
+				round, rr.Result.Report.CacheHits, snapRestores)
+		}
 	}
 	wall := time.Since(start)
-	after, err := fetchMetrics(c.url)
+	after, err := fetchMetrics(c.url, c.retries)
 	if err != nil {
 		fail(err)
+	}
+	if killed {
+		// Fold the pre-kill window into the post-boot counters.
+		after.AdmittedTotal += preKill.AdmittedTotal - before.AdmittedTotal
+		after.SolvesTotal += preKill.SolvesTotal - before.SolvesTotal
+		after.CoalescedHitsTotal += preKill.CoalescedHitsTotal - before.CoalescedHitsTotal
+		after.ResultCacheHitsTotal += preKill.ResultCacheHitsTotal - before.ResultCacheHitsTotal
+		after.RejectedQueueFullTotal += preKill.RejectedQueueFullTotal - before.RejectedQueueFullTotal
+		after.SolveErrorsTotal += preKill.SolveErrorsTotal - before.SolveErrorsTotal
+		after.SessionResolvesTotal += preKill.SessionResolvesTotal - before.SessionResolvesTotal
+		after.SessionSolveLatency.SumMs += preKill.SessionSolveLatency.SumMs - before.SessionSolveLatency.SumMs
+		after.FeasibilityCache.Hits += preKill.FeasibilityCache.Hits - before.FeasibilityCache.Hits
+		after.FeasibilityCache.Misses += preKill.FeasibilityCache.Misses - before.FeasibilityCache.Misses
+		before = postBoot
 	}
 	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
 	pct := func(p float64) float64 {
@@ -303,6 +490,15 @@ func runChurn(c churnConfig) {
 			SessionSolveMs:  after.SessionSolveLatency.SumMs - before.SessionSolveLatency.SumMs,
 			CacheHits:       after.ResultCacheHitsTotal - before.ResultCacheHitsTotal,
 			Verified:        c.verify && verified,
+			Kill9:           killed,
+			KillRound: func() int {
+				if killed {
+					return c.kill9Round
+				}
+				return 0
+			}(),
+			RestoredWarm:     restoredWarm,
+			SnapshotRestores: snapRestores,
 		},
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -321,15 +517,84 @@ func runChurn(c churnConfig) {
 		c.rounds, wall.Seconds(), rep.LatencyMs.Mean, rep.Session.SessionResolves, rep.Session.Verified, c.out)
 }
 
-// fetchMetrics reads the server's /metrics snapshot.
-func fetchMetrics(url string) (server.MetricsSnapshot, error) {
+// fetchMetrics reads the server's /metrics snapshot, retrying transient
+// failures up to retries times.
+func fetchMetrics(url string, retries int) (server.MetricsSnapshot, error) {
 	var m server.MetricsSnapshot
-	resp, err := http.Get(url + "/metrics")
+	resp, err := doWithRetry(http.DefaultClient, retries, func() (*http.Request, error) {
+		return http.NewRequest("GET", url+"/metrics", nil)
+	})
 	if err != nil {
 		return m, err
 	}
 	defer resp.Body.Close()
 	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// startServerCmd launches the managed ccserved process (-server-cmd split
+// on whitespace) with its output forwarded to stderr.
+func startServerCmd(command string) (*exec.Cmd, error) {
+	args := strings.Fields(command)
+	if len(args) == 0 {
+		return nil, fmt.Errorf("-server-cmd is empty")
+	}
+	cmd := exec.Command(args[0], args[1:]...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %q: %w", command, err)
+	}
+	return cmd, nil
+}
+
+// waitHealthy polls /healthz until the server answers 200 or the budget
+// expires.
+func waitHealthy(url string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy within %s", url, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// exportSession fetches a session's snapshot document.
+func exportSession(client *http.Client, url, sid string, retries int) ([]byte, error) {
+	resp, err := doWithRetry(client, retries, func() (*http.Request, error) {
+		return http.NewRequest("GET", url+"/v1/sessions/"+sid+"/export", nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET export: status %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// importSession PUTs a snapshot document back under sid.
+func importSession(client *http.Client, url, sid string, snap []byte, retries int) error {
+	resp, err := doWithRetry(client, retries, func() (*http.Request, error) {
+		return http.NewRequest("PUT", url+"/v1/sessions/"+sid+"/export", bytes.NewReader(snap))
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("PUT export: status %d: %s", resp.StatusCode, body)
+	}
+	return nil
 }
 
 // shuffled returns a job-order permutation of in; the canonical form (and
@@ -367,6 +632,11 @@ func main() {
 		rounds    = flag.Int("rounds", 20, "session mode: delta rounds")
 		resizePct = flag.Float64("churn-resize-pct", 2, "session mode: max resize magnitude as a percentage of the current size")
 		verify    = flag.Bool("verify", false, "session mode: cold-solve each round in-process and require bit-identical makespans")
+		retries   = flag.Int("retries", 0, "session mode: retries per request on 429/503/connection errors, with exponential backoff + jitter (0 = fail fast)")
+		kill9     = flag.Bool("kill9", false, "session mode: SIGKILL and restart the managed server at -kill9-round and require warm, bit-identical recovery (needs -server-cmd)")
+		serverCmd = flag.String("server-cmd", "", "session mode: launch this ccserved command and manage its lifecycle (required by -kill9)")
+		kill9Rnd  = flag.Int("kill9-round", 0, "session mode: churn round after which the server is killed (0 = rounds/2)")
+		kill9Wait = flag.Duration("kill9-wait", time.Second, "session mode: pause before the kill so a background checkpoint can land")
 	)
 	flag.Parse()
 	v, err := ccsched.ParseVariant(*variant)
@@ -388,7 +658,9 @@ func main() {
 			slots: *slots, pmax: *pmax, seed: *seed, opts: opts,
 			churn: *churn, rounds: *rounds, resizePct: *resizePct,
 			verify: *verify, timeoutMs: *timeoutMs, wait: *wait,
-			out: *out, label: *label,
+			out: *out, label: *label, retries: *retries,
+			kill9: *kill9, serverCmd: *serverCmd,
+			kill9Round: *kill9Rnd, kill9Wait: *kill9Wait,
 			cfg: runConfig{
 				URL: *url, Clients: 1, Requests: *rounds, Family: *family,
 				N: *n, Classes: *classes, Machines: *m, Slots: *slots,
@@ -440,7 +712,7 @@ func main() {
 		succeeded = make([]bool, len(deck))
 	)
 	tot.ByStatus = make(map[int]int64)
-	before, err := fetchMetrics(*url)
+	before, err := fetchMetrics(*url, 0)
 	if err != nil {
 		fail(fmt.Errorf("reading initial metrics (is ccserved running?): %w", err))
 	}
@@ -495,7 +767,7 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	after, err := fetchMetrics(*url)
+	after, err := fetchMetrics(*url, 0)
 	if err != nil {
 		fail(err)
 	}

@@ -20,12 +20,25 @@
 //	PATCH  /v1/sessions/{id}  apply job/machine deltas, incremental re-solve
 //	GET    /v1/sessions/{id}  current schedule
 //	DELETE /v1/sessions/{id}  drop the session
+//	GET    /v1/sessions/{id}/export   versioned session snapshot (live migration)
+//	PUT    /v1/sessions/{id}/export   import a snapshot under the given id
 //	GET    /healthz           liveness + queue gauges
 //	GET    /metrics           counters, caches, labeled latency histograms (JSON)
 //
+// With -state-dir, sessions are durable: dirty sessions are checkpointed
+// there every -checkpoint interval (atomic, checksummed files), a final
+// snapshot pass runs on drain, and the next boot restores every readable
+// snapshot — unreadable or version-mismatched files are skipped with a
+// logged reason, never trusted. A kill -9 costs at most the work since the
+// last checkpoint; restored warm state is re-verified before it can touch a
+// verdict, so restarted sessions answer bit-identically to a cold solve.
+//
 // SIGINT/SIGTERM starts a graceful shutdown: admission stops (503), the
 // queue drains, and solves still running when -grace expires are canceled
-// via context. A second signal forces immediate cancellation.
+// via context. The drain's final snapshot pass fsyncs and closes its files
+// regardless of -grace; a failed snapshot write is logged and counted but
+// never changes the exit status. A second signal forces immediate
+// cancellation.
 package main
 
 import (
@@ -69,6 +82,8 @@ func main() {
 		maxJobs     = flag.Int("max-jobs", 100000, "largest admitted instance (jobs)")
 		maxSessions = flag.Int("max-sessions", 1024, "cap on live scheduling sessions (excess creations get 429)")
 		maxBody     = flag.Int64("max-body", 32<<20, "maximum request body bytes")
+		stateDir    = flag.String("state-dir", "", "directory for durable session snapshots (restore on boot, checkpoint while running, snapshot on drain); empty disables persistence")
+		checkpoint  = flag.Duration("checkpoint", 0, "background checkpoint interval for dirty sessions when -state-dir is set (0 = 30s)")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight solves are canceled")
 		quiet       = flag.Bool("quiet", false, "suppress per-solve logging")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); off by default")
@@ -108,6 +123,8 @@ func main() {
 		MaxJobs:            *maxJobs,
 		MaxSessions:        *maxSessions,
 		MaxBodyBytes:       *maxBody,
+		StateDir:           *stateDir,
+		CheckpointInterval: *checkpoint,
 		Cache:              ccsched.NewFeasibilityCache(),
 		Logf:               logf,
 	})

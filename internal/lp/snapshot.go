@@ -1,0 +1,117 @@
+package lp
+
+import "fmt"
+
+// Basis serialization. Scheduling sessions carry a terminal root basis
+// across re-solves as a verdict-only warm hint (see warm.go); durable
+// sessions additionally carry it across process restarts. A Basis restored
+// from bytes is exactly as safe as a live one: tryWarmInfeasible either
+// proves the current bounds infeasible with a Farkas-style argument over
+// the *actual* problem data, or gives up and the cold solve runs — so a
+// stale (or even adversarial) snapshot can waste pivots but never flip a
+// verdict. RestoreBasis still validates shape and internal consistency
+// strictly: the dual restore's "no sign-compatible entering column"
+// conclusion scans nonbasic columns by status, so a basis whose status
+// vector disagrees with its basic set could hide a column from the scan;
+// such snapshots are rejected here rather than trusted there.
+
+// BasisSnapshot is the serializable form of a Basis, produced by
+// Basis.Snapshot and accepted by RestoreBasis. All fields are plain
+// integers, so the JSON round trip is exact.
+type BasisSnapshot struct {
+	// Cols are the M basic column indices.
+	Cols []int `json:"cols"`
+	// Status is the resting status of every column (values 0-3: at lower
+	// bound, at upper bound, free, basic), of length NCols.
+	Status []int8 `json:"status"`
+	// ArtSign are the artificial column signs (each exactly +1 or -1), of
+	// length M.
+	ArtSign []int8 `json:"art_sign"`
+	// M and NCols are the row and column counts of the producing solve;
+	// a restored basis only warm-starts problems with matching counts.
+	M     int `json:"m"`
+	NCols int `json:"ncols"`
+}
+
+// Snapshot returns the serializable form of b, or nil for a nil basis.
+func (b *Basis) Snapshot() *BasisSnapshot {
+	if b == nil {
+		return nil
+	}
+	s := &BasisSnapshot{
+		Cols:    append([]int(nil), b.cols...),
+		Status:  make([]int8, len(b.status)),
+		ArtSign: make([]int8, len(b.artSign)),
+		M:       b.m,
+		NCols:   b.ncols,
+	}
+	for i, st := range b.status {
+		s.Status[i] = int8(st)
+	}
+	for i, v := range b.artSign {
+		if v >= 0 {
+			s.ArtSign[i] = 1
+		} else {
+			s.ArtSign[i] = -1
+		}
+	}
+	return s
+}
+
+// RestoreBasis validates s and rebuilds a Basis usable as a warm hint. The
+// restored basis never takes the live fast path (its scratch state is gone),
+// only the refactorizing one. Shape errors, out-of-range indices, status
+// values outside the enum, artificial signs other than ±1, and any
+// disagreement between the basic column set and the status vector are
+// rejected — everything else is safe by the verdict-only restore contract.
+func RestoreBasis(s *BasisSnapshot) (*Basis, error) {
+	if s == nil {
+		return nil, fmt.Errorf("lp: nil basis snapshot")
+	}
+	if s.M < 1 || s.NCols < 2*s.M {
+		return nil, fmt.Errorf("lp: basis snapshot has m=%d ncols=%d", s.M, s.NCols)
+	}
+	if len(s.Cols) != s.M {
+		return nil, fmt.Errorf("lp: basis snapshot has %d basic columns, want %d", len(s.Cols), s.M)
+	}
+	if len(s.Status) != s.NCols {
+		return nil, fmt.Errorf("lp: basis snapshot has %d statuses, want %d", len(s.Status), s.NCols)
+	}
+	if len(s.ArtSign) != s.M {
+		return nil, fmt.Errorf("lp: basis snapshot has %d artificial signs, want %d", len(s.ArtSign), s.M)
+	}
+	b := &Basis{
+		cols:    make([]int, s.M),
+		status:  make([]varStatus, s.NCols),
+		artSign: make([]float64, s.M),
+		m:       s.M,
+		ncols:   s.NCols,
+	}
+	basic := make(map[int]bool, s.M)
+	for i, c := range s.Cols {
+		if c < 0 || c >= s.NCols {
+			return nil, fmt.Errorf("lp: basic column %d out of range [0,%d)", c, s.NCols)
+		}
+		if basic[c] {
+			return nil, fmt.Errorf("lp: duplicate basic column %d", c)
+		}
+		basic[c] = true
+		b.cols[i] = c
+	}
+	for j, st := range s.Status {
+		if st < int8(atLower) || st > int8(inBasis) {
+			return nil, fmt.Errorf("lp: column %d has status %d outside [%d,%d]", j, st, atLower, inBasis)
+		}
+		if (varStatus(st) == inBasis) != basic[j] {
+			return nil, fmt.Errorf("lp: column %d status disagrees with the basic set", j)
+		}
+		b.status[j] = varStatus(st)
+	}
+	for i, v := range s.ArtSign {
+		if v != 1 && v != -1 {
+			return nil, fmt.Errorf("lp: artificial sign %d is not ±1", v)
+		}
+		b.artSign[i] = float64(v)
+	}
+	return b, nil
+}

@@ -56,13 +56,14 @@ func NewCache() *Cache {
 	return &Cache{m: make(map[cacheKey]cacheEntry), max: DefaultCacheEntries, maxB: DefaultCacheBytes}
 }
 
-// size estimates an entry's memory footprint: the dominant cost is the
-// integral N-fold solution x.
+// size estimates an entry's memory footprint: the dominant costs are the
+// integral N-fold solution x and the Farkas ray.
 func (e cacheEntry) size() int64 {
 	var b int64 = 64 // struct + slice headers
 	for _, brick := range e.x {
 		b += 24 + 8*int64(len(brick))
 	}
+	b += 8 * int64(len(e.ray))
 	return b
 }
 
@@ -107,6 +108,18 @@ type cacheEntry struct {
 	params   nfold.Params
 	engine   nfold.Engine
 	costLog2 float64
+	// ray is the Farkas certificate of an infeasible verdict when the
+	// engine surfaced one (root-LP rejects do; deep branch-and-bound
+	// rejects may not). It is what makes the verdict re-verifiable after a
+	// restore from disk.
+	ray []float64
+	// restored marks an entry deserialized from a snapshot. Restored
+	// entries are hints, never verdicts: the first lookup that hits one
+	// re-verifies it against a freshly built N-fold (Check for feasible,
+	// CertifiesInfeasible for infeasible) and either promotes it to a
+	// trusted entry or drops it and solves cold. A restored entry can
+	// therefore never flip a verdict, whatever the snapshot contained.
+	restored bool
 }
 
 // lookup returns the memoized verdict for k, if any.
@@ -156,6 +169,19 @@ func (c *Cache) store(k cacheKey, e cacheEntry) {
 	}
 	c.m[k] = e
 	c.bytes += sz
+}
+
+// remove drops one entry (a restored entry that failed re-verification).
+func (c *Cache) remove(k cacheKey) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.m[k]; ok {
+		c.bytes -= old.size()
+		delete(c.m, k)
+	}
 }
 
 // Stats reports cumulative cache hits and misses.
@@ -309,15 +335,35 @@ func fallbackReport(g, hi int64, tried int, stats *probeStats) Report {
 // cached entries stay valid across NoWarmStart settings and between session
 // and cold solves.
 func solveGuessCached(pctx context.Context, opts Options, key cacheKey, t int64, stats *probeStats, tmpl *nfold.Template, rec *sessionRecorder, build func() *nfold.Problem) (cacheEntry, error) {
+	var prob *nfold.Problem
 	if entry, ok := opts.Cache.lookup(key); ok {
-		stats.cacheHits.Add(1)
-		return entry, nil
+		if !entry.restored {
+			stats.cacheHits.Add(1)
+			return entry, nil
+		}
+		// A snapshot-restored entry is a hint, never a verdict: re-verify
+		// it against the N-fold built from the live data before trusting
+		// it. Feasible entries re-check their stored solution exactly
+		// (nfold.Problem.Check); infeasible entries re-verify their Farkas
+		// ray, the same sparse pass session certificates use. Either way a
+		// restored entry cannot flip a verdict — a failed re-verification
+		// drops the entry and the cold solve below runs as if it had never
+		// existed.
+		prob = build()
+		if verified, ok := entry.reverify(prob); ok {
+			opts.Cache.store(key, verified)
+			stats.cacheHits.Add(1)
+			return verified, nil
+		}
+		opts.Cache.remove(key)
 	}
-	prob := build()
+	if prob == nil {
+		prob = build()
+	}
 	if rec.tryCertificate(prob, stats) {
 		entry := cacheEntry{
-			feasible: false,
-			params:   prob.Params(), engine: engineCertificate,
+			feasible: false, ray: rec.ray,
+			params: prob.Params(), engine: engineCertificate,
 			costLog2: prob.TheoreticalCostLog2(),
 		}
 		opts.Cache.store(key, entry)
@@ -337,7 +383,30 @@ func solveGuessCached(pctx context.Context, opts Options, key cacheKey, t int64,
 		feasible: res.Status == nfold.Feasible, x: res.X,
 		params: prob.Params(), engine: res.Engine,
 		costLog2: prob.TheoreticalCostLog2(),
+		ray:      res.InfeasibleRay,
 	}
 	opts.Cache.store(key, entry)
 	return entry, nil
+}
+
+// reverify checks a snapshot-restored entry against the freshly built
+// N-fold and, on success, returns the trusted entry to memoize in its place
+// (params and cost re-derived from the live problem, restored flag cleared).
+// A false second return means the entry proves nothing about this problem
+// and must be dropped.
+func (e cacheEntry) reverify(prob *nfold.Problem) (cacheEntry, bool) {
+	out := cacheEntry{
+		feasible: e.feasible, x: e.x, ray: e.ray, engine: e.engine,
+		params: prob.Params(), costLog2: prob.TheoreticalCostLog2(),
+	}
+	if e.feasible {
+		if prob.Check(e.x) != nil {
+			return cacheEntry{}, false
+		}
+		return out, true
+	}
+	if e.ray == nil || !prob.CertifiesInfeasible(e.ray) {
+		return cacheEntry{}, false
+	}
+	return out, true
 }

@@ -1,0 +1,297 @@
+package ptas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math"
+	"sort"
+
+	"ccsched/internal/core"
+	"ccsched/internal/lp"
+	"ccsched/internal/nfold"
+)
+
+// Snapshot codec for the session warm state. Durable sessions serialize
+// everything a SessionState and its feasibility cache learned, in a form a
+// later process can restore without ever trusting it:
+//
+//   - templates persist only their parameters (g, limit, slot budget) — the
+//     enumerations, shared blocks and move-set caches are deterministic
+//     functions of those and are rebuilt from the live instance on restore;
+//   - search seeds persist the accepted guess, its scale, the Farkas ray and
+//     the root basis — the ray is re-verified from scratch on every use
+//     (nfold.Problem.CertifiesInfeasible) and the basis restore is
+//     verdict-only (lp.RestoreBasis + the dual restore's contract), so a
+//     stale seed can cost time but never change a verdict;
+//   - cache entries persist their key, verdict and evidence (the solution
+//     for feasible entries, the ray for infeasible ones) and come back
+//     marked restored: the first hit re-verifies the evidence against a
+//     freshly built N-fold and drops the entry on any mismatch (see
+//     solveGuessCached). Infeasible verdicts without a ray are not
+//     exportable — there is nothing to re-verify — and are skipped.
+//
+// Floats (rays) are serialized as IEEE-754 bit patterns in uint64 fields,
+// so the JSON round trip is exact and NaN/Inf can be rejected on decode.
+// Export is deterministic (entries sorted by key), so encode(decode(x)) is
+// a fixed point once invalid sections have been dropped — the property the
+// snapshot fuzzer checks.
+
+// floatBits encodes floats as IEEE-754 bit patterns.
+func floatBits(fs []float64) []uint64 {
+	if fs == nil {
+		return nil
+	}
+	out := make([]uint64, len(fs))
+	for i, f := range fs {
+		out[i] = math.Float64bits(f)
+	}
+	return out
+}
+
+// bitsToFloats decodes IEEE-754 bit patterns, rejecting NaN and ±Inf (no
+// certificate or basis the solver produces contains them, so their presence
+// means corruption).
+func bitsToFloats(bits []uint64) ([]float64, bool) {
+	if bits == nil {
+		return nil, true
+	}
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		f := math.Float64frombits(b)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, false
+		}
+		out[i] = f
+	}
+	return out, true
+}
+
+// TemplateSnapshot is the serializable form of a carried guess template:
+// only the parameters, since the template body is a deterministic function
+// of (instance, g, limit) and is rebuilt on restore.
+type TemplateSnapshot struct {
+	// G is the accuracy parameter 1/δ the template was built for.
+	G int64 `json:"g"`
+	// Limit is the configuration-count limit.
+	Limit int `json:"limit"`
+	// Slots is the per-machine class-slot budget of the instance the
+	// template was built from; a restore against an instance with a
+	// different budget drops the template (brick shapes changed).
+	Slots int `json:"slots"`
+}
+
+// SeedSnapshot is the serializable per-probe-shape search seed.
+type SeedSnapshot struct {
+	// Tag is the probe-shape tag (the cacheKey variant byte).
+	Tag byte `json:"tag"`
+	// Guess and Scale are the previously accepted makespan guess and the
+	// power-of-two scale it was found under.
+	Guess int64 `json:"guess"`
+	Scale int64 `json:"scale"`
+	// Ray is the boundary reject's Farkas certificate, as IEEE-754 bits.
+	Ray []uint64 `json:"ray,omitempty"`
+	// Root is the last captured root-relaxation basis.
+	Root *lp.BasisSnapshot `json:"root,omitempty"`
+}
+
+// StateSnapshot is the serializable warm state of one scheduling session.
+type StateSnapshot struct {
+	// Split and Pre are the carried splittable and preemptive guess
+	// templates, when present.
+	Split *TemplateSnapshot `json:"split,omitempty"`
+	Pre   *TemplateSnapshot `json:"pre,omitempty"`
+	// Seeds are the per-probe-shape search seeds, sorted by tag.
+	Seeds []SeedSnapshot `json:"seeds,omitempty"`
+}
+
+// Export returns the serializable form of the session state (nil for nil
+// or empty state).
+func (st *SessionState) Export() *StateSnapshot {
+	if st == nil {
+		return nil
+	}
+	out := &StateSnapshot{}
+	if st.split != nil {
+		out.Split = &TemplateSnapshot{G: st.split.g, Limit: st.split.limit, Slots: st.split.in.Slots}
+	}
+	if st.pre != nil {
+		out.Pre = &TemplateSnapshot{G: st.pre.g, Limit: st.pre.limit, Slots: st.pre.in.Slots}
+	}
+	for tag, s := range st.seeds {
+		if s == nil {
+			continue
+		}
+		out.Seeds = append(out.Seeds, SeedSnapshot{
+			Tag: tag, Guess: s.guess, Scale: s.scale,
+			Ray:  floatBits(s.ray),
+			Root: s.root.Snapshot(),
+		})
+	}
+	sort.Slice(out.Seeds, func(a, b int) bool { return out.Seeds[a].Tag < out.Seeds[b].Tag })
+	if out.Split == nil && out.Pre == nil && len(out.Seeds) == 0 {
+		return nil
+	}
+	return out
+}
+
+// RestoreState rebuilds session warm state for in from a snapshot,
+// degrading component-by-component: a template whose parameters are invalid
+// or whose slot budget no longer matches the instance is dropped (the next
+// solve rebuilds cold); a seed with an out-of-range tag or non-positive
+// guess/scale is dropped; a seed's ray or basis that fails validation is
+// dropped individually while the guess itself is kept. Restored rays and
+// bases are re-verified on every use anyway, so nothing restored here is
+// ever trusted with a verdict. A nil snapshot restores empty state.
+func RestoreState(snap *StateSnapshot, in *core.Instance) *SessionState {
+	st := NewSessionState()
+	if snap == nil {
+		return st
+	}
+	if t := snap.Split; t != nil && t.G >= 1 && t.Limit >= 1 && t.Slots == in.Slots {
+		if tm, err := newSplitTemplate(in, t.G, t.Limit); err == nil {
+			st.split = tm
+		}
+	}
+	if t := snap.Pre; t != nil && t.G >= 1 && t.Limit >= 1 && t.Slots == in.Slots {
+		if tm, err := newPreTemplate(in, t.G, t.Limit); err == nil {
+			st.pre = tm
+		}
+	}
+	for _, s := range snap.Seeds {
+		if s.Tag > cachePreemptive || s.Guess < 1 || s.Scale < 1 {
+			continue
+		}
+		if _, dup := st.seeds[s.Tag]; dup {
+			continue
+		}
+		seed := &sessionSeed{guess: s.Guess, scale: s.Scale}
+		if ray, ok := bitsToFloats(s.Ray); ok && len(ray) > 0 {
+			seed.ray = ray
+		}
+		if s.Root != nil {
+			if root, err := lp.RestoreBasis(s.Root); err == nil {
+				seed.root = root
+			}
+		}
+		st.seeds[s.Tag] = seed
+	}
+	return st
+}
+
+// CacheEntrySnapshot is one serialized feasibility-cache verdict: the full
+// cache key plus the verdict and its re-verifiable evidence.
+type CacheEntrySnapshot struct {
+	// Variant, Digest, G, MaxConfigs, MaxNodes and Engine reproduce the
+	// cache key (Digest is the 32-byte derived-data digest).
+	Variant    byte   `json:"variant"`
+	Digest     []byte `json:"digest"`
+	G          int64  `json:"g"`
+	MaxConfigs int    `json:"max_configs"`
+	MaxNodes   int    `json:"max_nodes"`
+	Engine     string `json:"engine,omitempty"`
+	// Feasible is the verdict; X is the integral N-fold solution backing a
+	// feasible verdict, Ray (IEEE-754 bits) the Farkas certificate backing
+	// an infeasible one.
+	Feasible bool      `json:"feasible"`
+	X        [][]int64 `json:"x,omitempty"`
+	Ray      []uint64  `json:"ray,omitempty"`
+	// Producer records the engine that originally produced the verdict
+	// (diagnostic only; restored verdicts re-verify their evidence).
+	Producer string `json:"producer,omitempty"`
+}
+
+// CacheSnapshot is the serializable form of a feasibility cache.
+type CacheSnapshot struct {
+	// Entries are the exportable verdicts, sorted by key for deterministic
+	// output.
+	Entries []CacheEntrySnapshot `json:"entries,omitempty"`
+}
+
+// Export returns the serializable form of the cache. Infeasible verdicts
+// that carry no Farkas ray are skipped: without evidence there is nothing
+// for a restore to re-verify, so they are not exportable. Returns nil for a
+// nil or empty cache.
+func (c *Cache) Export() *CacheSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) == 0 {
+		return nil
+	}
+	out := &CacheSnapshot{Entries: make([]CacheEntrySnapshot, 0, len(c.m))}
+	for k, e := range c.m {
+		if !e.feasible && e.ray == nil {
+			continue
+		}
+		out.Entries = append(out.Entries, CacheEntrySnapshot{
+			Variant: k.variant, Digest: append([]byte(nil), k.digest[:]...), G: k.g,
+			MaxConfigs: k.maxConfigs, MaxNodes: k.maxNodes, Engine: string(k.engine),
+			Feasible: e.feasible, X: e.x, Ray: floatBits(e.ray),
+			Producer: string(e.engine),
+		})
+	}
+	if len(out.Entries) == 0 {
+		return nil
+	}
+	sort.Slice(out.Entries, func(a, b int) bool {
+		x, y := &out.Entries[a], &out.Entries[b]
+		switch {
+		case x.Variant != y.Variant:
+			return x.Variant < y.Variant
+		case x.G != y.G:
+			return x.G < y.G
+		case x.MaxConfigs != y.MaxConfigs:
+			return x.MaxConfigs < y.MaxConfigs
+		case x.MaxNodes != y.MaxNodes:
+			return x.MaxNodes < y.MaxNodes
+		case x.Engine != y.Engine:
+			return x.Engine < y.Engine
+		}
+		return bytes.Compare(x.Digest, y.Digest) < 0
+	})
+	return out
+}
+
+// RestoreCache rebuilds a feasibility cache from a snapshot. Every restored
+// entry is marked as such, which makes it a hint: its first lookup hit
+// re-verifies the stored evidence against the freshly built N-fold and
+// drops the entry on any mismatch, so a corrupt or stale snapshot degrades
+// to a cold solve instead of a wrong verdict. Entries that are malformed at
+// the shape level (bad variant tag, wrong digest length, non-positive g,
+// missing or non-finite evidence) are dropped here. A nil snapshot returns
+// an empty cache.
+func RestoreCache(snap *CacheSnapshot) *Cache {
+	c := NewCache()
+	if snap == nil {
+		return c
+	}
+	for _, r := range snap.Entries {
+		if r.Variant > cachePreemptive || len(r.Digest) != sha256.Size || r.G < 1 ||
+			r.MaxConfigs < 0 || r.MaxNodes < 0 {
+			continue
+		}
+		e := cacheEntry{feasible: r.Feasible, engine: nfold.Engine(r.Producer), restored: true}
+		if r.Feasible {
+			if len(r.X) == 0 {
+				continue
+			}
+			e.x = r.X
+		} else {
+			ray, ok := bitsToFloats(r.Ray)
+			if !ok || len(ray) == 0 {
+				continue
+			}
+			e.ray = ray
+		}
+		k := cacheKey{
+			variant: r.Variant, g: r.G,
+			maxConfigs: r.MaxConfigs, maxNodes: r.MaxNodes,
+			engine: nfold.Engine(r.Engine),
+		}
+		copy(k.digest[:], r.Digest)
+		c.store(k, e)
+	}
+	return c
+}

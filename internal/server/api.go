@@ -29,6 +29,9 @@ const (
 	StatusDone = "done"
 	// StatusError means the solve finished with Error set.
 	StatusError = "error"
+	// StatusImported means the session was restored from an exported
+	// snapshot (PUT /v1/sessions/{id}/export); solve it with GET.
+	StatusImported = "imported"
 )
 
 // SolveResponse is the body of POST /v1/solve and GET /v1/jobs/{id}.

@@ -63,6 +63,15 @@ type metrics struct {
 	sessionsCreated atomic.Int64 // sessions ever created
 	sessionResolves atomic.Int64 // session re-solves executed by workers
 
+	snapshotWrites         atomic.Int64 // session snapshots persisted to StateDir
+	snapshotWriteErrors    atomic.Int64 // snapshot encode/write failures (non-fatal)
+	snapshotRestores       atomic.Int64 // sessions restored (boot or PUT export)
+	snapshotCorruptSkipped atomic.Int64 // snapshots skipped on boot (unreadable/stale)
+
+	// restoreLatency tracks RestoreSession wall clocks (boot + import), so
+	// snapshot restore cost is visible next to solve cost.
+	restoreLatency latencyHist
+
 	// Solve latency is labeled: session re-solves land in sessionLatency,
 	// everything else in solveLatency, so a churn workload's incremental
 	// wins are attributable instead of being averaged into the one-shot
@@ -147,6 +156,21 @@ type MetricsSnapshot struct {
 	// SessionSolveLatency is the histogram of completed session re-solve
 	// wall clocks, kept separate so incremental re-solves are attributable.
 	SessionSolveLatency LatencySnapshot `json:"session_solve_latency"`
+	// SnapshotWritesTotal counts session snapshots persisted to the state
+	// directory (checkpoints and drain passes).
+	SnapshotWritesTotal int64 `json:"snapshot_writes_total"`
+	// SnapshotWriteErrors counts snapshot encode or write failures; they are
+	// non-fatal (the session stays dirty and the next tick retries).
+	SnapshotWriteErrors int64 `json:"snapshot_write_errors_total"`
+	// SnapshotRestoresTotal counts sessions restored from snapshots, at boot
+	// and via PUT /v1/sessions/{id}/export.
+	SnapshotRestoresTotal int64 `json:"snapshot_restores_total"`
+	// SnapshotCorruptSkipped counts snapshot files skipped on boot because
+	// they were unreadable, checksum-mismatched or from a different schema
+	// version — each is logged with its reason and never fails the boot.
+	SnapshotCorruptSkipped int64 `json:"snapshot_corrupt_skipped_total"`
+	// RestoreLatency is the histogram of snapshot restore wall clocks.
+	RestoreLatency LatencySnapshot `json:"restore_latency"`
 	// UptimeSeconds is the time since the server was created.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -62,6 +63,17 @@ type Config struct {
 	MaxSessions int
 	// MaxBodyBytes bounds request bodies. Zero selects 32 MiB.
 	MaxBodyBytes int64
+	// StateDir, when non-empty, makes sessions durable: every readable
+	// session snapshot in the directory is restored on boot (unreadable or
+	// stale ones are skipped with a logged reason), dirty sessions are
+	// checkpointed there in the background, and a final snapshot pass runs
+	// on drain. The directory is created if missing. Empty disables
+	// persistence.
+	StateDir string
+	// CheckpointInterval is the background checkpoint cadence when StateDir
+	// is set. Zero selects 30s. Ticks are skipped while the solve queue is
+	// more than half full, so checkpointing never competes with admission.
+	CheckpointInterval time.Duration
 	// Cache is the feasibility cache shared by all workers. Nil creates a
 	// fresh one (isolated from the process-wide default).
 	Cache *ccsched.FeasibilityCache
@@ -98,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.StateDir != "" && c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 30 * time.Second
 	}
 	if c.Cache == nil {
 		c.Cache = ccsched.NewFeasibilityCache()
@@ -173,6 +188,13 @@ type Server struct {
 	queue chan *flight
 	wg    sync.WaitGroup
 
+	// ckptStop/ckptDone manage the background checkpointer (StateDir only):
+	// Shutdown closes ckptStop once, the checkpointer closes ckptDone on
+	// exit, and the final drain snapshot pass waits on ckptDone so disk
+	// writes never overlap.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+
 	met   metrics
 	start time.Time
 }
@@ -212,6 +234,20 @@ func New(cfg Config) *Server {
 		sessions:   make(map[string]*svcSession),
 		queue:      make(chan *flight, cfg.QueueDepth),
 		start:      time.Now(),
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			cfg.Logf("state dir %s: %v (persistence disabled)", cfg.StateDir, err)
+			s.cfg.StateDir = ""
+		} else {
+			// Restore before the workers start: the session table fills while
+			// nothing races it, and the handler sees every surviving session
+			// from its first request.
+			s.restoreSnapshots()
+			s.ckptStop = make(chan struct{})
+			s.ckptDone = make(chan struct{})
+			go s.checkpointer()
+		}
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -433,9 +469,13 @@ func (s *Server) worker() {
 // idempotent; later calls wait for the same drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.closed {
+	first := !s.closed
+	if first {
 		s.closed = true
 		close(s.queue)
+		if s.ckptStop != nil {
+			close(s.ckptStop)
+		}
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -453,6 +493,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.baseCancel()
+	// Final snapshot pass, after the workers exited and the background
+	// checkpointer stopped (no overlapping writes). It runs even when the
+	// grace expired — each file is fsynced and closed before Shutdown
+	// returns — and its failures are logged and counted, never escalated:
+	// a lost snapshot costs warm state on the next boot, not the drain.
+	if first && s.cfg.StateDir != "" {
+		<-s.ckptDone
+		s.drainSnapshots()
+	}
 	s.cfg.Logf("shutdown complete")
 	return err
 }
@@ -486,6 +535,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 		FeasibilityCache:       CacheStats{Hits: hits, Misses: misses, Entries: s.cfg.Cache.Len()},
 		SolveLatency:           s.met.solveLatency.snapshot(),
 		SessionSolveLatency:    s.met.sessionLatency.snapshot(),
+		SnapshotWritesTotal:    s.met.snapshotWrites.Load(),
+		SnapshotWriteErrors:    s.met.snapshotWriteErrors.Load(),
+		SnapshotRestoresTotal:  s.met.snapshotRestores.Load(),
+		SnapshotCorruptSkipped: s.met.snapshotCorruptSkipped.Load(),
+		RestoreLatency:         s.met.restoreLatency.snapshot(),
 		UptimeSeconds:          time.Since(s.start).Seconds(),
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccsched"
@@ -43,6 +44,16 @@ type svcSession struct {
 	sess    *ccsched.Session
 	opts    ccsched.Options // sanitized; part of every re-solve's request key
 	timeout time.Duration   // default per-re-solve deadline from create
+
+	// ckptGen/ckptRes are the session generation and resolve count captured
+	// by the last successful checkpoint; the checkpointer skips sessions
+	// where both still match. Generation alone is not enough — warm state
+	// (cache verdicts, seeds) grows on solves, which do not bump the
+	// generation, so a checkpoint taken between a delta and its re-solve
+	// must leave the session dirty for the next tick. Atomics so the
+	// checkpointer never waits behind a re-solve holding mu.
+	ckptGen atomic.Uint64
+	ckptRes atomic.Int64
 }
 
 // ErrTooManySessions reports that Config.MaxSessions live sessions already
@@ -77,9 +88,17 @@ func (s *Server) createSession(in *ccsched.Instance, opts ccsched.Options, timeo
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		return nil, fmt.Errorf("%w: %d live", ErrTooManySessions, len(s.sessions))
 	}
-	s.sessionSeq++
+	// Mint past ids already taken by restored or imported sessions.
+	var id string
+	for {
+		s.sessionSeq++
+		id = fmt.Sprintf("s-%016x", s.sessionSeq)
+		if _, taken := s.sessions[id]; !taken {
+			break
+		}
+	}
 	sv := &svcSession{
-		id:      fmt.Sprintf("s-%016x", s.sessionSeq),
+		id:      id,
 		sess:    sess,
 		opts:    opts,
 		timeout: timeout,
@@ -97,6 +116,7 @@ func (s *Server) dropSession(id string) bool {
 		return false
 	}
 	delete(s.sessions, id)
+	s.removeSnapshot(id)
 	return true
 }
 

@@ -99,6 +99,25 @@ func (s *Session) Resolves() int64 {
 	return s.resolves
 }
 
+// Generation returns the session's mutation counter: it increases with
+// every applied delta, so a caller that remembers the value from its last
+// checkpoint can tell cheaply whether the session is dirty.
+func (s *Session) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Options returns the session's solve options. The feasibility cache is not
+// part of the answer (it is session-private state, never shared by handle).
+func (s *Session) Options() Options {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	opts := s.opts
+	opts.Cache = nil
+	return opts
+}
+
 // AddJobs appends jobs (processing time p[i], class class[i]) and returns
 // their stable ids. The delta takes effect at the next Solve.
 func (s *Session) AddJobs(p []int64, class []int) ([]int64, error) {

@@ -1,0 +1,89 @@
+package ccsched
+
+// FuzzSessionSnapshot fuzzes the durable-session codec with arbitrary bytes.
+// The properties: RestoreSession never panics; when it accepts a document,
+// the restored session re-encodes to a snapshot that itself restores and is
+// a byte-exact fixed point under one more decode/encode round (i.e. the
+// restore never keeps partially-valid state that the encoder can't
+// reproduce — anything invalid was dropped, so what remains round-trips
+// exactly).
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// fuzzSnapshotCorpus builds real snapshots (warm, cold, cacheless) to seed
+// the fuzzer with documents deep in the accept path.
+func fuzzSnapshotCorpus(f *testing.F) [][]byte {
+	f.Helper()
+	var corpus [][]byte
+	for _, cfg := range []struct {
+		opts  Options
+		solve int
+	}{
+		{Options{Variant: Splittable, Tier: TierPTAS, Epsilon: 1}, 2},
+		{Options{Variant: NonPreemptive, Tier: TierPTAS, Epsilon: 1}, 1},
+		{Options{Variant: Preemptive, Tier: TierPTAS, Epsilon: 1, NoCache: true}, 1},
+		{Options{Variant: Splittable, Tier: TierApprox}, 0},
+	} {
+		in, err := Generate("uniform", GeneratorConfig{
+			N: 24, Classes: 4, Machines: 3, Slots: 2, PMax: 100, Seed: 5,
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		sess, err := NewSession(in, cfg.opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < cfg.solve; i++ {
+			if _, err := sess.Solve(context.Background()); err != nil {
+				f.Fatal(err)
+			}
+			ids := sess.JobIDs()
+			if err := sess.Resize(ids[i%len(ids)], int64(37+11*i)); err != nil {
+				f.Fatal(err)
+			}
+		}
+		data, err := sess.SnapshotState()
+		if err != nil {
+			f.Fatal(err)
+		}
+		corpus = append(corpus, data)
+	}
+	return corpus
+}
+
+// FuzzSessionSnapshot is the snapshot-codec round-trip fuzzer: arbitrary
+// bytes must never panic RestoreSession, and every accepted document must
+// re-encode to a fixed point that restores again.
+func FuzzSessionSnapshot(f *testing.F) {
+	for _, seed := range fuzzSnapshotCorpus(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s1, err := RestoreSession(data)
+		if err != nil {
+			return // refused: the only other acceptable outcome
+		}
+		data1, err := s1.SnapshotState()
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		s2, err := RestoreSession(data1)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot refused: %v\n%s", err, data1)
+		}
+		data2, err := s2.SnapshotState()
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(data1, data2) {
+			t.Fatalf("snapshot re-encode is not a fixed point:\n%s\nvs\n%s", data1, data2)
+		}
+	})
+}
