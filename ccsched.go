@@ -295,6 +295,15 @@ type Options struct {
 	// bit-identical schedules — speculation only reorders work, never
 	// which probes decide the outcome.
 	Parallelism int `json:"parallelism,omitempty"`
+	// EngineParallelism is the number of goroutines each N-fold solve may
+	// use internally (PTAS tiers only): concurrent augmentation brick scans
+	// merged deterministically, plus speculative branch-and-bound subtree
+	// workers behind a sequential committer. Orthogonal to Parallelism,
+	// which races whole makespan-guess probes against each other. Zero or
+	// one runs every engine serially (the default — intra-engine parallelism
+	// is opt-in); any value returns bit-identical schedules, probe counts
+	// and reports.
+	EngineParallelism int `json:"engine_parallelism,omitempty"`
 	// Cache overrides the feasibility cache. Nil selects a process-wide
 	// shared cache (see NewFeasibilityCache to isolate workloads); set
 	// NoCache to disable caching entirely. Never serialized: a cache is a
@@ -459,13 +468,14 @@ func solveApprox(in *Instance, opts Options, res *Result) error {
 // guess search and the feasibility cache resolved from opts.
 func solvePTAS(ctx context.Context, in *Instance, opts Options, st *ptas.SessionState, res *Result) error {
 	popts := ptas.Options{
-		Epsilon:        opts.Epsilon,
-		MaxNodes:       opts.MaxNodes,
-		MaxConfigs:     opts.MaxConfigs,
-		HugeMThreshold: opts.HugeMThreshold,
-		Parallelism:    opts.Parallelism,
-		NoWarmStart:    opts.NoWarmStart,
-		Session:        st,
+		Epsilon:           opts.Epsilon,
+		MaxNodes:          opts.MaxNodes,
+		MaxConfigs:        opts.MaxConfigs,
+		HugeMThreshold:    opts.HugeMThreshold,
+		Parallelism:       opts.Parallelism,
+		EngineParallelism: opts.EngineParallelism,
+		NoWarmStart:       opts.NoWarmStart,
+		Session:           st,
 	}
 	if popts.Epsilon == 0 {
 		popts.Epsilon = 0.5

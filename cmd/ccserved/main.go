@@ -87,6 +87,7 @@ func main() {
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight solves are canceled")
 		quiet       = flag.Bool("quiet", false, "suppress per-solve logging")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); off by default")
+		enginePar   = flag.Int("engine-parallelism", 0, "intra-engine worker count for requests that do not set engine_parallelism (clamped to GOMAXPROCS; 0 keeps engines serial; results are bit-identical at any value)")
 	)
 	flag.Parse()
 	var pprofSrv *http.Server
@@ -125,6 +126,7 @@ func main() {
 		MaxBodyBytes:       *maxBody,
 		StateDir:           *stateDir,
 		CheckpointInterval: *checkpoint,
+		EngineParallelism:  *enginePar,
 		Cache:              ccsched.NewFeasibilityCache(),
 		Logf:               logf,
 	})

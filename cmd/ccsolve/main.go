@@ -59,6 +59,7 @@ func main() {
 		algo        = flag.String("algo", "approx", "auto | approx | ptas | exact")
 		eps         = flag.Float64("eps", 0.5, "PTAS accuracy ε")
 		parallelism = flag.Int("parallelism", 0, "concurrent PTAS guess probes (0 = all CPUs, 1 = sequential)")
+		enginePar   = flag.Int("engine-parallelism", 0, "intra-engine workers per probe (brick scans, B&B subtrees; ≤1 = serial; results are bit-identical at any value)")
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	)
 	flag.Parse()
@@ -110,10 +111,11 @@ func main() {
 	}
 	start := time.Now()
 	res, err := ccsched.Solve(ctx, in, ccsched.Options{
-		Variant:     v,
-		Tier:        tier,
-		Epsilon:     *eps,
-		Parallelism: *parallelism,
+		Variant:           v,
+		Tier:              tier,
+		Epsilon:           *eps,
+		Parallelism:       *parallelism,
+		EngineParallelism: *enginePar,
 	})
 	if err != nil {
 		fail(err)

@@ -85,6 +85,16 @@ type Options struct {
 	// counts), e.g. the previous makespan guess's root. Dimension mismatches
 	// are ignored.
 	RootBasis *lp.Basis
+	// Parallelism ≥ 2 explores the branch-and-bound tree with that many
+	// goroutines: speculative workers solve the LP relaxations of open
+	// nodes ahead of the depth-first walk while a single committer replays
+	// the exact sequential search order, consuming their results. Results —
+	// Status, X, Obj and Nodes — are bit-identical to the sequential engine
+	// at any worker count (see parallel.go for the argument); Pivots and
+	// WarmHits may differ, because which warm-restore path decides a node
+	// depends on solver-state residency. Values ≤ 1 run the sequential
+	// engine unchanged.
+	Parallelism int
 }
 
 // Result is the solver output.
@@ -112,6 +122,15 @@ type Result struct {
 	// problem infeasible without solving (see
 	// nfold.Problem.CertifiesInfeasible). Nil otherwise.
 	InfeasibleRay []float64
+	// SubtreeSteals counts nodes whose LP relaxation was solved by a
+	// speculative worker rather than the committing walker (zero unless
+	// Options.Parallelism ≥ 2). Diagnostics only: the schedule of steals
+	// varies run to run even though the results never do.
+	SubtreeSteals int
+	// BatchedLPSolves counts node LPs solved through the lp.SolveBatch
+	// sibling kernel (zero unless Options.Parallelism ≥ 2). Diagnostics
+	// only, like SubtreeSteals.
+	BatchedLPSolves int
 }
 
 const intTol = 1e-6
@@ -158,6 +177,9 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 		warmStart = !opts.NoWarmStart
 		if warmStart {
 			rootHint = opts.RootBasis
+		}
+		if opts.Parallelism >= 2 {
+			return solveParallel(ctx, p, maxNodes, first, warmStart, rootHint, opts.Parallelism)
 		}
 	}
 	prep, err := lp.Prepare(&p.Problem)

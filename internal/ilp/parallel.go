@@ -1,0 +1,493 @@
+package ilp
+
+// Parallel branch and bound: speculative workers, sequential commits.
+//
+// The naive way to parallelize branch and bound — hand each worker a
+// subtree and merge whatever they find — changes results: FirstFeasible
+// returns whichever worker won the race, MaxNodes verdicts depend on how
+// the budget was split, and even the optimum's witness X depends on
+// exploration order. This engine keeps the sequential search's decisions
+// byte for byte and parallelizes only the expensive part, the per-node LP
+// relaxations:
+//
+//   - A single walker replays exactly the sequential depth-first loop —
+//     same stack discipline, same bound patches, same pruning, incumbent,
+//     budget and termination logic. Every decision that influences the
+//     result is made by the walker, in sequential commit order.
+//   - Speculative workers claim not-yet-popped open nodes (preferring the
+//     top of the stack, i.e. the nodes the walker needs soonest) and solve
+//     their LP relaxations ahead of time on private lp.Prepared instances.
+//     A node's LP inputs — its bound patch chain and its parent's terminal
+//     basis — are fixed at creation, so the solve is the same computation
+//     no matter who runs it or when.
+//   - Cold LP solves are deterministic, and warm restores are verdict-only
+//     (lp.SolveBounds): a node's Status, X and Obj are therefore identical
+//     whether the walker or a worker solved it, and the walker's replay
+//     visits the same nodes in the same order as the sequential engine —
+//     Nodes, Status, X and Obj are bit-identical at any worker count.
+//     Pivots and WarmHits are NOT: which restore path (live state, cached
+//     refactorization, fresh refactorization) decides an infeasible child
+//     depends on solver-state residency, which differs between one shared
+//     Prepared and per-worker ones.
+//
+// Basis snapshots cross goroutines only as immutable lp.Basis values
+// (refactor-from-snapshot on the receiving Prepared; no live solver state
+// is ever shared). The incumbent objective flows through a single atomic
+// bound that only the walker stores, in commit order, so it is monotone
+// non-increasing; a worker observing obj ≥ bound−1e-9 therefore knows the
+// walker will prune that node at commit no matter what happens in between,
+// which lets it skip the node's basis capture. Pruning decisions themselves
+// stay with the walker, which is what makes the returned optimum (and its
+// witness) independent of worker scheduling.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ccsched/internal/lp"
+)
+
+// pnode is one open node of the parallel search. All plain fields are
+// written by the walker before the node is published (pushed while holding
+// the state mutex) and immutable afterwards; claimed arbitrates between the
+// walker and speculative workers; res is written by the claiming worker
+// before it closes done.
+type pnode struct {
+	depth    int
+	patchVar int // -1 for the root
+	lo, up   float64
+	parent   *pnode    // tree parent, for materializing bounds off-walker
+	warm     *lp.Basis // parent's terminal basis (nil without warm starts)
+	sibling  *pnode    // the branch's other child, for batched co-claims
+
+	claimed atomic.Bool
+	done    chan struct{}
+	res     pres
+}
+
+// pres is the outcome of one node's LP relaxation.
+type pres struct {
+	status  lp.Status
+	x       []float64 // solution copy; set only for Optimal
+	obj     float64
+	iters   int
+	warmHit bool
+	basis   *lp.Basis // terminal basis for the node's children, if captured
+	ray     []float64 // root Farkas ray (root Infeasible only)
+	err     error
+}
+
+// pstate is the state shared between the walker and its workers.
+type pstate struct {
+	p         *Problem
+	lower0    []float64 // root bounds after integral tightening; immutable
+	upper0    []float64
+	warmStart bool
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	stack []*pnode // open nodes; walker pops, workers scan for speculation
+
+	// bound holds math.Float64bits of the incumbent objective (+Inf before
+	// the first incumbent). Only the walker stores it, in commit order, so
+	// it is monotone non-increasing — the property worker-side prune
+	// shortcuts rely on.
+	bound atomic.Uint64
+
+	steals  atomic.Int64
+	batched atomic.Int64
+}
+
+// certainlyPruned reports whether a node with the given LP objective is
+// guaranteed to be pruned when the walker commits it: the bound only ever
+// decreases, so a true answer stays true. Before any incumbent the bound is
+// +Inf and nothing is certain.
+func (ps *pstate) certainlyPruned(obj float64) bool {
+	return obj >= math.Float64frombits(ps.bound.Load())-1e-9
+}
+
+// push publishes children to the shared stack (in pop order: last pushed
+// pops first) and wakes idle workers.
+func (ps *pstate) push(nodes ...*pnode) {
+	ps.mu.Lock()
+	ps.stack = append(ps.stack, nodes...)
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+}
+
+// claim blocks until a speculative worker can claim an open node (returning
+// it and, when its sibling is also free, the co-claimed sibling for a
+// batched solve) or ctx is canceled (returning nil).
+func (ps *pstate) claim(ctx context.Context) (*pnode, *pnode) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		for i := len(ps.stack) - 1; i >= 0; i-- {
+			nd := ps.stack[i]
+			if !nd.claimed.CompareAndSwap(false, true) {
+				continue
+			}
+			var sib *pnode
+			if s := nd.sibling; s != nil && s.claimed.CompareAndSwap(false, true) {
+				sib = s
+			}
+			return nd, sib
+		}
+		ps.cond.Wait()
+	}
+}
+
+// chainScratch holds a worker's reusable bound-materialization state.
+type chainScratch struct {
+	lower, upper []float64
+	prev         []*pnode // patches currently applied, for undoing
+	chain        []*pnode
+}
+
+// setBounds materializes nd's bounds into the scratch arrays by undoing the
+// previously applied patch chain and replaying nd's chain root→leaf (deeper
+// patches override shallower ones on the same variable, exactly like the
+// sequential engine's in-place patching).
+func (cs *chainScratch) setBounds(ps *pstate, nd *pnode) {
+	for _, n := range cs.prev {
+		cs.lower[n.patchVar] = ps.lower0[n.patchVar]
+		cs.upper[n.patchVar] = ps.upper0[n.patchVar]
+	}
+	cs.chain = cs.chain[:0]
+	for n := nd; n != nil && n.patchVar >= 0; n = n.parent {
+		cs.chain = append(cs.chain, n)
+	}
+	for i := len(cs.chain) - 1; i >= 0; i-- {
+		n := cs.chain[i]
+		cs.lower[n.patchVar] = n.lo
+		cs.upper[n.patchVar] = n.up
+	}
+	cs.prev, cs.chain = cs.chain, cs.prev
+}
+
+// finish records a node's LP outcome and releases anyone waiting on it.
+func (nd *pnode) finish(r pres) {
+	nd.res = r
+	close(nd.done)
+}
+
+// resFromSolution builds a node's result record from a finished solve,
+// copying X out of the solver scratch and deriving the root-only artifacts
+// (Farkas ray, eager basis capture) that must be read off the Prepared
+// before its state is disturbed by the next solve.
+func (ps *pstate) resFromSolution(prep *lp.Prepared, nd *pnode, sol *lp.Solution) pres {
+	r := pres{status: sol.Status, obj: sol.Obj, iters: sol.Iterations, warmHit: sol.Warm}
+	switch sol.Status {
+	case lp.Optimal:
+		r.x = append([]float64(nil), sol.X...)
+		// The basis is only ever consumed if the walker branches here; a
+		// node already below the incumbent bound will be pruned instead
+		// (monotonicity makes that irreversible), except that the root's
+		// basis is also the RootBasis result field, wanted regardless.
+		if ps.warmStart && (nd.patchVar < 0 || !ps.certainlyPruned(sol.Obj)) {
+			r.basis = prep.CaptureBasis()
+		}
+	case lp.Infeasible:
+		if nd.patchVar < 0 {
+			r.ray = prep.InfeasibilityRay()
+		}
+	}
+	return r
+}
+
+// worker speculatively solves claimed nodes until ctx is canceled. Each
+// worker owns a private Prepared (and bound scratch); the only state it
+// shares are immutable pnode inputs, the per-node result handoff, and the
+// atomic incumbent bound.
+func (ps *pstate) worker(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	prep, err := lp.Prepare(&ps.p.Problem)
+	if err != nil {
+		return // the walker validated the same problem; unreachable in practice
+	}
+	defer prep.Release()
+	cs := chainScratch{
+		lower: append([]float64(nil), ps.lower0...),
+		upper: append([]float64(nil), ps.upper0...),
+	}
+	var sibLower, sibUpper []float64
+	for {
+		nd, sib := ps.claim(ctx)
+		if nd == nil {
+			return
+		}
+		cs.setBounds(ps, nd)
+		if sib == nil {
+			var sol lp.Solution
+			if err := prep.SolveBounds(ctx, cs.lower, cs.upper, nd.warm, &sol); err != nil {
+				nd.finish(pres{err: err})
+				continue
+			}
+			ps.steals.Add(1)
+			nd.finish(ps.resFromSolution(prep, nd, &sol))
+			continue
+		}
+		// Batched sibling pair: both children share nd's bounds except for
+		// the branched variable, and share the parent basis, so one
+		// SolveBatch amortizes the warm restore's refactorization.
+		if sibLower == nil {
+			sibLower = make([]float64, len(cs.lower))
+			sibUpper = make([]float64, len(cs.upper))
+		}
+		copy(sibLower, cs.lower)
+		copy(sibUpper, cs.upper)
+		sibLower[sib.patchVar], sibUpper[sib.patchVar] = sib.lo, sib.up
+		items := [2]lp.BatchBounds{
+			{Lower: cs.lower, Upper: cs.upper},
+			{Lower: sibLower, Upper: sibUpper},
+		}
+		var outs [2]lp.Solution
+		var bases [2]*lp.Basis
+		basesOut := bases[:]
+		if !ps.warmStart {
+			basesOut = nil
+		}
+		if err := prep.SolveBatch(ctx, items[:], nd.warm, outs[:], basesOut); err != nil {
+			nd.finish(pres{err: err})
+			sib.finish(pres{err: err})
+			continue
+		}
+		ps.steals.Add(2)
+		ps.batched.Add(2)
+		for i, n := range [2]*pnode{nd, sib} {
+			r := pres{status: outs[i].Status, obj: outs[i].Obj, iters: outs[i].Iterations, warmHit: outs[i].Warm}
+			if outs[i].Status == lp.Optimal {
+				r.x = outs[i].X // SolveBatch already copied it out
+				r.basis = bases[i]
+			}
+			// Children are never the root, so no ray derivation here.
+			n.finish(r)
+		}
+	}
+}
+
+// solveParallel runs branch and bound with parallelism−1 speculative
+// workers plus the committing walker. See the file comment for why its
+// results are bit-identical to the sequential engine's.
+func solveParallel(ctx context.Context, p *Problem, maxNodes int, first, warmStart bool, rootHint *lp.Basis, parallelism int) (*Result, error) {
+	prep, err := lp.Prepare(&p.Problem)
+	if err != nil {
+		return nil, err
+	}
+	defer prep.Release()
+	// The walker's single mutable bound pair, patched exactly like the
+	// sequential engine's.
+	lower := append([]float64(nil), p.Lower...)
+	upper := append([]float64(nil), p.Upper...)
+	for j, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		if !math.IsInf(lower[j], -1) {
+			lower[j] = math.Ceil(lower[j] - intTol)
+		}
+		if !math.IsInf(upper[j], 1) {
+			upper[j] = math.Floor(upper[j] + intTol)
+		}
+	}
+	ps := &pstate{
+		p:         p,
+		lower0:    append([]float64(nil), lower...),
+		upper0:    append([]float64(nil), upper...),
+		warmStart: warmStart,
+	}
+	ps.cond = sync.NewCond(&ps.mu)
+	ps.bound.Store(math.Float64bits(math.Inf(1)))
+	root := &pnode{patchVar: -1, warm: rootHint, done: make(chan struct{})}
+	ps.stack = []*pnode{root}
+
+	specCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism-1; w++ {
+		wg.Add(1)
+		go ps.worker(specCtx, &wg)
+	}
+	defer func() {
+		cancel()
+		ps.mu.Lock()
+		ps.cond.Broadcast()
+		ps.mu.Unlock()
+		wg.Wait()
+	}()
+
+	var path []applied
+	res := &Result{Status: Infeasible}
+	bestObj := math.Inf(1)
+	hitLimit := false
+	for {
+		ps.mu.Lock()
+		n := len(ps.stack)
+		var nd *pnode
+		if n > 0 {
+			nd = ps.stack[n-1]
+			ps.stack = ps.stack[:n-1]
+		}
+		ps.mu.Unlock()
+		if nd == nil {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if res.Nodes >= maxNodes {
+			hitLimit = true
+			break
+		}
+		res.Nodes++
+		// Rewind the applied patches to this node's parent, then apply its
+		// own patch — the pop order is the sequential engine's, so the
+		// shared arrays always hold exactly the popped node's path.
+		target := nd.depth
+		if nd.patchVar >= 0 {
+			target = nd.depth - 1
+		}
+		for len(path) > target {
+			e := path[len(path)-1]
+			path = path[:len(path)-1]
+			lower[e.v], upper[e.v] = e.lo, e.up
+		}
+		if nd.patchVar >= 0 {
+			path = append(path, applied{nd.patchVar, lower[nd.patchVar], upper[nd.patchVar]})
+			lower[nd.patchVar], upper[nd.patchVar] = nd.lo, nd.up
+		}
+		// Obtain the node's LP result: claim and solve inline on the
+		// walker's Prepared (bounds are already materialized), or consume a
+		// worker's speculative solve.
+		var r pres
+		inline := nd.claimed.CompareAndSwap(false, true)
+		if inline {
+			var sol lp.Solution
+			if err := prep.SolveBounds(ctx, lower, upper, nd.warm, &sol); err != nil {
+				return nil, err
+			}
+			r = pres{status: sol.Status, obj: sol.Obj, iters: sol.Iterations, warmHit: sol.Warm}
+			if sol.Status == lp.Optimal {
+				r.x = sol.X // consumed before the next solve on prep
+				if nd.patchVar < 0 && warmStart {
+					r.basis = prep.CaptureBasis()
+				}
+			} else if nd.patchVar < 0 && sol.Status == lp.Infeasible {
+				r.ray = prep.InfeasibilityRay()
+			}
+		} else {
+			<-nd.done
+			r = nd.res
+			if r.err != nil {
+				return nil, r.err
+			}
+		}
+		res.Pivots += r.iters
+		if r.warmHit {
+			res.WarmHits++
+		}
+		if nd.patchVar < 0 && r.status == lp.Optimal && warmStart {
+			res.RootBasis = r.basis
+		}
+		if nd.patchVar < 0 && r.status == lp.Infeasible {
+			res.InfeasibleRay = r.ray
+		}
+		switch r.status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return nil, errors.New("ilp: LP relaxation unbounded; bound the integer variables")
+		case lp.IterLimit:
+			hitLimit = true
+			continue
+		}
+		if r.obj >= bestObj-1e-9 && res.X != nil {
+			continue // bound
+		}
+		branch, frac := -1, 0.0
+		for j, isInt := range p.Integer {
+			if !isInt {
+				continue
+			}
+			f := math.Abs(r.x[j] - math.Round(r.x[j]))
+			if f > intTol && f > frac {
+				branch, frac = j, f
+			}
+		}
+		if branch < 0 {
+			x := append([]float64(nil), r.x...)
+			for j, isInt := range p.Integer {
+				if isInt {
+					x[j] = math.Round(x[j])
+				}
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.Obj[j] * x[j]
+			}
+			if obj < bestObj {
+				bestObj = obj
+				res.X = x
+				res.Obj = obj
+				ps.bound.Store(math.Float64bits(obj))
+			}
+			if first {
+				res.Status = Optimal
+				ps.fillCounters(res)
+				return res, nil
+			}
+			continue
+		}
+		var pb *lp.Basis
+		if warmStart {
+			pb = r.basis
+			if pb == nil && inline {
+				// An inline non-root solve captures lazily, only when the
+				// walker actually branches; prep still holds this node's
+				// terminal state.
+				pb = prep.CaptureBasis()
+			}
+		}
+		v := r.x[branch]
+		lowChild := &pnode{
+			depth: nd.depth + 1, patchVar: branch,
+			lo: lower[branch], up: math.Floor(v),
+			parent: nd, warm: pb, done: make(chan struct{}),
+		}
+		highChild := &pnode{
+			depth: nd.depth + 1, patchVar: branch,
+			lo: math.Ceil(v), up: upper[branch],
+			parent: nd, warm: pb, done: make(chan struct{}),
+		}
+		lowChild.sibling, highChild.sibling = highChild, lowChild
+		if v-math.Floor(v) < 0.5 {
+			ps.push(highChild, lowChild)
+		} else {
+			ps.push(lowChild, highChild)
+		}
+	}
+	ps.fillCounters(res)
+	if res.X != nil {
+		if hitLimit {
+			res.Status = NodeLimit
+		} else {
+			res.Status = Optimal
+		}
+		return res, nil
+	}
+	if hitLimit {
+		res.Status = NodeLimit
+	}
+	return res, nil
+}
+
+// fillCounters copies the speculation diagnostics into the result.
+func (ps *pstate) fillCounters(res *Result) {
+	res.SubtreeSteals = int(ps.steals.Load())
+	res.BatchedLPSolves = int(ps.batched.Load())
+}

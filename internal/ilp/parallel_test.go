@@ -1,0 +1,192 @@
+package ilp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// randomOptimizationILP is randomFeasibilityILP with a nonzero objective, so
+// full branch-and-bound runs exercise the incumbent/bound machinery rather
+// than stopping at the first integral point.
+func randomOptimizationILP(rng *rand.Rand, m, n int) *Problem {
+	p := randomFeasibilityILP(rng, m, n)
+	for j := 0; j < n; j++ {
+		p.Obj[j] = float64(rng.Intn(7) - 3)
+	}
+	return p
+}
+
+// assertSameResult fails unless got matches want in every deterministic
+// field: Status, Nodes, Obj and the witness X. Pivots and WarmHits are
+// deliberately not compared — which warm-restore path decides a node depends
+// on solver-state residency, which parallel execution changes.
+func assertSameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Status != want.Status || got.Nodes != want.Nodes {
+		t.Fatalf("%s: (%v, %d nodes), want (%v, %d nodes)",
+			label, got.Status, got.Nodes, want.Status, want.Nodes)
+	}
+	if (got.X == nil) != (want.X == nil) {
+		t.Fatalf("%s: solution presence diverged (got %v, want %v)", label, got.X != nil, want.X != nil)
+	}
+	if got.X != nil && got.Obj != want.Obj {
+		t.Fatalf("%s: obj %v, want %v", label, got.Obj, want.Obj)
+	}
+	for j := range want.X {
+		if got.X[j] != want.X[j] {
+			t.Fatalf("%s: X[%d] = %v, want %v", label, j, got.X[j], want.X[j])
+		}
+	}
+	if (got.RootBasis == nil) != (want.RootBasis == nil) {
+		t.Fatalf("%s: root-basis presence diverged", label)
+	}
+	if (got.InfeasibleRay == nil) != (want.InfeasibleRay == nil) {
+		t.Fatalf("%s: infeasible-ray presence diverged", label)
+	}
+}
+
+// TestParallelSolveParity pins the tentpole contract at the ilp layer:
+// Status, X, Obj and Nodes are bit-identical to the sequential engine at any
+// Parallelism, across random feasibility and optimization problems, with
+// warm starts on and off — while speculative workers actually steal nodes
+// somewhere (otherwise the parity is vacuous).
+func TestParallelSolveParity(t *testing.T) {
+	// On a single-CPU host the walker can out-race the workers to every
+	// claim, making the parity vacuous; more schedulable Ps give the
+	// speculative workers real interleavings (results must not care).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(41))
+	var steals, batched int
+	for trial := 0; trial < 30; trial++ {
+		p := randomOptimizationILP(rng, 6, 12)
+		for _, first := range []bool{false, true} {
+			for _, noWarm := range []bool{false, true} {
+				seq, err := Solve(p, &Options{FirstFeasible: first, NoWarmStart: noWarm, MaxNodes: 3000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{2, 4, 16} {
+					got, err := Solve(p, &Options{
+						FirstFeasible: first, NoWarmStart: noWarm, MaxNodes: 3000, Parallelism: par,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameResult(t, label(trial, first, noWarm, par), seq, got)
+					steals += got.SubtreeSteals
+					batched += got.BatchedLPSolves
+					if seq.SubtreeSteals != 0 || seq.BatchedLPSolves != 0 {
+						t.Fatalf("sequential run reported speculation counters: %+v", seq)
+					}
+				}
+			}
+		}
+	}
+	if steals == 0 {
+		t.Fatal("no node was ever solved by a speculative worker; parity test is vacuous")
+	}
+	if batched == 0 {
+		t.Fatal("no sibling pair was ever batch-solved; SolveBatch path untested")
+	}
+	t.Logf("speculative steals=%d batched=%d", steals, batched)
+}
+
+func label(trial int, first, noWarm bool, par int) string {
+	return fmt.Sprintf("trial %d first=%v nowarm=%v par=%d", trial, first, noWarm, par)
+}
+
+// TestParallelNodeLimitParity pins that budget-exhausted searches agree too:
+// a NodeLimit verdict (and its best incumbent) must not depend on the worker
+// count, because the committing walker replays the sequential order exactly.
+func TestParallelNodeLimitParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	sawLimit := false
+	for trial := 0; trial < 20; trial++ {
+		p := randomOptimizationILP(rng, 6, 14)
+		for _, budget := range []int{1, 3, 10, 40} {
+			seq, err := Solve(p, &Options{MaxNodes: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Status == NodeLimit {
+				sawLimit = true
+			}
+			for _, par := range []int{2, 8} {
+				got, err := Solve(p, &Options{MaxNodes: budget, Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResult(t, label(trial, false, false, par), seq, got)
+			}
+		}
+	}
+	if !sawLimit {
+		t.Fatal("no budget was ever exhausted; node-limit parity is vacuous")
+	}
+}
+
+// TestParallelIncumbentRace stresses the atomic incumbent bound: repeated
+// high-parallelism solves of optimization problems with many successive
+// incumbents must always return the sequential optimum — speculative workers
+// racing the bound may only ever skip basis captures, never drop the
+// optimum. Run under -race this also exercises the publication paths.
+func TestParallelIncumbentRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 8; trial++ {
+		p := randomOptimizationILP(rng, 5, 16)
+		seq, err := Solve(p, &Options{MaxNodes: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 6; rep++ {
+			got, err := Solve(p, &Options{MaxNodes: 5000, Parallelism: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, label(trial, false, false, 8), seq, got)
+		}
+	}
+}
+
+// TestParallelCancellation proves cancellation lands promptly with subtree
+// workers in flight: a canceled context aborts the parallel search with
+// ctx.Err() and every worker goroutine exits (no leaks past the deferred
+// wait).
+func TestParallelCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		p := randomOptimizationILP(rng, 7, 18)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(trial)*time.Millisecond)
+		start := time.Now()
+		res, err := SolveCtx(ctx, p, &Options{MaxNodes: 1 << 30, Parallelism: 8})
+		elapsed := time.Since(start)
+		cancel()
+		if err == nil {
+			// The solve legitimately finished inside the budget; fine.
+			if res == nil {
+				t.Fatal("nil result without error")
+			}
+			continue
+		}
+		if ctx.Err() == nil || err != context.DeadlineExceeded {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, context.DeadlineExceeded)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("trial %d: cancellation took %v", trial, elapsed)
+		}
+	}
+	// Workers are joined before solveParallel returns; give the runtime a
+	// moment and verify nothing leaked.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+}

@@ -1,0 +1,93 @@
+package lp
+
+// The batched sibling kernel. A branch-and-bound branch creates two (or,
+// for wider schemes, k) child LPs that differ from their parent — and from
+// each other — only in one variable's bounds, and all share the parent's
+// terminal basis as their warm-restore start. Solving them one SolveBounds
+// at a time pays the O(m³) restore refactorization per child; SolveBatch
+// pays it once and hands every later child a bit-identical O(m²) copy of
+// the refactored inverse. Everything else about each solve — the
+// verdict-only dual restore, the deterministic cold fallback — is exactly
+// SolveBounds, so a batch returns precisely what k independent calls would.
+
+import (
+	"context"
+	"errors"
+)
+
+// errBatchOut reports a SolveBatch output slice shorter than its item list.
+var errBatchOut = errors.New("lp: SolveBatch out slice shorter than items")
+
+// BatchBounds is one batch item's structural bounds for SolveBatch. Nil
+// slices select the prepared problem's own bounds, as in SolveBounds.
+type BatchBounds struct {
+	Lower, Upper []float64
+}
+
+// restoreCache memoizes the start state of a warm restore — the basis
+// columns, resting statuses and post-refactor basis inverse — so sibling
+// solves sharing one warm Basis skip the per-solve refactorization. It is
+// only ever consulted for the single warm Basis of one SolveBatch call and
+// holds no bound- or RHS-dependent state (basic values are recomputed per
+// solve).
+type restoreCache struct {
+	valid  bool
+	basis  []int
+	status []varStatus
+	binv   []float64 // m×m, row-major
+}
+
+// capture snapshots the just-restored start state from st.
+func (rc *restoreCache) capture(st *simplexState) {
+	m := st.m
+	if rc.basis == nil {
+		rc.basis = make([]int, m)
+		rc.status = make([]varStatus, len(st.status))
+		rc.binv = make([]float64, m*m)
+	}
+	copy(rc.basis, st.basis)
+	copy(rc.status, st.status)
+	for i := 0; i < m; i++ {
+		copy(rc.binv[i*m:(i+1)*m], st.binv[i])
+	}
+	rc.valid = true
+}
+
+// SolveBatch solves len(items) sibling programs — same prepared rows,
+// per-item structural bounds — writing the i-th result into out[i]. All
+// items share the single warm Basis (typically their common parent's
+// terminal basis; nil disables warm restores exactly as in SolveBounds).
+//
+// Results are bit-identical to len(items) independent SolveBounds calls
+// with the same arguments: the only thing the batch amortizes is the warm
+// restore's refactorization, whose cached inverse is a deterministic
+// function of the shared basis. Unlike SolveBounds, each out[i].X is copied
+// out of the solver scratch, so every solution in the batch remains valid
+// after the call (and after later solves on this Prepared).
+//
+// When bases is non-nil (length ≥ len(items)), bases[i] receives the
+// terminal basis of item i's solve when it ended at an optimal basis (nil
+// otherwise) — the per-item equivalent of calling CaptureBasis between
+// solves, which the batch's state reuse would otherwise make impossible.
+//
+// The batch stops at the first error (cancellation included); out entries
+// past the failed item are left zeroed.
+func (pr *Prepared) SolveBatch(ctx context.Context, items []BatchBounds, warm *Basis, out []Solution, bases []*Basis) error {
+	if len(out) < len(items) || (bases != nil && len(bases) < len(items)) {
+		return errBatchOut
+	}
+	var rc restoreCache
+	for i := range items {
+		out[i] = Solution{}
+		if err := pr.solveBoundsCached(ctx, items[i].Lower, items[i].Upper, warm, &rc, &out[i]); err != nil {
+			return err
+		}
+		if out[i].X != nil {
+			out[i].X = append([]float64(nil), out[i].X...)
+		}
+		if bases != nil {
+			bases[i] = pr.CaptureBasis()
+		}
+	}
+	return nil
+}

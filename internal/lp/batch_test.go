@@ -1,0 +1,192 @@
+package lp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestSolveBatchMatchesSolveBounds pins the batched sibling kernel's
+// contract: for any warm basis and any list of sibling bound patches, the
+// batch returns exactly what the same number of independent SolveBounds
+// calls would — status, X and iteration counts bit for bit — while the
+// cached restore actually amortizes the refactorization (same verdicts, by
+// construction, whatever path restored the basis).
+func TestSolveBatchMatchesSolveBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ctx := context.Background()
+	for trial := 0; trial < 40; trial++ {
+		p := randomBoundedLP(rng, 5, 10)
+		pr, err := Prepare(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var root Solution
+		if err := pr.SolveBounds(ctx, nil, nil, nil, &root); err != nil {
+			t.Fatal(err)
+		}
+		if root.Status != Optimal {
+			pr.Release()
+			continue
+		}
+		warm := pr.CaptureBasis()
+		// Sibling items: each tightens one variable, branch-child style.
+		k := 2 + rng.Intn(3)
+		items := make([]BatchBounds, k)
+		for i := range items {
+			lower := append([]float64(nil), p.Lower...)
+			upper := append([]float64(nil), p.Upper...)
+			j := rng.Intn(p.NumVars)
+			if rng.Intn(2) == 0 {
+				upper[j] = lower[j] // often infeasible: exercises the dual restore
+			} else {
+				upper[j] = upper[j] - 1
+			}
+			items[i] = BatchBounds{Lower: lower, Upper: upper}
+		}
+		out := make([]Solution, k)
+		bases := make([]*Basis, k)
+		if err := pr.SolveBatch(ctx, items, warm, out, bases); err != nil {
+			t.Fatal(err)
+		}
+		// Reference: independent SolveBounds calls on a fresh Prepared with
+		// the same warm basis.
+		ref, err := Prepare(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range items {
+			var want Solution
+			if err := ref.SolveBounds(ctx, items[i].Lower, items[i].Upper, warm, &want); err != nil {
+				t.Fatal(err)
+			}
+			got := out[i]
+			if got.Status != want.Status {
+				t.Fatalf("trial %d item %d: status %v != %v", trial, i, got.Status, want.Status)
+			}
+			if want.Status == Optimal {
+				for j := range want.X {
+					if got.X[j] != want.X[j] {
+						t.Fatalf("trial %d item %d: X[%d] = %v != %v", trial, i, j, got.X[j], want.X[j])
+					}
+				}
+				wantBasis := ref.CaptureBasis()
+				if (bases[i] == nil) != (wantBasis == nil) {
+					t.Fatalf("trial %d item %d: basis presence %v != %v", trial, i, bases[i] != nil, wantBasis != nil)
+				}
+			}
+		}
+		// Batch solutions must survive later solves on the same Prepared
+		// (SolveBounds aliases its scratch; SolveBatch copies).
+		snapshot := make([][]float64, k)
+		for i := range out {
+			if out[i].X != nil {
+				snapshot[i] = append([]float64(nil), out[i].X...)
+			}
+		}
+		var again Solution
+		if err := pr.SolveBounds(ctx, nil, nil, nil, &again); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			for j := range snapshot[i] {
+				if out[i].X[j] != snapshot[i][j] {
+					t.Fatalf("trial %d: batch X[%d][%d] mutated by a later solve", trial, i, j)
+				}
+			}
+		}
+		pr.Release()
+		ref.Release()
+	}
+}
+
+// TestSolveBatchCapturedBasesUsable feeds a batch's captured child bases
+// back as warm starts — the parallel branch-and-bound's actual usage — and
+// checks the grandchild verdicts agree with cold solves.
+func TestSolveBatchCapturedBasesUsable(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	ctx := context.Background()
+	used := 0
+	for trial := 0; trial < 30; trial++ {
+		p := randomBoundedLP(rng, 5, 10)
+		pr, err := Prepare(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var root Solution
+		if err := pr.SolveBounds(ctx, nil, nil, nil, &root); err != nil {
+			t.Fatal(err)
+		}
+		if root.Status != Optimal {
+			pr.Release()
+			continue
+		}
+		warm := pr.CaptureBasis()
+		j := rng.Intn(p.NumVars)
+		lower := append([]float64(nil), p.Lower...)
+		upperA := append([]float64(nil), p.Upper...)
+		upperB := append([]float64(nil), p.Upper...)
+		upperA[j] = lower[j]
+		upperB[j] = upperB[j] - 1
+		items := []BatchBounds{{Lower: lower, Upper: upperA}, {Lower: lower, Upper: upperB}}
+		out := make([]Solution, 2)
+		bases := make([]*Basis, 2)
+		if err := pr.SolveBatch(ctx, items, warm, out, bases); err != nil {
+			t.Fatal(err)
+		}
+		for i := range items {
+			if bases[i] == nil {
+				continue
+			}
+			used++
+			// Grandchild: tighten another variable below item i.
+			j2 := (j + 1 + rng.Intn(p.NumVars-1)) % p.NumVars
+			gUpper := append([]float64(nil), items[i].Upper...)
+			gUpper[j2] = lower[j2]
+			var warmSol, coldSol Solution
+			if err := pr.SolveBounds(ctx, items[i].Lower, gUpper, bases[i], &warmSol); err != nil {
+				t.Fatal(err)
+			}
+			cold, err := Prepare(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cold.SolveBounds(ctx, items[i].Lower, gUpper, nil, &coldSol); err != nil {
+				t.Fatal(err)
+			}
+			if warmSol.Status != coldSol.Status {
+				t.Fatalf("trial %d item %d: grandchild warm %v != cold %v", trial, i, warmSol.Status, coldSol.Status)
+			}
+			if coldSol.Status == Optimal {
+				for idx := range coldSol.X {
+					if warmSol.X[idx] != coldSol.X[idx] {
+						t.Fatalf("trial %d item %d: grandchild X[%d] diverged", trial, i, idx)
+					}
+				}
+			}
+			cold.Release()
+		}
+		pr.Release()
+	}
+	if used == 0 {
+		t.Fatal("no batch item ever captured a usable basis; the test is vacuous")
+	}
+}
+
+// TestSolveBatchShortSlices pins the argument validation: an out (or bases)
+// slice shorter than the item list is an error, not a silent truncation.
+func TestSolveBatchShortSlices(t *testing.T) {
+	p := randomBoundedLP(rand.New(rand.NewSource(71)), 3, 6)
+	pr, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Release()
+	items := []BatchBounds{{}, {}}
+	if err := pr.SolveBatch(context.Background(), items, nil, make([]Solution, 1), nil); err == nil {
+		t.Fatal("short out slice accepted")
+	}
+	if err := pr.SolveBatch(context.Background(), items, nil, make([]Solution, 2), make([]*Basis, 1)); err == nil {
+		t.Fatal("short bases slice accepted")
+	}
+}

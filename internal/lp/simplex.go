@@ -229,6 +229,12 @@ func (pr *Prepared) Release() {
 // branch-and-bound trajectories (and therefore every schedule the PTAS
 // emits) independent of warm-starting.
 func (pr *Prepared) SolveBounds(ctx context.Context, lower, upper []float64, warm *Basis, sol *Solution) error {
+	return pr.solveBoundsCached(ctx, lower, upper, warm, nil, sol)
+}
+
+// solveBoundsCached is SolveBounds with an optional warm-restore cache (see
+// tryWarmInfeasible and SolveBatch). A nil rc is exactly SolveBounds.
+func (pr *Prepared) solveBoundsCached(ctx context.Context, lower, upper []float64, warm *Basis, rc *restoreCache, sol *Solution) error {
 	if pr.released {
 		return errReleased
 	}
@@ -272,7 +278,7 @@ func (pr *Prepared) SolveBounds(ctx context.Context, lower, upper []float64, war
 	st.interrupted = false
 
 	if warm != nil && pr.zeroObj && warm.m == m && warm.ncols == pr.ncols {
-		proved, pivots := pr.tryWarmInfeasible(warm)
+		proved, pivots := pr.tryWarmInfeasible(warm, rc)
 		sol.Iterations += pivots
 		if st.interrupted {
 			return st.ctx.Err()

@@ -3,6 +3,7 @@ package nfold
 import (
 	"context"
 	"sort"
+	"sync"
 )
 
 // The augmentation engine follows the shape of the theoretical N-fold
@@ -84,6 +85,10 @@ type augState struct {
 	// per-brick scans, so cancellation latency is bounded by one brick's
 	// move evaluation rather than a whole descent iteration.
 	ctx context.Context
+	// par is the requested scan parallelism (≤ 1 scans serially);
+	// scanWorkers records the largest worker count actually engaged.
+	par         int
+	scanWorkers int
 }
 
 func abs64(v int64) int64 {
@@ -455,6 +460,94 @@ func (st *augState) apply(i, mi int, lambda int64) {
 	st.steps++
 }
 
+// scanRes is one brick range's best move under the canonical incumbent
+// rule: lexicographically largest (gain, lambda), earliest (brick, move) on
+// full ties. brick < 0 means no improving move in the range.
+type scanRes struct {
+	brick, move  int
+	lambda, gain int64
+}
+
+// better reports whether cand displaces inc under the incumbent rule the
+// sequential scan applies at every (brick, move, λ) it visits. Because the
+// rule is a strict comparison, folding per-range winners in ascending range
+// order reproduces the full scan's winner exactly.
+func (inc *scanRes) better(gain, lambda int64) bool {
+	return gain > inc.gain || (gain == inc.gain && gain > 0 && lambda > inc.lambda)
+}
+
+// scanRange computes the incumbent over bricks [from, to). The scan reads
+// only pre-move state (x, residuals, bounds, move tables), all immutable
+// while a scan is in flight, so disjoint ranges may run concurrently.
+func (st *augState) scanRange(ctx context.Context, from, to int) scanRes {
+	best := scanRes{brick: -1, move: -1}
+	for i := from; i < to; i++ {
+		if ctx.Err() != nil {
+			return best
+		}
+		bm := st.bm[i]
+		for mi := range bm.moves {
+			lim := st.maxStep(i, mi)
+			if lim == 0 {
+				continue
+			}
+			// Graver-best-step schedule: powers of two up to the box
+			// limit, plus the limit itself.
+			for lambda := int64(1); ; lambda *= 2 {
+				if lambda > lim {
+					lambda = lim
+				}
+				if gain := st.improvement(i, mi, lambda); best.better(gain, lambda) {
+					best = scanRes{brick: i, move: mi, lambda: lambda, gain: gain}
+				}
+				if lambda == lim {
+					break
+				}
+			}
+		}
+	}
+	return best
+}
+
+// scanBest finds the descent's next move. With par ≥ 2 the bricks are split
+// into contiguous ranges scanned concurrently and the per-range winners are
+// merged in ascending range order under the same incumbent rule, so the
+// chosen (brick, move, λ) is bit-identical to the serial scan's at any
+// worker count — worker scheduling can only change timing, never the
+// winner. Moves are still applied serially by the caller.
+func (st *augState) scanBest(ctx context.Context) scanRes {
+	n := st.p.N
+	workers := st.par
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		return st.scanRange(ctx, 0, n)
+	}
+	if workers > st.scanWorkers {
+		st.scanWorkers = workers
+	}
+	results := make([]scanRes, workers)
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = st.scanRange(ctx, lo, hi)
+		}(w, lo, hi)
+	}
+	results[0] = st.scanRange(ctx, 0, n/workers)
+	wg.Wait()
+	best := scanRes{brick: -1, move: -1}
+	for _, r := range results {
+		if r.brick >= 0 && best.better(r.gain, r.lambda) {
+			best = r
+		}
+	}
+	return best
+}
+
 // descend runs the greedy residual descent until the residual reaches zero,
 // no move improves it, or ctx is canceled (the caller translates a canceled
 // context into an error, so a partial descent is never mistaken for a
@@ -467,41 +560,17 @@ func (st *augState) descend(ctx context.Context, opt AugmentOptions) int64 {
 		if st.residualNorm() == 0 {
 			return 0
 		}
-		bestBrick, bestMove := -1, -1
-		var bestLambda, bestGain int64
-		for i := 0; i < st.p.N; i++ {
-			if ctx.Err() != nil {
-				return st.residualNorm()
-			}
-			bm := st.bm[i]
-			for mi := range bm.moves {
-				lim := st.maxStep(i, mi)
-				if lim == 0 {
-					continue
-				}
-				// Graver-best-step schedule: powers of two up to the box
-				// limit, plus the limit itself.
-				for lambda := int64(1); ; lambda *= 2 {
-					if lambda > lim {
-						lambda = lim
-					}
-					if gain := st.improvement(i, mi, lambda); gain > bestGain ||
-						(gain == bestGain && gain > 0 && lambda > bestLambda) {
-						bestBrick, bestMove, bestLambda, bestGain = i, mi, lambda, gain
-					}
-					if lambda == lim {
-						break
-					}
-				}
-			}
+		best := st.scanBest(ctx)
+		if ctx.Err() != nil {
+			return st.residualNorm()
 		}
-		if bestGain <= 0 {
+		if best.gain <= 0 {
 			if !st.pairStep() {
 				return st.residualNorm()
 			}
 			continue
 		}
-		st.apply(bestBrick, bestMove, bestLambda)
+		st.apply(best.brick, best.move, best.lambda)
 	}
 	return st.residualNorm()
 }
@@ -561,8 +630,10 @@ func (st *augState) pairStep() bool {
 
 // solveAugment runs the augmentation engine for feasibility (and greedy
 // objective descent when Obj is nonzero). Cancellation is polled once per
-// descent step; a canceled context surfaces as ctx.Err().
-func (p *Problem) solveAugment(ctx context.Context, opts *AugmentOptions, tmpl *Template) (*Result, error) {
+// descent step; a canceled context surfaces as ctx.Err(). par ≥ 2 scans the
+// bricks of each descent iteration concurrently (see scanBest); the chosen
+// moves, and therefore the result, are bit-identical at any par.
+func (p *Problem) solveAugment(ctx context.Context, opts *AugmentOptions, tmpl *Template, par int) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -572,11 +643,12 @@ func (p *Problem) solveAugment(ctx context.Context, opts *AugmentOptions, tmpl *
 	opt := opts.defaults()
 	st := newAugState(p, opt, tmpl)
 	st.ctx = ctx
+	st.par = par
 	if rest := st.descend(ctx, opt); rest != 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return &Result{Status: Unknown, Engine: EngineAugment, Nodes: st.steps}, nil
+		return &Result{Status: Unknown, Engine: EngineAugment, Nodes: st.steps, BrickScanWorkers: st.scanWorkers}, nil
 	}
 	if err := p.Check(st.x); err != nil {
 		return nil, err
@@ -594,11 +666,12 @@ func (p *Problem) solveAugment(ctx context.Context, opts *AugmentOptions, tmpl *
 		}
 	}
 	return &Result{
-		Status: Feasible,
-		X:      st.x,
-		Obj:    p.Objective(st.x),
-		Engine: EngineAugment,
-		Nodes:  st.steps,
+		Status:           Feasible,
+		X:                st.x,
+		Obj:              p.Objective(st.x),
+		Engine:           EngineAugment,
+		Nodes:            st.steps,
+		BrickScanWorkers: st.scanWorkers,
 	}, nil
 }
 

@@ -84,7 +84,10 @@ func (p *Problem) solveBranchBound(ctx context.Context, maxNodes int, firstFeasi
 	if err != nil {
 		return nil, err
 	}
-	iopts := &ilp.Options{MaxNodes: maxNodes, FirstFeasible: firstFeasible, NoWarmStart: o.NoWarmStart, RootBasis: o.RootBasis}
+	iopts := &ilp.Options{
+		MaxNodes: maxNodes, FirstFeasible: firstFeasible, NoWarmStart: o.NoWarmStart,
+		RootBasis: o.RootBasis, Parallelism: o.Parallelism,
+	}
 	res, err := ilp.SolveCtx(ctx, mp, iopts)
 	if err != nil {
 		return nil, err
@@ -92,6 +95,7 @@ func (p *Problem) solveBranchBound(ctx context.Context, maxNodes int, firstFeasi
 	out := &Result{
 		Engine: EngineBranchBound, Nodes: res.Nodes, Pivots: res.Pivots, WarmHits: res.WarmHits,
 		RootBasis: res.RootBasis, InfeasibleRay: res.InfeasibleRay,
+		SubtreeSteals: res.SubtreeSteals, BatchedLPSolves: res.BatchedLPSolves,
 	}
 	switch res.Status {
 	case ilp.Infeasible:

@@ -1,0 +1,180 @@
+package nfold
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randomNFold builds a random N-fold in the generator idiom of
+// TestRandomAgreement, sized so parallel brick scans actually split (n
+// bricks across several workers). When plant is set a solution is planted —
+// the RHS vectors are derived from a random in-box point — so the exact
+// engine explores a real tree instead of refuting the root.
+func randomNFold(rng *rand.Rand, n int, plant bool) *Problem {
+	r := 1 + rng.Intn(2)
+	s := 1 + rng.Intn(2)
+	tt := 2 + rng.Intn(3)
+	a := make([][]int64, r)
+	for k := range a {
+		a[k] = make([]int64, tt)
+		for j := range a[k] {
+			a[k][j] = int64(rng.Intn(5) - 2)
+		}
+	}
+	b := make([][]int64, s)
+	for k := range b {
+		b[k] = make([]int64, tt)
+		for j := range b[k] {
+			b[k][j] = int64(rng.Intn(5) - 2)
+		}
+	}
+	p := NewUniform(n, a, b)
+	x := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		x[i] = make([]int64, tt)
+		for j := 0; j < tt; j++ {
+			p.Upper[i][j] = int64(rng.Intn(4))
+			x[i][j] = rng.Int63n(p.Upper[i][j] + 1)
+		}
+	}
+	if plant {
+		for k := 0; k < r; k++ {
+			var sum int64
+			for i := 0; i < n; i++ {
+				for j := 0; j < tt; j++ {
+					sum += a[k][j] * x[i][j]
+				}
+			}
+			p.GlobalRHS[k] = sum
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < s; k++ {
+				var sum int64
+				for j := 0; j < tt; j++ {
+					sum += b[k][j] * x[i][j]
+				}
+				p.LocalRHS[i][k] = sum
+			}
+		}
+		return p
+	}
+	for k := range p.GlobalRHS {
+		p.GlobalRHS[k] = int64(rng.Intn(9) - 4)
+	}
+	for i := 0; i < n; i++ {
+		for k := range p.LocalRHS[i] {
+			p.LocalRHS[i][k] = int64(rng.Intn(7) - 3)
+		}
+	}
+	return p
+}
+
+// sameNFoldResult fails unless the deterministic fields agree: Status, X,
+// Obj and Nodes (augmentation steps / branch-and-bound nodes). Pivots and
+// WarmHits are not compared (see ilp.Options.Parallelism), and the
+// diagnostics counters are explicitly allowed to differ.
+func sameNFoldResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Status != want.Status || got.Engine != want.Engine || got.Nodes != want.Nodes {
+		t.Fatalf("%s: (%v, %v, %d nodes), want (%v, %v, %d nodes)",
+			label, got.Status, got.Engine, got.Nodes, want.Status, want.Engine, want.Nodes)
+	}
+	if got.Obj != want.Obj {
+		t.Fatalf("%s: obj %d, want %d", label, got.Obj, want.Obj)
+	}
+	if (got.X == nil) != (want.X == nil) {
+		t.Fatalf("%s: solution presence diverged", label)
+	}
+	for i := range want.X {
+		for j := range want.X[i] {
+			if got.X[i][j] != want.X[i][j] {
+				t.Fatalf("%s: X[%d][%d] = %d, want %d", label, i, j, got.X[i][j], want.X[i][j])
+			}
+		}
+	}
+}
+
+// TestScanMergeDeterminism pins the brick-scan merge rule under an
+// adversarial GOMAXPROCS × worker-count sweep: the augmentation engine must
+// pick the same moves — same steps, same final point — at any parallelism,
+// because per-range winners merge under the same lexicographic incumbent
+// rule the serial scan applies. GOMAXPROCS is restored on exit.
+func TestScanMergeDeterminism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	rng := rand.New(rand.NewSource(73))
+	engaged := 0
+	for trial := 0; trial < 12; trial++ {
+		p := randomNFold(rng, 4+rng.Intn(9), trial%2 == 0)
+		serial, err := Solve(p, &Options{Engine: EngineAugment})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.BrickScanWorkers != 0 {
+			t.Fatalf("trial %d: serial solve reported %d scan workers", trial, serial.BrickScanWorkers)
+		}
+		for _, procs := range []int{1, 2, 4} {
+			runtime.GOMAXPROCS(procs)
+			for _, par := range []int{2, 3, 8, 16} {
+				got, err := Solve(p, &Options{Engine: EngineAugment, Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameNFoldResult(t, labelPMP(trial, procs, par), serial, got)
+				if got.Nodes > 0 && got.BrickScanWorkers > 1 {
+					engaged++
+				}
+			}
+		}
+	}
+	if engaged == 0 {
+		t.Fatal("no parallel scan ever engaged more than one worker; determinism test is vacuous")
+	}
+}
+
+func labelPMP(trial, procs, par int) string {
+	return fmt.Sprintf("trial %d procs=%d par=%d", trial, procs, par)
+}
+
+// TestAutoEngineParallelismParity runs the full auto pipeline — augmentation
+// descent plus exact branch-and-bound fallback — at several parallelism
+// levels and checks the combined verdicts stay bit-identical, with the
+// subtree-steal and batched-LP counters surfacing only from parallel runs.
+func TestAutoEngineParallelismParity(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(79))
+	var steals int
+	for trial := 0; trial < 15; trial++ {
+		p := randomNFold(rng, 3+rng.Intn(6), true)
+		// A nonzero objective forces the exact engine to run a full
+		// optimization search after the augmentation attempt, giving the
+		// speculative workers a real tree.
+		for i := range p.Obj {
+			for j := range p.Obj[i] {
+				p.Obj[i][j] = int64(rng.Intn(5) - 2)
+			}
+		}
+		serial, err := Solve(p, &Options{MaxNodes: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.SubtreeSteals != 0 || serial.BatchedLPSolves != 0 {
+			t.Fatalf("trial %d: serial solve reported speculation counters: %+v", trial, serial)
+		}
+		for _, par := range []int{2, 4} {
+			got, err := Solve(p, &Options{MaxNodes: 2000, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameNFoldResult(t, labelPMP(trial, 0, par), serial, got)
+			steals += got.SubtreeSteals
+		}
+	}
+	// Steals depend on scheduling; across 15 trials × 2 levels on 4 Ps some
+	// speculative solve should land. If this ever flakes the engine is
+	// starving its workers, which is worth failing loudly.
+	if steals == 0 {
+		t.Fatal("no exact-engine node was ever solved speculatively; parity is vacuous")
+	}
+}

@@ -1,0 +1,145 @@
+package ptas
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+	"testing"
+
+	"ccsched/internal/core"
+	"ccsched/internal/generator"
+)
+
+// The intra-engine parallelism differential. EngineParallelism parallelizes
+// inside one N-fold solve — concurrent brick scans with a deterministic
+// merge, speculative branch-and-bound subtree workers behind a sequential
+// committer, batched sibling LPs — and every layer is verdict- and
+// solution-preserving by construction (see internal/nfold/augment.go and
+// internal/ilp/parallel.go). This test pins the end-to-end consequence on
+// every generator family: the accepted guess, the probe count, the
+// branch-and-bound node total and the schedule's makespan are bit-identical
+// at any worker count. Runs use the sequential guess search
+// (Parallelism: 1) so the probe set — and hence Report.BBNodes — is
+// deterministic, and no cache, so no run can answer another's probes. CI
+// runs this under -race, which also makes it the race test for the
+// scan/subtree worker machinery on real PTAS workloads.
+
+// engParity is the quadruple that must match bit-identically, plus the
+// diagnostics counters used for the vacuousness check.
+type engParity struct {
+	guess    int64
+	guesses  int
+	makespan *big.Rat
+	nodes    int64
+
+	scanWorkers int
+	steals      int64
+}
+
+// runEngParity solves one variant and reduces the result to the parity data.
+func runEngParity(t *testing.T, variant string, in *core.Instance, opts Options) engParity {
+	t.Helper()
+	ctx := context.Background()
+	var rep Report
+	var mk *big.Rat
+	switch variant {
+	case "splittable":
+		r, err := SolveSplittable(ctx, in, opts)
+		if err != nil {
+			t.Fatalf("splittable: %v", err)
+		}
+		rep, mk = r.Report, r.Makespan()
+	case "nonpreemptive":
+		r, err := SolveNonPreemptive(ctx, in, opts)
+		if err != nil {
+			t.Fatalf("nonpreemptive: %v", err)
+		}
+		rep, mk = r.Report, new(big.Rat).SetInt64(r.Makespan(in))
+	case "preemptive":
+		r, err := SolvePreemptive(ctx, in, opts)
+		if err != nil {
+			t.Fatalf("preemptive: %v", err)
+		}
+		rep, mk = r.Report, r.Makespan()
+	default:
+		t.Fatalf("unknown variant %q", variant)
+	}
+	return engParity{
+		guess: rep.Guess, guesses: rep.Guesses, makespan: mk, nodes: rep.BBNodes,
+		scanWorkers: rep.BrickScanWorkers, steals: rep.BBSubtreeSteals,
+	}
+}
+
+// scanWorkersSeen and subtreeStealsSeen prove the differential engaged the
+// parallel machinery at all: if no run ever fanned out a brick scan, the
+// parity would be vacuous. Subtree steals are scheduling-dependent (a
+// single-CPU host may never run a speculative worker before the committing
+// walker), so they are reported but not required.
+var (
+	scanWorkersSeen   atomic.Int64
+	subtreeStealsSeen atomic.Int64
+)
+
+func TestEngineParallelismParityAllFamilies(t *testing.T) {
+	variants := []string{"splittable", "nonpreemptive", "preemptive"}
+	for _, fam := range generator.Families() {
+		for seed := int64(1); seed <= 5; seed++ {
+			in := fam.Gen(generator.Config{
+				N: 15, Classes: 3, Machines: 3, Slots: 2, PMax: 80, Seed: seed,
+			})
+			for _, variant := range variants {
+				variant, in := variant, in
+				name := fmt.Sprintf("%s/%s/seed=%d", fam.Name, variant, seed)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					// δ = 1/2 makes the exact engine branch (δ = 1 for the
+					// preemptive scheme, whose configuration set at 1/2 would
+					// dominate the suite); Parallelism 1 keeps the probe set
+					// sequential and deterministic; nil Cache keeps every run
+					// honest.
+					opts := Options{Epsilon: 0.5, MaxNodes: 150, Parallelism: 1}
+					if variant == "preemptive" {
+						opts.Epsilon = 1.0
+					}
+					var serial engParity
+					for _, ep := range []int{1, 2, 8} {
+						o := opts
+						o.EngineParallelism = ep
+						got := runEngParity(t, variant, in, o)
+						if ep == 1 {
+							serial = got
+							if got.scanWorkers != 0 || got.steals != 0 {
+								t.Fatalf("EngineParallelism=1 reported parallel counters: workers=%d steals=%d",
+									got.scanWorkers, got.steals)
+							}
+							continue
+						}
+						if got.guess != serial.guess {
+							t.Fatalf("ep=%d: accepted guess %d, serial %d", ep, got.guess, serial.guess)
+						}
+						if got.guesses != serial.guesses {
+							t.Fatalf("ep=%d: probe count %d, serial %d", ep, got.guesses, serial.guesses)
+						}
+						if got.makespan.Cmp(serial.makespan) != 0 {
+							t.Fatalf("ep=%d: makespan %s, serial %s",
+								ep, got.makespan.RatString(), serial.makespan.RatString())
+						}
+						if got.nodes != serial.nodes {
+							t.Fatalf("ep=%d: %d branch-and-bound nodes, serial %d", ep, got.nodes, serial.nodes)
+						}
+						scanWorkersSeen.Add(int64(got.scanWorkers))
+						subtreeStealsSeen.Add(got.steals)
+					}
+				})
+			}
+		}
+	}
+	t.Cleanup(func() {
+		if scanWorkersSeen.Load() == 0 {
+			t.Errorf("no parallel run ever fanned out a brick scan; the parity test is vacuous")
+		}
+		t.Logf("scan-worker engagements=%d subtree steals=%d (steals may be 0 on a single-CPU host)",
+			scanWorkersSeen.Load(), subtreeStealsSeen.Load())
+	})
+}

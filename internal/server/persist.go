@@ -157,7 +157,7 @@ func (s *Server) restoreSnapshots() {
 		sv := &svcSession{
 			id:      id,
 			sess:    sess,
-			opts:    sanitizeOptions(sess.Options()),
+			opts:    sanitizeOptions(sess.Options(), s.cfg.EngineParallelism),
 			timeout: s.cfg.DefaultTimeout,
 		}
 		sv.ckptGen.Store(sess.Generation())
@@ -317,7 +317,7 @@ func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
 	sv := &svcSession{
 		id:      id,
 		sess:    sess,
-		opts:    sanitizeOptions(sess.Options()),
+		opts:    sanitizeOptions(sess.Options(), s.cfg.EngineParallelism),
 		timeout: s.cfg.DefaultTimeout,
 	}
 	s.mu.Lock()

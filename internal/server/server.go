@@ -63,6 +63,12 @@ type Config struct {
 	MaxSessions int
 	// MaxBodyBytes bounds request bodies. Zero selects 32 MiB.
 	MaxBodyBytes int64
+	// EngineParallelism is the intra-engine worker count applied to requests
+	// that do not set engine_parallelism themselves (see
+	// ccsched.Options.EngineParallelism). Explicit request values win, and
+	// both are clamped to GOMAXPROCS at admission. Zero (the default) keeps
+	// the engines serial; results are bit-identical at any setting.
+	EngineParallelism int
 	// StateDir, when non-empty, makes sessions durable: every readable
 	// session snapshot in the directory is restored on boot (unreadable or
 	// stale ones are skipped with a logged reason), dirty sessions are
@@ -269,14 +275,25 @@ type submission struct {
 }
 
 // sanitizeOptions clamps the wire-settable Options fields that control
-// resource consumption rather than results. Parallelism bounds goroutines
-// per solve (an unchecked huge value would fork that many speculative-probe
-// workers); ExplicitMachineLimit and HugeMThreshold bound how many machines
-// a schedule materializes explicitly. Clamping happens before the request
-// key is computed, so equally-sanitized requests share one solve.
-func sanitizeOptions(opts ccsched.Options) ccsched.Options {
-	if maxPar := runtime.GOMAXPROCS(0); opts.Parallelism > maxPar {
+// resource consumption rather than results. Parallelism and
+// EngineParallelism bound goroutines per solve (an unchecked huge value
+// would fork that many speculative-probe or subtree workers);
+// ExplicitMachineLimit and HugeMThreshold bound how many machines a
+// schedule materializes explicitly. Requests that leave EngineParallelism
+// unset inherit defaultEnginePar (the server's -engine-parallelism
+// configuration); explicit values — including 1 to force serial engines —
+// are kept, clamped. Clamping happens before the request key is computed,
+// so equally-sanitized requests share one solve.
+func sanitizeOptions(opts ccsched.Options, defaultEnginePar int) ccsched.Options {
+	maxPar := runtime.GOMAXPROCS(0)
+	if opts.Parallelism > maxPar {
 		opts.Parallelism = maxPar
+	}
+	if opts.EngineParallelism == 0 {
+		opts.EngineParallelism = defaultEnginePar
+	}
+	if opts.EngineParallelism > maxPar {
+		opts.EngineParallelism = maxPar
 	}
 	const maxExplicitMachines = 1 << 20
 	if opts.ExplicitMachineLimit > maxExplicitMachines {
@@ -305,7 +322,7 @@ func (s *Server) submit(in *ccsched.Instance, opts ccsched.Options, timeout time
 		return nil, fmt.Errorf("%w: %d jobs > %d", ErrInstanceTooLarge, in.N(), s.cfg.MaxJobs)
 	}
 	canon := canonicalize(in)
-	opts = sanitizeOptions(opts)
+	opts = sanitizeOptions(opts, s.cfg.EngineParallelism)
 	// Workers share the server's feasibility cache unless the request
 	// explicitly opted out of caching.
 	if !opts.NoCache {
