@@ -48,6 +48,7 @@ import (
 	"ccsched/internal/hetslots"
 	"ccsched/internal/ptas"
 	"ccsched/internal/rat"
+	"ccsched/internal/trace"
 )
 
 // Core model re-exports.
@@ -86,6 +87,17 @@ type (
 	// FeasibilityCache memoizes makespan-guess feasibility verdicts across
 	// Solve calls; see NewFeasibilityCache. Safe for concurrent use.
 	FeasibilityCache = ptas.Cache
+	// SolveTrace is the hierarchical span timeline a traced Solve attaches
+	// to Result.Trace: per-stage wall times (guess search, probes, N-fold
+	// engines, B&B batches) with the layer's counters as span attributes.
+	// See Options.Trace; internal/trace documents the format and bounds.
+	SolveTrace = trace.Trace
+	// TraceSpan is one span of a SolveTrace.
+	TraceSpan = trace.SpanRecord
+	// TraceAttr is one int64 attribute on a TraceSpan.
+	TraceAttr = trace.Attr
+	// TraceAggregate is a summary row for spans beyond the per-solve cap.
+	TraceAggregate = trace.Aggregate
 	// Rat is the exact rational used for schedule piece sizes and start
 	// times: an immutable int64-fraction value type that transparently
 	// falls back to *big.Rat on overflow (see internal/rat). Results at
@@ -324,6 +336,14 @@ type Options struct {
 	// splittable approximation materializes an explicit (per-machine)
 	// schedule in addition to the compact one.
 	ExplicitMachineLimit int64 `json:"explicit_machine_limit,omitempty"`
+	// Trace attaches a span collector to this solve and returns the
+	// recorded timeline in Result.Trace. Tracing is observational only: it
+	// records wall times and existing counters, and a traced solve returns
+	// bit-identical verdicts, guesses and schedules (pinned by the
+	// trace-parity differential tests). Disabled, the instrumentation is a
+	// single nil check per would-be span. Span cardinality per solve is
+	// bounded; overflow aggregates into summary rows.
+	Trace bool `json:"trace,omitempty"`
 	// NoWarmStart disables the PTAS pipeline's warm-start reuse (LP basis
 	// reuse across branch-and-bound nodes and probes). Results are
 	// bit-identical either way — warm starts only recognize provably
@@ -371,6 +391,9 @@ type Result struct {
 	NonPreemptive *NonPreemptiveSchedule `json:"non_preemptive,omitempty"`
 	// Report carries PTAS diagnostics (zero unless a PTAS tier ran).
 	Report PTASReport `json:"report"`
+	// Trace is the span timeline of this solve, present only when
+	// Options.Trace was set (or the serving layer forced tracing on).
+	Trace *SolveTrace `json:"trace,omitempty"`
 }
 
 // Solve is the unified, context-aware entry point: it runs the tier and
@@ -406,6 +429,12 @@ func solveWith(ctx context.Context, in *Instance, opts Options, st *ptas.Session
 	default:
 		return nil, fmt.Errorf("ccsched: unknown variant %v", opts.Variant)
 	}
+	var col *trace.Collector
+	var root trace.Span
+	if opts.Trace {
+		col = trace.NewCollector(0)
+		root = col.Root("solve")
+	}
 	lb, err := core.LowerBound(in, opts.Variant)
 	if err != nil {
 		return nil, err
@@ -416,7 +445,7 @@ func solveWith(ctx context.Context, in *Instance, opts Options, st *ptas.Session
 		err = solveApprox(in, opts, res)
 	case TierAuto, TierPTAS:
 		res.Tier = TierPTAS
-		err = solvePTAS(ctx, in, opts, st, res)
+		err = solvePTAS(ctx, in, opts, st, res, root)
 	case TierExact:
 		err = solveExact(ctx, in, opts, res)
 	default:
@@ -424,6 +453,16 @@ func solveWith(ctx context.Context, in *Instance, opts Options, st *ptas.Session
 	}
 	if err != nil {
 		return nil, wrapCanceled(err)
+	}
+	if col != nil {
+		root.End(
+			trace.A("n", int64(in.N())),
+			trace.A("m", int64(in.M)),
+			trace.A("slots", int64(in.Slots)),
+			trace.A("variant", int64(opts.Variant)),
+			trace.A("tier", int64(res.Tier)),
+		)
+		res.Trace = col.Export()
 	}
 	return res, nil
 }
@@ -465,8 +504,9 @@ func solveApprox(in *Instance, opts Options, res *Result) error {
 }
 
 // solvePTAS dispatches the approximation-scheme tier with the parallel
-// guess search and the feasibility cache resolved from opts.
-func solvePTAS(ctx context.Context, in *Instance, opts Options, st *ptas.SessionState, res *Result) error {
+// guess search and the feasibility cache resolved from opts. sp is the
+// enclosing trace span (disabled when the solve is untraced).
+func solvePTAS(ctx context.Context, in *Instance, opts Options, st *ptas.SessionState, res *Result, sp trace.Span) error {
 	popts := ptas.Options{
 		Epsilon:           opts.Epsilon,
 		MaxNodes:          opts.MaxNodes,
@@ -476,6 +516,7 @@ func solvePTAS(ctx context.Context, in *Instance, opts Options, st *ptas.Session
 		EngineParallelism: opts.EngineParallelism,
 		NoWarmStart:       opts.NoWarmStart,
 		Session:           st,
+		Trace:             sp,
 	}
 	if popts.Epsilon == 0 {
 		popts.Epsilon = 0.5

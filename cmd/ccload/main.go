@@ -17,6 +17,11 @@
 // -verify additionally re-solves every round's instance cold in-process and
 // fails unless the session makespans are bit-identical.
 //
+// Either mode ends by printing the run's queue-wait p50/p99 to stderr,
+// read off the server's queue_wait_latency histogram deltas — the early
+// saturation signal: queue wait grows before solve latency does when the
+// worker pool is undersized.
+//
 // -retries N retries session-mode requests (and /metrics reads) up to N
 // times on 429, 503 and transport errors with exponential backoff plus
 // jitter — the knob that lets a churn run ride out a server restart. The
@@ -449,6 +454,9 @@ func runChurn(c churnConfig) {
 		after.FeasibilityCache.Misses += preKill.FeasibilityCache.Misses - before.FeasibilityCache.Misses
 		before = postBoot
 	}
+	// Histogram deltas can't be folded across the restart, so after a kill
+	// this covers the post-boot window only.
+	printQueueWait(before, after)
 	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
 	pct := func(p float64) float64 {
 		return float64(latencies[int(p*float64(len(latencies)-1))]) / float64(time.Millisecond)
@@ -515,6 +523,48 @@ func runChurn(c churnConfig) {
 	}
 	fmt.Printf("ccload: session churn %d rounds in %.2fs (mean %.1fms/round, %d session re-solves, verified=%v) → %s\n",
 		c.rounds, wall.Seconds(), rep.LatencyMs.Mean, rep.Session.SessionResolves, rep.Session.Verified, c.out)
+}
+
+// histPercentile estimates the p-quantile (in milliseconds) of the run's
+// share of a cumulative latency histogram: per-bucket deltas between the
+// after and before scrapes, with the quantile read off the first bucket
+// whose cumulative delta covers it (the bucket's upper bound, i.e. a
+// conservative estimate; the +Inf bucket reports the largest finite bound).
+func histPercentile(before, after server.LatencySnapshot, p float64) float64 {
+	total := after.Count - before.Count
+	if total <= 0 || len(after.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total-1))
+	lastLe := 0.0
+	for i, b := range after.Buckets {
+		var prev int64
+		if i < len(before.Buckets) {
+			prev = before.Buckets[i].Count
+		}
+		if b.Count-prev > rank {
+			if b.LeMs == 0 { // +Inf bucket
+				return lastLe
+			}
+			return b.LeMs
+		}
+		if b.LeMs != 0 {
+			lastLe = b.LeMs
+		}
+	}
+	return lastLe
+}
+
+// printQueueWait reports the run's queue-wait percentiles from the server's
+// queue_wait_latency histogram — the early saturation signal: it grows
+// before solve latency does when the worker pool is undersized.
+func printQueueWait(before, after server.MetricsSnapshot) {
+	b, a := before.QueueWaitLatency, after.QueueWaitLatency
+	if a.Count-b.Count <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "ccload: queue wait p50<=%.0fms p99<=%.0fms (%d waits observed)\n",
+		histPercentile(b, a, 0.50), histPercentile(b, a, 0.99), a.Count-b.Count)
 }
 
 // fetchMetrics reads the server's /metrics snapshot, retrying transient
@@ -771,6 +821,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	printQueueWait(before, after)
 
 	// Percentiles cover successful requests only — a 429 returning in a
 	// millisecond would otherwise drag the reported latencies down.

@@ -23,7 +23,15 @@
 //	GET    /v1/sessions/{id}/export   versioned session snapshot (live migration)
 //	PUT    /v1/sessions/{id}/export   import a snapshot under the given id
 //	GET    /healthz           liveness + queue gauges
-//	GET    /metrics           counters, caches, labeled latency histograms (JSON)
+//	GET    /metrics           counters, caches, labeled latency histograms;
+//	                          JSON by default, Prometheus text exposition with
+//	                          ?format=prom (or Accept: text/plain)
+//	GET    /v1/debug/traces   the -trace-ring slowest solves' span timelines
+//
+// Every request gets an X-Request-Id (client-supplied ids are honored) and
+// one structured log line — method, path, status, latency, outcome —
+// through log/slog in the -log-format of choice; ?trace=1 on /v1/solve or
+// /v1/sessions returns the solve's per-stage span timeline in result.trace.
 //
 // With -state-dir, sessions are durable: dirty sessions are checkpointed
 // there every -checkpoint interval (atomic, checksummed files), a final
@@ -46,6 +54,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -85,7 +94,9 @@ func main() {
 		stateDir    = flag.String("state-dir", "", "directory for durable session snapshots (restore on boot, checkpoint while running, snapshot on drain); empty disables persistence")
 		checkpoint  = flag.Duration("checkpoint", 0, "background checkpoint interval for dirty sessions when -state-dir is set (0 = 30s)")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight solves are canceled")
-		quiet       = flag.Bool("quiet", false, "suppress per-solve logging")
+		quiet       = flag.Bool("quiet", false, "suppress per-solve and per-request logging (warnings still log)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text | json")
+		traceRing   = flag.Int("trace-ring", 0, "slowest-traces debug ring capacity at /v1/debug/traces (0 = 16, negative disables tracing unless requested)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); off by default")
 		enginePar   = flag.Int("engine-parallelism", 0, "intra-engine worker count for requests that do not set engine_parallelism (clamped to GOMAXPROCS; 0 keeps engines serial; results are bit-identical at any value)")
 	)
@@ -111,10 +122,20 @@ func main() {
 			}
 		}()
 	}
-	logf := log.Printf
+	level := slog.LevelInfo
 	if *quiet {
-		logf = func(string, ...any) {}
+		level = slog.LevelWarn
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	default:
+		log.Fatalf("ccserved: unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 	svc := server.New(server.Config{
 		Workers:            *workers,
 		QueueDepth:         *queue,
@@ -127,8 +148,9 @@ func main() {
 		StateDir:           *stateDir,
 		CheckpointInterval: *checkpoint,
 		EngineParallelism:  *enginePar,
+		TraceRing:          *traceRing,
 		Cache:              ccsched.NewFeasibilityCache(),
-		Logf:               logf,
+		Logger:             logger,
 	})
 	httpSrv := &http.Server{
 		Addr:    *addr,

@@ -8,6 +8,7 @@
 //	ccsolve -in inst.ccs -variant nonpreemptive -algo ptas -eps 0.5
 //	ccsolve -in inst.ccs -variant nonpreemptive -algo ptas -parallelism 8 -timeout 30s
 //	ccsolve -in inst.ccs -variant nonpreemptive -algo exact
+//	ccsolve -in inst.ccs -variant splittable -algo ptas -trace
 //	ccgen -n 50 -json | ccsolve -variant preemptive -algo ptas
 //
 // With -in - (or no -in at all) the instance is read from stdin. Both the
@@ -18,6 +19,12 @@
 // (default: all CPUs; results are bit-identical at any setting) and
 // -timeout aborts the solve via context cancellation, which reaches the ILP
 // engines at iteration boundaries.
+//
+// -trace records a per-stage span timeline through the pipeline
+// (guess search, probes, N-fold engines, LP batches) and pretty-prints it
+// after the report: the span tree with durations and counters, self time
+// per stage, and the five slowest probes. Tracing never changes verdicts,
+// guesses or makespans.
 package main
 
 import (
@@ -61,6 +68,7 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "concurrent PTAS guess probes (0 = all CPUs, 1 = sequential)")
 		enginePar   = flag.Int("engine-parallelism", 0, "intra-engine workers per probe (brick scans, B&B subtrees; ≤1 = serial; results are bit-identical at any value)")
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+		traceFlag   = flag.Bool("trace", false, "record a per-stage span timeline and print it after the report")
 	)
 	flag.Parse()
 	var (
@@ -116,6 +124,7 @@ func main() {
 		Epsilon:           *eps,
 		Parallelism:       *parallelism,
 		EngineParallelism: *enginePar,
+		Trace:             *traceFlag,
 	})
 	if err != nil {
 		fail(err)
@@ -157,4 +166,8 @@ func main() {
 	fmt.Printf("ratio    : %.4f (vs certified lower bound)\n", rf)
 	fmt.Printf("detail   : %s\n", detail)
 	fmt.Printf("time     : %s\n", elapsed.Round(time.Microsecond))
+	if res.Trace != nil {
+		fmt.Println()
+		res.Trace.Render(os.Stdout)
+	}
 }

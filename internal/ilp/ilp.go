@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"ccsched/internal/lp"
+	"ccsched/internal/trace"
 )
 
 // Problem is a mixed-integer LP: the embedded lp.Problem plus integrality
@@ -95,6 +96,13 @@ type Options struct {
 	// depends on solver-state residency. Values ≤ 1 run the sequential
 	// engine unchanged.
 	Parallelism int
+	// Trace is the enclosing trace span (normally the nfold bb span); the
+	// search records bb_nodes batch spans (one per bbTraceBatch explored
+	// nodes, carrying that batch's node/pivot/warm-hit deltas) under it, and
+	// the parallel engine's batched sibling LP solves record lp_batch spans
+	// (see lp.Prepared.SetTraceSpan). The zero Span disables recording at
+	// one flag check per node; results are identical either way.
+	Trace trace.Span
 }
 
 // Result is the solver output.
@@ -134,6 +142,55 @@ type Result struct {
 }
 
 const intTol = 1e-6
+
+// bbTraceBatch is how many explored nodes one bb_nodes span covers. Per-node
+// spans would blow the cardinality cap on any non-trivial search; batches
+// keep the timeline proportional to wall time instead of tree size.
+const bbTraceBatch = 256
+
+// bbTracer emits bb_nodes batch spans from a branch-and-bound loop. All
+// methods are no-ops when the enclosing span is disabled (one bool check per
+// node), and it only reads already-updated Result counters, so it can never
+// influence the search.
+type bbTracer struct {
+	on         bool
+	parent     trace.Span
+	cur        trace.Span
+	inBatch    int
+	n0, p0, w0 int
+}
+
+func newBBTracer(parent trace.Span) bbTracer {
+	return bbTracer{on: parent.Enabled(), parent: parent}
+}
+
+// tick is called once per explored node, after the node counters updated.
+func (t *bbTracer) tick(res *Result) {
+	if !t.on {
+		return
+	}
+	if t.inBatch == 0 {
+		t.cur = t.parent.Child("bb_nodes")
+		t.n0, t.p0, t.w0 = res.Nodes-1, res.Pivots, res.WarmHits
+	}
+	t.inBatch++
+	if t.inBatch >= bbTraceBatch {
+		t.flush(res)
+	}
+}
+
+// flush closes the open batch span, if any, with the batch's deltas.
+func (t *bbTracer) flush(res *Result) {
+	if !t.on || t.inBatch == 0 {
+		return
+	}
+	t.cur.End(
+		trace.A("nodes", int64(res.Nodes-t.n0)),
+		trace.A("pivots", int64(res.Pivots-t.p0)),
+		trace.A("warm_hits", int64(res.WarmHits-t.w0)),
+	)
+	t.inBatch = 0
+}
 
 // Solve runs branch and bound. A nil opts uses defaults.
 func Solve(p *Problem, opts *Options) (*Result, error) {
@@ -179,9 +236,14 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 			rootHint = opts.RootBasis
 		}
 		if opts.Parallelism >= 2 {
-			return solveParallel(ctx, p, maxNodes, first, warmStart, rootHint, opts.Parallelism)
+			return solveParallel(ctx, p, maxNodes, first, warmStart, rootHint, opts.Parallelism, opts.Trace)
 		}
 	}
+	var tsp trace.Span
+	if opts != nil {
+		tsp = opts.Trace
+	}
+	tr := newBBTracer(tsp)
 	prep, err := lp.Prepare(&p.Problem)
 	if err != nil {
 		return nil, err
@@ -246,6 +308,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 		if sol.Warm {
 			res.WarmHits++
 		}
+		tr.tick(res)
 		if nd.patchVar < 0 && sol.Status == lp.Optimal && warmStart {
 			res.RootBasis = prep.CaptureBasis()
 		}
@@ -295,6 +358,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 			}
 			if first {
 				res.Status = Optimal
+				tr.flush(res)
 				return res, nil
 			}
 			continue
@@ -315,6 +379,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 			stack = append(stack, lowChild, highChild)
 		}
 	}
+	tr.flush(res)
 	if res.X != nil {
 		if hitLimit {
 			res.Status = NodeLimit

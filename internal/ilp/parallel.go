@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 
 	"ccsched/internal/lp"
+	"ccsched/internal/trace"
 )
 
 // pnode is one open node of the parallel search. All plain fields are
@@ -99,6 +100,10 @@ type pstate struct {
 
 	steals  atomic.Int64
 	batched atomic.Int64
+
+	// tsp is the enclosing trace span; workers parent their batched-LP
+	// spans under it (the collector serializes concurrent writes).
+	tsp trace.Span
 }
 
 // certainlyPruned reports whether a node with the given LP objective is
@@ -212,6 +217,7 @@ func (ps *pstate) worker(ctx context.Context, wg *sync.WaitGroup) {
 		return // the walker validated the same problem; unreachable in practice
 	}
 	defer prep.Release()
+	prep.SetTraceSpan(ps.tsp)
 	cs := chainScratch{
 		lower: append([]float64(nil), ps.lower0...),
 		upper: append([]float64(nil), ps.upper0...),
@@ -275,7 +281,8 @@ func (ps *pstate) worker(ctx context.Context, wg *sync.WaitGroup) {
 // solveParallel runs branch and bound with parallelism−1 speculative
 // workers plus the committing walker. See the file comment for why its
 // results are bit-identical to the sequential engine's.
-func solveParallel(ctx context.Context, p *Problem, maxNodes int, first, warmStart bool, rootHint *lp.Basis, parallelism int) (*Result, error) {
+func solveParallel(ctx context.Context, p *Problem, maxNodes int, first, warmStart bool, rootHint *lp.Basis, parallelism int, tsp trace.Span) (*Result, error) {
+	tr := newBBTracer(tsp)
 	prep, err := lp.Prepare(&p.Problem)
 	if err != nil {
 		return nil, err
@@ -301,6 +308,7 @@ func solveParallel(ctx context.Context, p *Problem, maxNodes int, first, warmSta
 		lower0:    append([]float64(nil), lower...),
 		upper0:    append([]float64(nil), upper...),
 		warmStart: warmStart,
+		tsp:       tsp,
 	}
 	ps.cond = sync.NewCond(&ps.mu)
 	ps.bound.Store(math.Float64bits(math.Inf(1)))
@@ -391,6 +399,7 @@ func solveParallel(ctx context.Context, p *Problem, maxNodes int, first, warmSta
 		if r.warmHit {
 			res.WarmHits++
 		}
+		tr.tick(res)
 		if nd.patchVar < 0 && r.status == lp.Optimal && warmStart {
 			res.RootBasis = r.basis
 		}
@@ -438,6 +447,7 @@ func solveParallel(ctx context.Context, p *Problem, maxNodes int, first, warmSta
 			}
 			if first {
 				res.Status = Optimal
+				tr.flush(res)
 				ps.fillCounters(res)
 				return res, nil
 			}
@@ -471,6 +481,7 @@ func solveParallel(ctx context.Context, p *Problem, maxNodes int, first, warmSta
 			ps.push(lowChild, highChild)
 		}
 	}
+	tr.flush(res)
 	ps.fillCounters(res)
 	if res.X != nil {
 		if hitLimit {

@@ -13,6 +13,8 @@ package lp
 import (
 	"context"
 	"errors"
+
+	"ccsched/internal/trace"
 )
 
 // errBatchOut reports a SolveBatch output slice shorter than its item list.
@@ -76,10 +78,12 @@ func (pr *Prepared) SolveBatch(ctx context.Context, items []BatchBounds, warm *B
 	if len(out) < len(items) || (bases != nil && len(bases) < len(items)) {
 		return errBatchOut
 	}
+	sp := pr.traceSpan.Child("lp_batch")
 	var rc restoreCache
 	for i := range items {
 		out[i] = Solution{}
 		if err := pr.solveBoundsCached(ctx, items[i].Lower, items[i].Upper, warm, &rc, &out[i]); err != nil {
+			sp.End(trace.A("items", int64(len(items))), trace.A("err", 1))
 			return err
 		}
 		if out[i].X != nil {
@@ -88,6 +92,16 @@ func (pr *Prepared) SolveBatch(ctx context.Context, items []BatchBounds, warm *B
 		if bases != nil {
 			bases[i] = pr.CaptureBasis()
 		}
+	}
+	if sp.Enabled() {
+		var pivots, warmHits int64
+		for i := range items {
+			pivots += int64(out[i].Iterations)
+			if out[i].Warm {
+				warmHits++
+			}
+		}
+		sp.End(trace.A("items", int64(len(items))), trace.A("pivots", pivots), trace.A("warm_hits", warmHits))
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"ccsched/internal/trace"
 )
 
 const (
@@ -97,7 +99,16 @@ type Prepared struct {
 	// is O(m²); deferring it keeps non-root infeasible nodes, which nobody
 	// asks a ray of, at zero extra cost).
 	rayValid bool
+	// traceSpan, when enabled, parents the lp_batch spans SolveBatch
+	// records (see SetTraceSpan). Purely observational.
+	traceSpan trace.Span
 }
+
+// SetTraceSpan attaches a parent trace span to this Prepared: subsequent
+// SolveBatch calls record an lp_batch child span (batch size, summed pivots,
+// warm-restore hits) under it. The zero Span detaches. Tracing reads only
+// already-computed Solution fields and never alters a solve.
+func (pr *Prepared) SetTraceSpan(sp trace.Span) { pr.traceSpan = sp }
 
 // errReleased is returned when a Prepared is used after Release.
 var errReleased = errors.New("lp: Prepared used after Release")

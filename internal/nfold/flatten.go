@@ -6,6 +6,7 @@ import (
 
 	"ccsched/internal/ilp"
 	"ccsched/internal/lp"
+	"ccsched/internal/trace"
 )
 
 // Flatten expands the N-fold into a plain MILP over N*T variables (brick i,
@@ -84,14 +85,21 @@ func (p *Problem) solveBranchBound(ctx context.Context, maxNodes int, firstFeasi
 	if err != nil {
 		return nil, err
 	}
+	sp := o.Trace.Child("bb")
 	iopts := &ilp.Options{
 		MaxNodes: maxNodes, FirstFeasible: firstFeasible, NoWarmStart: o.NoWarmStart,
-		RootBasis: o.RootBasis, Parallelism: o.Parallelism,
+		RootBasis: o.RootBasis, Parallelism: o.Parallelism, Trace: sp,
 	}
 	res, err := ilp.SolveCtx(ctx, mp, iopts)
 	if err != nil {
+		sp.End(trace.A("err", 1))
 		return nil, err
 	}
+	sp.End(
+		trace.A("status", int64(res.Status)), trace.A("nodes", int64(res.Nodes)),
+		trace.A("pivots", int64(res.Pivots)), trace.A("warm_hits", int64(res.WarmHits)),
+		trace.A("steals", int64(res.SubtreeSteals)), trace.A("batched_lps", int64(res.BatchedLPSolves)),
+	)
 	out := &Result{
 		Engine: EngineBranchBound, Nodes: res.Nodes, Pivots: res.Pivots, WarmHits: res.WarmHits,
 		RootBasis: res.RootBasis, InfeasibleRay: res.InfeasibleRay,

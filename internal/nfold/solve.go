@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ccsched/internal/lp"
+	"ccsched/internal/trace"
 )
 
 // Engine identifies which solver produced a result.
@@ -78,6 +79,11 @@ type Options struct {
 	// ilp.Options.Parallelism). Results are bit-identical at any value;
 	// ≤ 1 runs both engines serially, unchanged.
 	Parallelism int
+	// Trace is the enclosing trace span (normally the guess probe's);
+	// engine runs record nfold_augment / bb child spans under it. The zero
+	// Span disables recording. Observational only: results are identical
+	// traced or not.
+	Trace trace.Span
 }
 
 // Result is a solve outcome. X is indexed [brick][col].
@@ -147,11 +153,16 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 	}
 	switch o.Engine {
 	case EngineAugment:
-		return p.solveAugment(ctx, o.Augment, o.Template, o.Parallelism)
+		sp := o.Trace.Child("nfold_augment")
+		res, err := p.solveAugment(ctx, o.Augment, o.Template, o.Parallelism)
+		endEngineSpan(sp, res, err)
+		return res, err
 	case EngineBranchBound:
 		return p.solveBranchBound(ctx, maxNodes, o.FirstFeasible, &o)
 	case EngineAuto:
+		asp := o.Trace.Child("nfold_augment")
 		res, err := p.solveAugment(ctx, o.Augment, o.Template, o.Parallelism)
+		endEngineSpan(asp, res, err)
 		if err != nil {
 			return nil, err
 		}
@@ -176,4 +187,21 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("nfold: unknown engine %q", o.Engine)
 	}
+}
+
+// endEngineSpan closes an engine-run span with the run's counters. It only
+// reads already-computed Result fields, so it cannot influence the solve.
+func endEngineSpan(sp trace.Span, res *Result, err error) {
+	if !sp.Enabled() {
+		return
+	}
+	if err != nil {
+		sp.End(trace.A("err", 1))
+		return
+	}
+	sp.End(
+		trace.A("status", int64(res.Status)),
+		trace.A("steps", int64(res.Nodes)),
+		trace.A("scan_workers", int64(res.BrickScanWorkers)),
+	)
 }

@@ -1,0 +1,295 @@
+// Package promtext validates the Prometheus text exposition format
+// (version 0.0.4) that ccserved's /metrics endpoint emits. It is a format
+// lint, not a full client: every line must be a well-formed comment, HELP,
+// TYPE or sample line, TYPE must precede a metric's first sample, names and
+// label syntax must be legal, values must parse, and histograms must carry
+// a +Inf bucket plus _sum and _count. The server test suite and the CI
+// scrape job both run it, so a malformed exposition can not ship.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// metricTypes are the sample types the exposition format defines.
+var metricTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// state tracks one declared metric family during the scan.
+type state struct {
+	typ     string
+	samples int
+	// Histogram completeness flags.
+	hasInf, hasSum, hasCount bool
+}
+
+// Lint validates data as exposition-format text, returning the first
+// violation found (with its 1-based line number) or nil.
+func Lint(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("exposition must end with a newline")
+	}
+	families := map[string]*state{}
+	var order []string
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	for i, line := range lines {
+		no := i + 1
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			if err := lintComment(line, families, &order); err != nil {
+				return fmt.Errorf("line %d: %w", no, err)
+			}
+		default:
+			if err := lintSample(line, families); err != nil {
+				return fmt.Errorf("line %d: %w", no, err)
+			}
+		}
+	}
+	for _, name := range order {
+		st := families[name]
+		if st.samples == 0 {
+			return fmt.Errorf("metric %s: TYPE declared but no samples", name)
+		}
+		if st.typ == "histogram" {
+			switch {
+			case !st.hasInf:
+				return fmt.Errorf("histogram %s: missing +Inf bucket", name)
+			case !st.hasSum:
+				return fmt.Errorf("histogram %s: missing _sum", name)
+			case !st.hasCount:
+				return fmt.Errorf("histogram %s: missing _count", name)
+			}
+		}
+	}
+	return nil
+}
+
+// lintComment validates a # line: HELP and TYPE have mandatory shapes,
+// anything else is a free-form comment.
+func lintComment(line string, families map[string]*state, order *[]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare "#" comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP: %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE: %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		if !metricTypes[typ] {
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if st, dup := families[name]; dup && st.typ != "" {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		families[name] = &state{typ: typ}
+		*order = append(*order, name)
+	}
+	return nil
+}
+
+// lintSample validates one sample line and attributes it to its family.
+func lintSample(line string, families map[string]*state) error {
+	name, labels, value, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	if _, err := parsePromValue(value); err != nil {
+		return fmt.Errorf("bad value %q: %w", value, err)
+	}
+	base, suffix := name, ""
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, sfx) {
+			if st, ok := families[strings.TrimSuffix(name, sfx)]; ok && st.typ == "histogram" {
+				base, suffix = strings.TrimSuffix(name, sfx), sfx
+			}
+			break
+		}
+	}
+	st, ok := families[base]
+	if !ok {
+		return fmt.Errorf("sample %s has no preceding TYPE", name)
+	}
+	st.samples++
+	switch suffix {
+	case "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram bucket %s missing le label", name)
+		}
+		if le == "+Inf" {
+			st.hasInf = true
+		} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+			return fmt.Errorf("bucket %s: non-numeric le %q", name, le)
+		}
+	case "_sum":
+		st.hasSum = true
+	case "_count":
+		st.hasCount = true
+	}
+	return nil
+}
+
+// splitSample breaks a sample line into name, parsed labels and the value
+// token (timestamps, legal per the format, are tolerated and ignored).
+func splitSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", nil, "", fmt.Errorf("unterminated label set: %q", line)
+		}
+		if labels, err = parseLabels(line[i+1 : j]); err != nil {
+			return "", nil, "", err
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", nil, "", fmt.Errorf("sample without value: %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, "", fmt.Errorf("want value (and optional timestamp), got %q", rest)
+	}
+	return name, labels, fields[0], nil
+}
+
+// parseLabels parses a label body: name="value" pairs, comma-separated,
+// values quoted with \" \\ \n escapes.
+func parseLabels(body string) (map[string]string, error) {
+	out := map[string]string{}
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=': %q", body)
+		}
+		lname := body[:eq]
+		if !validLabelName(lname) {
+			return nil, fmt.Errorf("invalid label name %q", lname)
+		}
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %s: unquoted value", lname)
+		}
+		val, consumed, err := scanQuoted(rest)
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %w", lname, err)
+		}
+		out[lname] = val
+		body = rest[consumed:]
+		if body != "" {
+			if body[0] != ',' {
+				return nil, fmt.Errorf("label %s: expected ',' after value", lname)
+			}
+			body = body[1:]
+		}
+	}
+	return out, nil
+}
+
+// scanQuoted reads a quoted label value starting at s[0] == '"', returning
+// the unescaped value and how many input bytes it spanned.
+func scanQuoted(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value")
+}
+
+// parsePromValue parses a sample value: a float, +Inf, -Inf or NaN.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', c == '_', c == ':':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', c == '_':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

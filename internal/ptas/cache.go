@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"ccsched/internal/nfold"
+	"ccsched/internal/trace"
 )
 
 // The feasibility cache. Every makespan-guess probe solves one
@@ -358,10 +359,12 @@ func fallbackReport(g, hi int64, tried int, stats *probeStats) Report {
 // cached entries stay valid across NoWarmStart settings and between session
 // and cold solves.
 func solveGuessCached(pctx context.Context, opts Options, key cacheKey, t int64, stats *probeStats, tmpl *nfold.Template, rec *sessionRecorder, build func() *nfold.Problem) (cacheEntry, error) {
+	sp := opts.Trace.Child("probe")
 	var prob *nfold.Problem
 	if entry, ok := opts.Cache.lookup(key); ok {
 		if !entry.restored {
 			stats.cacheHits.Add(1)
+			sp.End(trace.A("t", t), trace.A("cache_hit", 1), trace.A("feasible", b2i(entry.feasible)))
 			return entry, nil
 		}
 		// A snapshot-restored entry is a hint, never a verdict: re-verify
@@ -376,6 +379,7 @@ func solveGuessCached(pctx context.Context, opts Options, key cacheKey, t int64,
 		if verified, ok := entry.reverify(prob); ok {
 			opts.Cache.store(key, verified)
 			stats.cacheHits.Add(1)
+			sp.End(trace.A("t", t), trace.A("cache_hit", 1), trace.A("reverified", 1), trace.A("feasible", b2i(verified.feasible)))
 			return verified, nil
 		}
 		opts.Cache.remove(key)
@@ -390,12 +394,15 @@ func solveGuessCached(pctx context.Context, opts Options, key cacheKey, t int64,
 			costLog2: prob.TheoreticalCostLog2(),
 		}
 		opts.Cache.store(key, entry)
+		sp.End(trace.A("t", t), trace.A("cert_hit", 1), trace.A("feasible", 0))
 		return entry, nil
 	}
 	no := opts.nfoldOptions(tmpl)
 	no.RootBasis = rec.rootHint(t)
+	no.Trace = sp
 	res, err := nfold.SolveCtx(pctx, prob, no)
 	if err != nil {
+		sp.End(trace.A("t", t), trace.A("err", 1))
 		return cacheEntry{}, err
 	}
 	rec.note(res)
@@ -412,7 +419,21 @@ func solveGuessCached(pctx context.Context, opts Options, key cacheKey, t int64,
 		ray:      res.InfeasibleRay,
 	}
 	opts.Cache.store(key, entry)
+	sp.End(
+		trace.A("t", t), trace.A("feasible", b2i(entry.feasible)),
+		trace.A("nodes", int64(res.Nodes)), trace.A("pivots", int64(res.Pivots)),
+		trace.A("warm_hits", int64(res.WarmHits)), trace.A("steals", int64(res.SubtreeSteals)),
+		trace.A("batched_lps", int64(res.BatchedLPSolves)),
+	)
 	return entry, nil
+}
+
+// b2i renders a verdict as a span attribute value.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // reverify checks a snapshot-restored entry against the freshly built

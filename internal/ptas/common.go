@@ -34,6 +34,7 @@ import (
 
 	"ccsched/internal/core"
 	"ccsched/internal/nfold"
+	"ccsched/internal/trace"
 )
 
 // Options configures a PTAS run.
@@ -87,6 +88,15 @@ type Options struct {
 	// Session run the sequential guess search regardless of Parallelism.
 	// A SessionState must not be shared by concurrent solves.
 	Session *SessionState
+	// Trace is the enclosing span of this solve's timeline (the zero Span
+	// disables tracing at one nil check per would-be span). The schemes
+	// re-point it at the current stage span as they descend — variant
+	// solvers hang guess_search/template_build spans off it, probes hang
+	// their engine spans off the search span — so the recorded hierarchy
+	// mirrors the call tree. Tracing is observational only: spans carry
+	// wall times and already-computed counters, and traced solves return
+	// bit-identical results (pinned by the trace-parity tests).
+	Trace trace.Span
 }
 
 func (o Options) hugeMThreshold() int64 {

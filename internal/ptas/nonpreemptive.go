@@ -8,6 +8,7 @@ import (
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
 	"ccsched/internal/nfold"
+	"ccsched/internal/trace"
 )
 
 // The non-preemptive PTAS (Section 4.2). Jobs cannot be glued per class, so
@@ -376,8 +377,12 @@ func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*
 	// npTemplate), so sessions rebuild it per re-solve — carrying it would
 	// only grow the move cache without reuse — and warm up through the seed,
 	// the certificate and the derived-digest cache instead.
+	tsp := opts.Trace.Child("template_build")
 	tm := newNPTemplate(in, g, opts.maxConfigs())
+	tsp.End()
 	seed, rec := opts.Session.probeSeed(cacheNonPreemptive, 1)
+	ssp := opts.Trace.Child("guess_search")
+	opts.Trace = ssp // probes hang their spans off the search span
 	probe := func(pctx context.Context, t int64) (payload, bool, error) {
 		gctx, err := tm.instantiate(t)
 		if err != nil {
@@ -406,10 +411,15 @@ func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*
 	var guess int64
 	var tried int
 	if opts.Session != nil {
-		best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, probe)
+		best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, ssp, probe)
 	} else {
 		best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, probe)
 	}
+	ssp.End(
+		trace.A("guesses", int64(tried)), trace.A("guess", guess),
+		trace.A("grid", int64(len(grid))), trace.A("parallelism", int64(opts.Parallelism)),
+		trace.A("seeded", b2i(opts.Session != nil)),
+	)
 	if err == nil {
 		opts.Session.noteSearch(cacheNonPreemptive, guess, 1, rec)
 	}

@@ -10,6 +10,7 @@ import (
 	"ccsched/internal/core"
 	"ccsched/internal/nfold"
 	"ccsched/internal/rat"
+	"ccsched/internal/trace"
 )
 
 // The preemptive PTAS (Section 4.3). Time is divided into |L| layers of
@@ -326,11 +327,15 @@ func solvePreemptiveScaled(ctx context.Context, in *core.Instance, g, scale int6
 	}
 	var stats probeStats
 	tried := 0
+	tsp := opts.Trace.Child("template_build")
 	tm, err := preTemplateFor(opts.Session, in, g, opts.maxConfigs())
+	tsp.End()
 	var best payload
 	var guess int64
 	if err == nil {
 		seed, rec := opts.Session.probeSeed(cachePreemptive, scale)
+		ssp := opts.Trace.Child("guess_search")
+		opts.Trace = ssp // probes hang their spans off the search span
 		probe := func(pctx context.Context, t int64) (payload, bool, error) {
 			gctx, err := tm.instantiate(t)
 			if err == errGuessTooSmall {
@@ -359,10 +364,15 @@ func solvePreemptiveScaled(ctx context.Context, in *core.Instance, g, scale int6
 			}}, true, nil
 		}
 		if opts.Session != nil {
-			best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, probe)
+			best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, ssp, probe)
 		} else {
 			best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, probe)
 		}
+		ssp.End(
+			trace.A("guesses", int64(tried)), trace.A("guess", guess),
+			trace.A("grid", int64(len(grid))), trace.A("parallelism", int64(opts.Parallelism)),
+			trace.A("seeded", b2i(opts.Session != nil)),
+		)
 		if err == nil {
 			opts.Session.noteSearch(cachePreemptive, guess, scale, rec)
 		}

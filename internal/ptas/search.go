@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"ccsched/internal/trace"
 )
 
 // The makespan-guess search. Feasibility of a guess T is monotone for the
@@ -183,7 +185,12 @@ const seedWindow = 3
 // The search is strictly sequential: a session's probes are few, and its
 // shared template is retargeted between searches, which speculative
 // stragglers could otherwise race.
-func searchGuessesSeeded[T any](ctx context.Context, grid []int64, seed int64, feasibleAt func(context.Context, int64) (T, bool, error)) (T, int64, int, error) {
+//
+// sp is the enclosing guess_search trace span; the delta path shows up as a
+// seed_window span (attrs: probes walked, whether it bracketed the boundary)
+// and, when the window misses or there is no seed, a binary_search span —
+// so a traced session re-solve makes its re-use visible per request.
+func searchGuessesSeeded[T any](ctx context.Context, grid []int64, seed int64, sp trace.Span, feasibleAt func(context.Context, int64) (T, bool, error)) (T, int64, int, error) {
 	type verdict struct {
 		payload T
 		ok      bool
@@ -206,6 +213,7 @@ func searchGuessesSeeded[T any](ctx context.Context, grid []int64, seed int64, f
 		return v
 	}
 	if seed > 0 && len(grid) > 1 {
+		wsp := sp.Child("seed_window")
 		i0 := sort.Search(len(grid), func(i int) bool { return grid[i] >= seed })
 		if i0 == len(grid) {
 			i0 = len(grid) - 1
@@ -222,11 +230,13 @@ func searchGuessesSeeded[T any](ctx context.Context, grid []int64, seed int64, f
 					break
 				}
 				if !v.ok {
+					wsp.End(trace.A("probes", int64(tried)), trace.A("hit", 1))
 					return memo[i+1].payload, grid[i+1], tried, nil
 				}
 			}
 			if evalErr == nil && bottom == 0 {
 				// Accepted all the way down to the grid bottom: minimal.
+				wsp.End(trace.A("probes", int64(tried)), trace.A("hit", 1))
 				return memo[0].payload, grid[0], tried, nil
 			}
 		} else if evalErr == nil {
@@ -241,17 +251,22 @@ func searchGuessesSeeded[T any](ctx context.Context, grid []int64, seed int64, f
 					break
 				}
 				if v.ok {
+					wsp.End(trace.A("probes", int64(tried)), trace.A("hit", 1))
 					return v.payload, grid[i], tried, nil
 				}
 			}
 		}
 		if evalErr != nil {
+			wsp.End(trace.A("probes", int64(tried)), trace.A("err", 1))
 			var zero T
 			return zero, 0, tried, evalErr
 		}
+		wsp.End(trace.A("probes", int64(tried)), trace.A("hit", 0))
 	}
 	// No seed, or the window missed the boundary: plain sequential binary
 	// search, with window verdicts answered from the memo for free.
+	fsp := sp.Child("binary_search")
+	pre := tried
 	var best T
 	bestGuess := int64(-1)
 	lo, hi := 0, len(grid)-1
@@ -259,6 +274,7 @@ func searchGuessesSeeded[T any](ctx context.Context, grid []int64, seed int64, f
 		mid := (lo + hi) / 2
 		v := eval(mid)
 		if evalErr != nil {
+			fsp.End(trace.A("probes", int64(tried-pre)), trace.A("err", 1))
 			var zero T
 			return zero, 0, tried, evalErr
 		}
@@ -270,6 +286,7 @@ func searchGuessesSeeded[T any](ctx context.Context, grid []int64, seed int64, f
 			lo = mid + 1
 		}
 	}
+	fsp.End(trace.A("probes", int64(tried-pre)))
 	return finishSearch(grid, best, bestGuess, tried)
 }
 

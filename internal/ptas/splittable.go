@@ -10,6 +10,7 @@ import (
 	"ccsched/internal/core"
 	"ccsched/internal/nfold"
 	"ccsched/internal/rat"
+	"ccsched/internal/trace"
 )
 
 // The splittable PTAS (Section 4.1). Working in units of δ²T/c makes every
@@ -245,9 +246,13 @@ func solveSplittableAnyM(ctx context.Context, in *core.Instance, g, scale int64,
 	}
 	var stats probeStats
 	tried := 0
+	tsp := opts.Trace.Child("template_build")
 	tm, err := splitTemplateFor(opts.Session, in, g, opts.maxConfigs())
+	tsp.End()
 	if err == nil {
 		seed, rec := opts.Session.probeSeed(cacheSplit, scale)
+		ssp := opts.Trace.Child("guess_search")
+		opts.Trace = ssp // probes hang their spans off the search span
 		probe := func(pctx context.Context, t int64) (payload, bool, error) {
 			gctx, err := tm.instantiate(t)
 			if err != nil {
@@ -274,10 +279,15 @@ func solveSplittableAnyM(ctx context.Context, in *core.Instance, g, scale int64,
 		var best payload
 		var guess int64
 		if opts.Session != nil {
-			best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, probe)
+			best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, ssp, probe)
 		} else {
 			best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, probe)
 		}
+		ssp.End(
+			trace.A("guesses", int64(tried)), trace.A("guess", guess),
+			trace.A("grid", int64(len(grid))), trace.A("parallelism", int64(opts.Parallelism)),
+			trace.A("seeded", b2i(opts.Session != nil)),
+		)
 		if err == nil {
 			opts.Session.noteSearch(cacheSplit, guess, scale, rec)
 			best.report.Guess = guess

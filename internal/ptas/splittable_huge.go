@@ -8,6 +8,7 @@ import (
 	"ccsched/internal/core"
 	"ccsched/internal/nfold"
 	"ccsched/internal/rat"
+	"ccsched/internal/trace"
 )
 
 // Theorem 11: splittable PTAS for machine counts exponential in n. The
@@ -48,11 +49,15 @@ func solveSplittableHuge(ctx context.Context, in *core.Instance, g, scale int64,
 	}
 	var stats probeStats
 	tried := 0
+	tsp := opts.Trace.Child("template_build")
 	tm, err := splitTemplateFor(opts.Session, in, g, opts.maxConfigs())
+	tsp.End()
 	var best payload
 	var guess int64
 	if err == nil {
 		seed, rec := opts.Session.probeSeed(cacheSplitHuge, scale)
+		ssp := opts.Trace.Child("guess_search")
+		opts.Trace = ssp // probes hang their spans off the search span
 		probe := func(pctx context.Context, t int64) (payload, bool, error) {
 			sched, rep, ok, err := solveHugeGuess(pctx, in, g, t, opts, tm, rec, &stats)
 			if err != nil || !ok {
@@ -61,10 +66,15 @@ func solveSplittableHuge(ctx context.Context, in *core.Instance, g, scale int64,
 			return payload{sched, rep}, true, nil
 		}
 		if opts.Session != nil {
-			best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, probe)
+			best, guess, tried, err = searchGuessesSeeded(ctx, grid, seed, ssp, probe)
 		} else {
 			best, guess, tried, err = searchGuesses(ctx, grid, opts.Parallelism, probe)
 		}
+		ssp.End(
+			trace.A("guesses", int64(tried)), trace.A("guess", guess),
+			trace.A("grid", int64(len(grid))), trace.A("parallelism", int64(opts.Parallelism)),
+			trace.A("seeded", b2i(opts.Session != nil)),
+		)
 		if err == nil {
 			opts.Session.noteSearch(cacheSplitHuge, guess, scale, rec)
 		}

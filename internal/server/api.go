@@ -52,6 +52,9 @@ type SolveResponse struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// Cached reports the submission was answered from the result cache.
 	Cached bool `json:"cached,omitempty"`
+	// RequestID echoes the request's X-Request-Id on async (202) responses,
+	// linking the job object to the server's structured request logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // SessionCreateRequest is the body of POST /v1/sessions.
@@ -126,6 +129,8 @@ type SessionResponse struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// Cached reports the re-solve was answered from the result cache.
 	Cached bool `json:"cached,omitempty"`
+	// RequestID echoes the request's X-Request-Id on async (202) responses.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -138,6 +138,12 @@ func requestKey(canon *ccsched.Instance, opts ccsched.Options) key {
 	if opts.NoWarmStart {
 		put(1)
 	}
+	// Trace changes the Result shape (Result.Trace), not the verdict, but a
+	// traced and an untraced request must not share a cached result: the
+	// untraced flight's entry would answer a ?trace=1 request with no trace.
+	if opts.Trace {
+		put(2)
+	}
 	var k key
 	h.Sum(k[:0])
 	return k

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -16,12 +17,20 @@ import (
 //	                          else returns 202 with a job id
 //	GET  /v1/jobs/{id}        poll a submission; ?wait= blocks until done
 //	GET  /healthz             liveness and queue gauges
-//	GET  /metrics             MetricsSnapshot JSON
+//	GET  /metrics             MetricsSnapshot JSON; ?format=prom (or
+//	                          Accept: text/plain) selects the Prometheus
+//	                          text exposition
+//	GET  /v1/debug/traces     the TraceRing slowest solves' span timelines
 //
 // Status mapping: 200 done, 202 still queued/running, 400 malformed, 404
 // unknown/expired job, 408 solve deadline exceeded, 422 infeasible or
 // beyond exact-tier size limits, 429 queue full, 499 canceled (all clients
 // gone), 503 shutting down.
+//
+// Tracing: ?trace=1 (or options.trace in the body) returns the solve's span
+// timeline in result.trace. While the trace ring is enabled solves run
+// traced regardless, but responses only carry the trace when asked —
+// clients never pay response bytes they did not request.
 
 // defaultWait is how long POST /v1/solve blocks for the result when the
 // request does not say otherwise.
@@ -40,7 +49,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/sessions/{id}/export", s.handleSessionImport)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
+	return s.withRequestLog(mux)
+}
+
+// wantTrace reports whether the request asked for the span timeline in its
+// response: ?trace=1 (or true), or optsTrace (the decoded options.trace).
+func wantTrace(r *http.Request, optsTrace bool) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true":
+		return true
+	}
+	return optsTrace
 }
 
 // writeJSON writes v with the given HTTP status.
@@ -100,7 +120,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing \"instance\"")
 		return
 	}
-	sub, err := s.submit(req.Instance, req.Options, time.Duration(req.TimeoutMs)*time.Millisecond, wait == 0)
+	trace := wantTrace(r, req.Options.Trace)
+	sub, err := s.submit(req.Instance, req.Options, time.Duration(req.TimeoutMs)*time.Millisecond, wait == 0, trace)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, "%v", err)
@@ -116,32 +137,44 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sub.done != nil {
-		s.respondOutcome(w, sub, *sub.done, true)
+		setOutcome(r, "cache-hit")
+		s.respondOutcome(w, sub, *sub.done, true, trace)
 		return
+	}
+	if sub.coalesced {
+		setOutcome(r, "coalesced")
+	} else {
+		setOutcome(r, "admitted")
 	}
 	if wait == 0 {
-		writeJSON(w, http.StatusAccepted, SolveResponse{ID: sub.id, Status: s.flightStatus(sub.flight), Coalesced: sub.coalesced})
+		writeJSON(w, http.StatusAccepted, SolveResponse{
+			ID: sub.id, Status: s.flightStatus(sub.flight), Coalesced: sub.coalesced,
+			RequestID: requestID(r),
+		})
 		return
 	}
-	s.awaitFlight(w, r, sub, wait)
+	s.awaitFlight(w, r, sub, wait, trace)
 }
 
 // awaitFlight blocks one attached request on its flight until completion,
 // the wait budget, or client disconnect, and responds accordingly.
-func (s *Server) awaitFlight(w http.ResponseWriter, r *http.Request, sub *submission, wait time.Duration) {
+func (s *Server) awaitFlight(w http.ResponseWriter, r *http.Request, sub *submission, wait time.Duration, trace bool) {
 	f := sub.flight
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
 	case <-f.done:
 		s.detach(f)
-		s.respondOutcome(w, sub, outcome{res: f.res, err: f.err, elapsed: f.elapsed}, false)
+		s.respondOutcome(w, sub, outcome{res: f.res, err: f.err, elapsed: f.elapsed}, false, trace)
 	case <-timer.C:
 		// The client outwaited its budget but may poll later: keep the
 		// solve alive even though this waiter leaves.
 		s.pin(f)
 		s.detach(f)
-		writeJSON(w, http.StatusAccepted, SolveResponse{ID: sub.id, Status: s.flightStatus(f), Coalesced: sub.coalesced})
+		writeJSON(w, http.StatusAccepted, SolveResponse{
+			ID: sub.id, Status: s.flightStatus(f), Coalesced: sub.coalesced,
+			RequestID: requestID(r),
+		})
 	case <-r.Context().Done():
 		// Client gone: detach, which cancels the solve if nobody else is
 		// interested. The status line is moot (nobody reads it).
@@ -161,8 +194,10 @@ func (s *Server) flightStatus(f *flight) string {
 }
 
 // respondOutcome renders a finished solve for one submission, remapping the
-// canonical result into the submitter's job order.
-func (s *Server) respondOutcome(w http.ResponseWriter, sub *submission, out outcome, cached bool) {
+// canonical result into the submitter's job order. trace keeps the span
+// timeline in the response; without it the trace is stripped from the remap
+// copy (the cached canonical result keeps its trace for the debug ring).
+func (s *Server) respondOutcome(w http.ResponseWriter, sub *submission, out outcome, cached, trace bool) {
 	ms := float64(out.elapsed) / float64(time.Millisecond)
 	if out.err != nil {
 		writeJSON(w, solveErrorStatus(out.err), SolveResponse{
@@ -171,8 +206,12 @@ func (s *Server) respondOutcome(w http.ResponseWriter, sub *submission, out outc
 		})
 		return
 	}
+	res := remapResult(out.res, sub.perm)
+	if !trace {
+		res.Trace = nil
+	}
 	writeJSON(w, http.StatusOK, SolveResponse{
-		ID: sub.id, Status: StatusDone, Result: remapResult(out.res, sub.perm),
+		ID: sub.id, Status: StatusDone, Result: res,
 		SolveMs: ms, Coalesced: sub.coalesced, Cached: cached,
 	})
 }
@@ -192,9 +231,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
+	// The submission's trace choice sticks to the job; ?trace=1 on the poll
+	// also works.
+	trace := wantTrace(r, je.trace)
 	if out, ok := s.results.get(je.key); ok {
 		s.mu.Unlock()
-		s.respondOutcome(w, &submission{id: id, perm: je.perm}, out, true)
+		setOutcome(r, "cache-hit")
+		s.respondOutcome(w, &submission{id: id, perm: je.perm}, out, true, trace)
 		return
 	}
 	f, live := s.flights[je.key]
@@ -208,10 +251,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wait == 0 {
-		writeJSON(w, http.StatusAccepted, SolveResponse{ID: id, Status: s.flightStatus(f)})
+		writeJSON(w, http.StatusAccepted, SolveResponse{ID: id, Status: s.flightStatus(f), RequestID: requestID(r)})
 		return
 	}
-	s.awaitFlight(w, r, &submission{id: id, perm: je.perm, flight: f}, wait)
+	s.awaitFlight(w, r, &submission{id: id, perm: je.perm, flight: f}, wait, trace)
 }
 
 // handleHealth serves liveness plus queue gauges; 503 once draining.
@@ -233,7 +276,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// handleMetrics serves the MetricsSnapshot.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+// handleMetrics serves the MetricsSnapshot: JSON by default, Prometheus
+// text exposition when the request negotiates it (?format=prom, or an
+// Accept header preferring text/plain — what a Prometheus scraper sends).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	prom := r.URL.Query().Get("format") == "prom"
+	if !prom {
+		accept := r.Header.Get("Accept")
+		prom = strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+	}
+	if !prom {
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
+	w.Header().Set("Content-Type", promContentType)
+	w.WriteHeader(http.StatusOK)
+	renderProm(w, m)
 }

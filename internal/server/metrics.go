@@ -63,6 +63,11 @@ type metrics struct {
 	sessionsCreated atomic.Int64 // sessions ever created
 	sessionResolves atomic.Int64 // session re-solves executed by workers
 
+	// queueWait tracks admission-to-worker-pickup waits, the queueing delay
+	// a client pays before its solve even starts; under load it grows before
+	// solve latency does, making it the earlier saturation signal.
+	queueWait latencyHist
+
 	snapshotWrites         atomic.Int64 // session snapshots persisted to StateDir
 	snapshotWriteErrors    atomic.Int64 // snapshot encode/write failures (non-fatal)
 	snapshotRestores       atomic.Int64 // sessions restored (boot or PUT export)
@@ -156,6 +161,9 @@ type MetricsSnapshot struct {
 	// SessionSolveLatency is the histogram of completed session re-solve
 	// wall clocks, kept separate so incremental re-solves are attributable.
 	SessionSolveLatency LatencySnapshot `json:"session_solve_latency"`
+	// QueueWaitLatency is the histogram of admission-to-worker-pickup waits;
+	// it saturates before the solve histograms do when the pool is too small.
+	QueueWaitLatency LatencySnapshot `json:"queue_wait_latency"`
 	// SnapshotWritesTotal counts session snapshots persisted to the state
 	// directory (checkpoints and drain passes).
 	SnapshotWritesTotal int64 `json:"snapshot_writes_total"`

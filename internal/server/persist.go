@@ -129,7 +129,7 @@ func validSessionID(id string) bool {
 func (s *Server) restoreSnapshots() {
 	entries, err := os.ReadDir(s.cfg.StateDir)
 	if err != nil {
-		s.cfg.Logf("state dir %s unreadable: %v", s.cfg.StateDir, err)
+		s.logger.Warn("state dir unreadable", "dir", s.cfg.StateDir, "err", err)
 		return
 	}
 	for _, ent := range entries {
@@ -139,32 +139,32 @@ func (s *Server) restoreSnapshots() {
 		}
 		id := strings.TrimSuffix(name, snapExt)
 		if !validSessionID(id) {
-			s.cfg.Logf("snapshot %s skipped: invalid session id", name)
+			s.logger.Warn("snapshot skipped", "file", name, "reason", "invalid session id")
 			s.met.snapshotCorruptSkipped.Add(1)
 			continue
 		}
 		start := time.Now()
 		sess, err := s.restoreSnapshotFile(filepath.Join(s.cfg.StateDir, name))
 		if err != nil {
-			s.cfg.Logf("snapshot %s skipped: %v", name, err)
+			s.logger.Warn("snapshot skipped", "file", name, "err", err)
 			s.met.snapshotCorruptSkipped.Add(1)
 			continue
 		}
 		if len(s.sessions) >= s.cfg.MaxSessions {
-			s.cfg.Logf("snapshot %s skipped: session cap %d reached", name, s.cfg.MaxSessions)
+			s.logger.Warn("snapshot skipped", "file", name, "reason", "session cap reached", "cap", s.cfg.MaxSessions)
 			continue
 		}
 		sv := &svcSession{
 			id:      id,
 			sess:    sess,
-			opts:    sanitizeOptions(sess.Options(), s.cfg.EngineParallelism),
+			opts:    sanitizeOptions(sess.Options(), s.cfg.EngineParallelism, s.traces != nil),
 			timeout: s.cfg.DefaultTimeout,
 		}
 		sv.ckptGen.Store(sess.Generation())
 		s.sessions[id] = sv
 		s.met.snapshotRestores.Add(1)
 		s.met.restoreLatency.observe(time.Since(start))
-		s.cfg.Logf("session %s restored from snapshot (%d jobs)", id, len(sess.JobIDs()))
+		s.logger.Info("session restored from snapshot", "session", id, "jobs", len(sess.JobIDs()))
 	}
 }
 
@@ -230,12 +230,12 @@ func (s *Server) checkpointSession(sv *svcSession) {
 	payload, err := sv.sess.SnapshotState()
 	if err != nil {
 		s.met.snapshotWriteErrors.Add(1)
-		s.cfg.Logf("session %s snapshot failed: %v", sv.id, err)
+		s.logger.Warn("session snapshot failed", "session", sv.id, "err", err)
 		return
 	}
 	if err := writeSessionSnapshot(s.cfg.StateDir, sv.id, payload); err != nil {
 		s.met.snapshotWriteErrors.Add(1)
-		s.cfg.Logf("session %s snapshot write failed: %v", sv.id, err)
+		s.logger.Warn("session snapshot write failed", "session", sv.id, "err", err)
 		return
 	}
 	sv.ckptGen.Store(gen)
@@ -250,7 +250,7 @@ func (s *Server) checkpointSession(sv *svcSession) {
 // boot, not the drain.
 func (s *Server) drainSnapshots() {
 	s.checkpointSessions()
-	s.cfg.Logf("drain snapshots written to %s", s.cfg.StateDir)
+	s.logger.Info("drain snapshots written", "dir", s.cfg.StateDir)
 }
 
 // removeSnapshot deletes a dropped session's snapshot file so it does not
@@ -317,7 +317,7 @@ func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
 	sv := &svcSession{
 		id:      id,
 		sess:    sess,
-		opts:    sanitizeOptions(sess.Options(), s.cfg.EngineParallelism),
+		opts:    sanitizeOptions(sess.Options(), s.cfg.EngineParallelism, s.traces != nil),
 		timeout: s.cfg.DefaultTimeout,
 	}
 	s.mu.Lock()

@@ -43,13 +43,13 @@ func TestResubmitAfterAbandonedFlight(t *testing.T) {
 	blocker := genInstance(t, "uniform", 10, 3, 2, 2, 1)
 	target := genInstance(t, "uniform", 10, 3, 2, 2, 2)
 
-	subA, err := s.submit(blocker, opts, 0, false)
+	subA, err := s.submit(blocker, opts, 0, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started // the single worker is now busy on the blocker
 
-	subY, err := s.submit(target, opts, 0, false)
+	subY, err := s.submit(target, opts, 0, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestResubmitAfterAbandonedFlight(t *testing.T) {
 		t.Fatal("abandoned queued flight's context not canceled")
 	}
 
-	subY2, err := s.submit(target, opts, 0, false)
+	subY2, err := s.submit(target, opts, 0, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,10 +102,10 @@ func TestAdmissionBounds(t *testing.T) {
 	opts := ccsched.Options{Variant: ccsched.NonPreemptive, Tier: ccsched.TierApprox}
 
 	big9 := genInstance(t, "uniform", 9, 3, 2, 2, 4)
-	if _, err := s.submit(big9, opts, 0, false); !errors.Is(err, ErrInstanceTooLarge) {
+	if _, err := s.submit(big9, opts, 0, false, false); !errors.Is(err, ErrInstanceTooLarge) {
 		t.Fatalf("9 jobs past MaxJobs=8: got %v, want ErrInstanceTooLarge", err)
 	}
-	sub, err := s.submit(genInstance(t, "uniform", 8, 3, 2, 2, 4), opts, 24*time.Hour, false)
+	sub, err := s.submit(genInstance(t, "uniform", 8, 3, 2, 2, 4), opts, 24*time.Hour, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestSanitizeOptionsClampsResourceKnobs(t *testing.T) {
 		ExplicitMachineLimit: 1 << 40,
 		HugeMThreshold:       1 << 40,
 	}
-	got := sanitizeOptions(hostile, 0)
+	got := sanitizeOptions(hostile, 0, false)
 	if got.Parallelism == hostile.Parallelism || got.ExplicitMachineLimit != 1<<20 || got.HugeMThreshold != 1<<20 {
 		t.Fatalf("sanitize left resource knobs unbounded: %+v", got)
 	}
@@ -142,7 +142,7 @@ func TestSanitizeOptionsClampsResourceKnobs(t *testing.T) {
 	tame := hostile
 	tame.Parallelism, tame.EngineParallelism = got.Parallelism, got.EngineParallelism
 	tame.ExplicitMachineLimit, tame.HugeMThreshold = 1<<20, 1<<20
-	if requestKey(in, sanitizeOptions(hostile, 0)) != requestKey(in, tame) {
+	if requestKey(in, sanitizeOptions(hostile, 0, false)) != requestKey(in, tame) {
 		t.Fatal("sanitized hostile options do not share the tame request key")
 	}
 	// The server-config default fills only unset EngineParallelism (then the
@@ -152,10 +152,10 @@ func TestSanitizeOptionsClampsResourceKnobs(t *testing.T) {
 	if mp := runtime.GOMAXPROCS(0); mp < wantDefault {
 		wantDefault = mp
 	}
-	if got := sanitizeOptions(ccsched.Options{}, 2); got.EngineParallelism != wantDefault {
+	if got := sanitizeOptions(ccsched.Options{}, 2, false); got.EngineParallelism != wantDefault {
 		t.Fatalf("config default not applied to unset EngineParallelism: %+v", got)
 	}
-	if got := sanitizeOptions(ccsched.Options{EngineParallelism: 1}, 2); got.EngineParallelism != 1 {
+	if got := sanitizeOptions(ccsched.Options{EngineParallelism: 1}, 2, false); got.EngineParallelism != 1 {
 		t.Fatalf("explicit EngineParallelism=1 overridden by config default: %+v", got)
 	}
 }

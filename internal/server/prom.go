@@ -1,0 +1,85 @@
+// Prometheus text exposition (version 0.0.4) of the MetricsSnapshot. The
+// renderer is hand-rolled over the same snapshot the JSON endpoint serves,
+// so the two views can never disagree on a value; internal/promtext lints
+// the output format in tests and CI.
+package server
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// promContentType is the exposition-format content type Prometheus expects.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promMetric writes one # HELP / # TYPE header pair plus a single
+// unlabeled sample.
+func promMetric(w io.Writer, name, typ, help string, value float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, typ, name, formatPromValue(value))
+}
+
+// formatPromValue renders a sample value: integers without an exponent,
+// everything else in Go's shortest float form.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promHistogram writes one cumulative histogram: _bucket{le=...} rows from
+// the millisecond snapshot converted to seconds (the Prometheus base unit),
+// the +Inf bucket, _sum and _count.
+func promHistogram(w io.Writer, name, help string, h LatencySnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, b := range h.Buckets {
+		le := "+Inf"
+		if b.LeMs != 0 {
+			le = strconv.FormatFloat(b.LeMs/1000, 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatPromValue(h.SumMs/1000))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// renderProm writes the full snapshot in exposition format. Counter names
+// end in _total, histograms are in seconds, gauges are bare.
+func renderProm(w io.Writer, m MetricsSnapshot) {
+	c := func(name, help string, v int64) { promMetric(w, name, "counter", help, float64(v)) }
+	g := func(name, help string, v float64) { promMetric(w, name, "gauge", help, v) }
+
+	c("ccsched_requests_total", "Solve submissions received, whatever the outcome.", m.RequestsTotal)
+	c("ccsched_admitted_total", "Submissions that became a new queued solve.", m.AdmittedTotal)
+	c("ccsched_rejected_queue_full_total", "Submissions refused with 429 (queue full).", m.RejectedQueueFullTotal)
+	c("ccsched_coalesced_hits_total", "Submissions attached to an identical in-flight solve.", m.CoalescedHitsTotal)
+	c("ccsched_result_cache_hits_total", "Submissions answered from the full-result LRU.", m.ResultCacheHitsTotal)
+	c("ccsched_solves_total", "Completed solver invocations, one-shot and session.", m.SolvesTotal)
+	c("ccsched_solve_errors_total", "Solver invocations that returned an error.", m.SolveErrorsTotal)
+	c("ccsched_solve_canceled_total", "Solver errors that were cancellations or deadline expiries.", m.SolveCanceledTotal)
+	c("ccsched_sessions_created_total", "Sessions ever created.", m.SessionsCreatedTotal)
+	c("ccsched_session_resolves_total", "Session re-solves executed by the worker pool.", m.SessionResolvesTotal)
+	c("ccsched_snapshot_writes_total", "Session snapshots persisted to the state directory.", m.SnapshotWritesTotal)
+	c("ccsched_snapshot_write_errors_total", "Snapshot encode or write failures (non-fatal).", m.SnapshotWriteErrors)
+	c("ccsched_snapshot_restores_total", "Sessions restored from snapshots (boot or import).", m.SnapshotRestoresTotal)
+	c("ccsched_snapshot_corrupt_skipped_total", "Snapshot files skipped on boot as unreadable or stale.", m.SnapshotCorruptSkipped)
+	c("ccsched_feasibility_cache_hits_total", "Feasibility cache lookup hits.", m.FeasibilityCache.Hits)
+	c("ccsched_feasibility_cache_misses_total", "Feasibility cache lookup misses.", m.FeasibilityCache.Misses)
+
+	g("ccsched_sessions_active", "Live sessions right now.", float64(m.SessionsActive))
+	g("ccsched_queue_depth", "Admission queue occupancy.", float64(m.QueueDepth))
+	g("ccsched_queue_capacity", "Admission queue capacity.", float64(m.QueueCapacity))
+	g("ccsched_workers", "Solver pool size.", float64(m.Workers))
+	g("ccsched_workers_busy", "Workers currently inside the solver.", float64(m.WorkersBusy))
+	g("ccsched_in_flight", "Distinct solves admitted but not finished.", float64(m.InFlight))
+	g("ccsched_result_cache_entries", "Current full-result LRU size.", float64(m.ResultCacheEntries))
+	g("ccsched_feasibility_cache_entries", "Memoized guess verdicts.", float64(m.FeasibilityCache.Entries))
+	g("ccsched_uptime_seconds", "Seconds since the server was created.", m.UptimeSeconds)
+
+	promHistogram(w, "ccsched_solve_latency_seconds", "One-shot solve wall clock.", m.SolveLatency)
+	promHistogram(w, "ccsched_session_solve_latency_seconds", "Session re-solve wall clock.", m.SessionSolveLatency)
+	promHistogram(w, "ccsched_queue_wait_latency_seconds", "Admission-to-worker-pickup wait.", m.QueueWaitLatency)
+	promHistogram(w, "ccsched_restore_latency_seconds", "Session snapshot restore wall clock.", m.RestoreLatency)
+}

@@ -23,9 +23,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccsched"
@@ -80,14 +82,25 @@ type Config struct {
 	// is set. Zero selects 30s. Ticks are skipped while the solve queue is
 	// more than half full, so checkpointing never competes with admission.
 	CheckpointInterval time.Duration
+	// TraceRing is the capacity of the slowest-traces debug ring served at
+	// GET /v1/debug/traces. While the ring is enabled every solve runs with
+	// tracing on (the per-solve cost is bounded by the span cap) and the ring
+	// keeps the TraceRing slowest completed solves' traces. Zero selects 16;
+	// negative disables the ring, and then only requests that ask for a trace
+	// (?trace=1 or options.trace) pay for one.
+	TraceRing int
 	// Cache is the feasibility cache shared by all workers. Nil creates a
 	// fresh one (isolated from the process-wide default).
 	Cache *ccsched.FeasibilityCache
 	// Solver overrides the solver invoked by the workers; nil selects
 	// ccsched.Solve. Tests use it to instrument and gate solves.
 	Solver SolveFunc
+	// Logger receives structured request and lifecycle logs. Nil wraps Logf
+	// when that is set, and discards otherwise.
+	Logger *slog.Logger
 	// Logf, when non-nil, receives one line per completed solve and per
-	// lifecycle event (Printf-style).
+	// lifecycle event (Printf-style). Superseded by Logger; kept because
+	// tests wire t.Logf here.
 	Logf func(format string, args ...any)
 }
 
@@ -119,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StateDir != "" && c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 16
 	}
 	if c.Cache == nil {
 		c.Cache = ccsched.NewFeasibilityCache()
@@ -155,6 +171,9 @@ type flight struct {
 	// session labels the flight for the metrics split (session_solve_latency
 	// vs solve_latency).
 	session bool
+	// enqueuedAt stamps the queue send; the worker's pickup delta feeds the
+	// queue_wait_latency histogram.
+	enqueuedAt time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -176,7 +195,10 @@ type flight struct {
 // Server is the scheduling service. Create with New, expose via Handler,
 // stop with Shutdown.
 type Server struct {
-	cfg Config
+	cfg    Config
+	logger *slog.Logger
+	traces *traceRing
+	reqSeq atomic.Uint64
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -205,11 +227,13 @@ type Server struct {
 	start time.Time
 }
 
-// jobEntry links a submission's job id to its unit of work and the
-// permutation needed to render results in the submitter's job order.
+// jobEntry links a submission's job id to its unit of work, the
+// permutation needed to render results in the submitter's job order, and
+// whether the submission asked for its span timeline.
 type jobEntry struct {
-	key  key
-	perm []int
+	key   key
+	perm  []int
+	trace bool
 }
 
 // Sentinel errors of the admission pipeline.
@@ -229,9 +253,14 @@ var (
 // (see Handler) admits work immediately.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(&logfHandler{logf: cfg.Logf})
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		logger:     logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		flights:    make(map[key]*flight),
@@ -241,9 +270,12 @@ func New(cfg Config) *Server {
 		queue:      make(chan *flight, cfg.QueueDepth),
 		start:      time.Now(),
 	}
+	if cfg.TraceRing > 0 {
+		s.traces = newTraceRing(cfg.TraceRing)
+	}
 	if cfg.StateDir != "" {
 		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
-			cfg.Logf("state dir %s: %v (persistence disabled)", cfg.StateDir, err)
+			s.logger.Warn("state dir unusable; persistence disabled", "dir", cfg.StateDir, "err", err)
 			s.cfg.StateDir = ""
 		} else {
 			// Restore before the workers start: the session table fills while
@@ -283,8 +315,13 @@ type submission struct {
 // unset inherit defaultEnginePar (the server's -engine-parallelism
 // configuration); explicit values — including 1 to force serial engines —
 // are kept, clamped. Clamping happens before the request key is computed,
-// so equally-sanitized requests share one solve.
-func sanitizeOptions(opts ccsched.Options, defaultEnginePar int) ccsched.Options {
+// so equally-sanitized requests share one solve. forceTrace (the trace
+// ring's doing) turns tracing on regardless of the request — responses
+// still strip the trace unless the client asked for it.
+func sanitizeOptions(opts ccsched.Options, defaultEnginePar int, forceTrace bool) ccsched.Options {
+	if forceTrace {
+		opts.Trace = true
+	}
 	maxPar := runtime.GOMAXPROCS(0)
 	if opts.Parallelism > maxPar {
 		opts.Parallelism = maxPar
@@ -316,13 +353,13 @@ func sanitizeOptions(opts ccsched.Options, defaultEnginePar int) ccsched.Options
 // extended. A joiner whose own budget is larger may see the flight die at
 // the creator's deadline (HTTP 408); since cancellation verdicts are never
 // cached, resubmitting simply starts a fresh solve.
-func (s *Server) submit(in *ccsched.Instance, opts ccsched.Options, timeout time.Duration, pinned bool) (*submission, error) {
+func (s *Server) submit(in *ccsched.Instance, opts ccsched.Options, timeout time.Duration, pinned, wantTrace bool) (*submission, error) {
 	s.met.requests.Add(1)
 	if in.N() > s.cfg.MaxJobs {
 		return nil, fmt.Errorf("%w: %d jobs > %d", ErrInstanceTooLarge, in.N(), s.cfg.MaxJobs)
 	}
 	canon := canonicalize(in)
-	opts = sanitizeOptions(opts, s.cfg.EngineParallelism)
+	opts = sanitizeOptions(opts, s.cfg.EngineParallelism, s.traces != nil)
 	// Workers share the server's feasibility cache unless the request
 	// explicitly opted out of caching.
 	if !opts.NoCache {
@@ -345,7 +382,7 @@ func (s *Server) submit(in *ccsched.Instance, opts ccsched.Options, timeout time
 	}
 	if out, ok := s.results.get(k); ok {
 		s.met.resultCacheHits.Add(1)
-		return &submission{id: s.addJobLocked(k, canon.perm), perm: canon.perm, done: &out}, nil
+		return &submission{id: s.addJobLocked(k, canon.perm, wantTrace), perm: canon.perm, done: &out}, nil
 	}
 	// Coalesce onto an identical in-flight solve — unless its context is
 	// already dead (every earlier waiter disconnected, or its deadline
@@ -358,13 +395,14 @@ func (s *Server) submit(in *ccsched.Instance, opts ccsched.Options, timeout time
 			f.pinned = true
 		}
 		s.met.coalesced.Add(1)
-		return &submission{id: s.addJobLocked(k, canon.perm), perm: canon.perm, flight: f, coalesced: true}, nil
+		return &submission{id: s.addJobLocked(k, canon.perm, wantTrace), perm: canon.perm, flight: f, coalesced: true}, nil
 	}
 	fctx, fcancel := context.WithTimeout(s.baseCtx, timeout)
 	f := &flight{
 		key: k, in: canon.in, opts: opts,
 		ctx: fctx, cancel: fcancel, done: make(chan struct{}),
 		waiters: 1, pinned: pinned,
+		enqueuedAt: time.Now(),
 	}
 	select {
 	case s.queue <- f:
@@ -375,7 +413,7 @@ func (s *Server) submit(in *ccsched.Instance, opts ccsched.Options, timeout time
 	}
 	s.flights[k] = f
 	s.met.admitted.Add(1)
-	return &submission{id: s.addJobLocked(k, canon.perm), perm: canon.perm, flight: f}, nil
+	return &submission{id: s.addJobLocked(k, canon.perm, wantTrace), perm: canon.perm, flight: f}, nil
 }
 
 // detach releases one waiter from f. When the last waiter leaves an
@@ -404,11 +442,11 @@ func (s *Server) pin(f *flight) {
 	s.mu.Unlock()
 }
 
-// addJobLocked mints a job id and records its work key and remap
-// permutation in the job table; caller holds s.mu.
-func (s *Server) addJobLocked(k key, perm []int) string {
+// addJobLocked mints a job id and records its work key, remap permutation
+// and trace choice in the job table; caller holds s.mu.
+func (s *Server) addJobLocked(k key, perm []int, trace bool) string {
 	id := s.newJobIDLocked()
-	s.jobs.add(id, jobEntry{key: k, perm: perm})
+	s.jobs.add(id, jobEntry{key: k, perm: perm, trace: trace})
 	return id
 }
 
@@ -426,6 +464,7 @@ func (s *Server) worker() {
 		s.mu.Lock()
 		f.running = true
 		s.mu.Unlock()
+		s.met.queueWait.observe(time.Since(f.enqueuedAt))
 		s.met.workersBusy.Add(1)
 		start := time.Now()
 		var res *ccsched.Result
@@ -468,11 +507,22 @@ func (s *Server) worker() {
 		}
 		s.mu.Unlock()
 		close(f.done)
+		if s.traces != nil && res != nil && res.Trace != nil {
+			s.traces.offer(traceEntry{
+				SolveMs: float64(elapsed) / float64(time.Millisecond),
+				Variant: f.opts.Variant.String(),
+				N:       f.in.N(),
+				Session: f.session,
+				Trace:   res.Trace,
+			})
+		}
 		if err != nil {
-			s.cfg.Logf("solve n=%d variant=%v err=%v elapsed=%s", f.in.N(), f.opts.Variant, err, elapsed.Round(time.Millisecond))
+			s.logger.Info("solve", "n", f.in.N(), "variant", f.opts.Variant.String(),
+				"err", err.Error(), "elapsed_ms", elapsed.Milliseconds())
 		} else {
-			s.cfg.Logf("solve n=%d variant=%v tier=%v makespan=%s elapsed=%s",
-				f.in.N(), f.opts.Variant, res.Tier, res.Makespan.RatString(), elapsed.Round(time.Millisecond))
+			s.logger.Info("solve", "n", f.in.N(), "variant", f.opts.Variant.String(),
+				"tier", res.Tier.String(), "makespan", res.Makespan.RatString(),
+				"elapsed_ms", elapsed.Milliseconds())
 		}
 	}
 }
@@ -505,7 +555,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		err = ctx.Err()
-		s.cfg.Logf("shutdown grace expired; canceling in-flight solves")
+		s.logger.Warn("shutdown grace expired; canceling in-flight solves")
 		s.baseCancel()
 		<-done
 	}
@@ -519,7 +569,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-s.ckptDone
 		s.drainSnapshots()
 	}
-	s.cfg.Logf("shutdown complete")
+	s.logger.Info("shutdown complete")
 	return err
 }
 
@@ -552,6 +602,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		FeasibilityCache:       CacheStats{Hits: hits, Misses: misses, Entries: s.cfg.Cache.Len()},
 		SolveLatency:           s.met.solveLatency.snapshot(),
 		SessionSolveLatency:    s.met.sessionLatency.snapshot(),
+		QueueWaitLatency:       s.met.queueWait.snapshot(),
 		SnapshotWritesTotal:    s.met.snapshotWrites.Load(),
 		SnapshotWriteErrors:    s.met.snapshotWriteErrors.Load(),
 		SnapshotRestoresTotal:  s.met.snapshotRestores.Load(),

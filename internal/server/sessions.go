@@ -44,6 +44,10 @@ type svcSession struct {
 	sess    *ccsched.Session
 	opts    ccsched.Options // sanitized; part of every re-solve's request key
 	timeout time.Duration   // default per-re-solve deadline from create
+	// trace, set at create (?trace=1 or options.trace), keeps every
+	// re-solve's span timeline in this session's responses; individual
+	// requests can still opt in per-call with ?trace=1.
+	trace bool
 
 	// ckptGen/ckptRes are the session generation and resolve count captured
 	// by the last successful checkpoint; the checkpointer skips sessions
@@ -65,7 +69,7 @@ func (s *Server) createSession(in *ccsched.Instance, opts ccsched.Options, timeo
 	if in.N() > s.cfg.MaxJobs {
 		return nil, fmt.Errorf("%w: %d jobs > %d", ErrInstanceTooLarge, in.N(), s.cfg.MaxJobs)
 	}
-	opts = sanitizeOptions(opts, s.cfg.EngineParallelism)
+	opts = sanitizeOptions(opts, s.cfg.EngineParallelism, s.traces != nil)
 	// Sessions carry their own feasibility cache (created by NewSession) so
 	// guess verdicts stay hot under the session key and die with it; the
 	// wire cannot name a cache, so clear whatever decoding left.
@@ -151,6 +155,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeSessionError(w, "", err)
 		return
 	}
+	sv.trace = wantTrace(r, req.Options.Trace)
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	// The session outlives an initial-solve admission failure (queue full):
@@ -295,17 +300,20 @@ func (s *Server) solveSession(w http.ResponseWriter, r *http.Request, sv *svcSes
 		s.writeSessionError(w, sv.id, ErrShuttingDown)
 		return
 	}
+	trace := wantTrace(r, sv.trace)
 	if out, ok := s.results.get(k); ok {
 		s.met.resultCacheHits.Add(1)
 		s.mu.Unlock()
-		s.respondSession(w, sv, snapshotView{perm: canon.perm, ids: ids, machines: cur.M}, out, false, true)
+		setOutcome(r, "cache-hit")
+		s.respondSession(w, sv, snapshotView{perm: canon.perm, ids: ids, machines: cur.M, trace: trace}, out, false, true)
 		return
 	}
 	if f, ok := s.flights[k]; ok && f.ctx.Err() == nil {
 		f.waiters++
 		s.met.coalesced.Add(1)
 		s.mu.Unlock()
-		s.awaitSessionFlight(w, r, sv, snapshotView{perm: canon.perm, ids: ids, machines: cur.M}, f, wait, true)
+		setOutcome(r, "coalesced")
+		s.awaitSessionFlight(w, r, sv, snapshotView{perm: canon.perm, ids: ids, machines: cur.M, trace: trace}, f, wait, true)
 		return
 	}
 	inv := invertPerm(canon.perm)
@@ -314,6 +322,7 @@ func (s *Server) solveSession(w http.ResponseWriter, r *http.Request, sv *svcSes
 		key: k, in: canon.in, opts: sv.opts,
 		ctx: fctx, cancel: fcancel, done: make(chan struct{}),
 		waiters: 1, session: true,
+		enqueuedAt: time.Now(),
 		run: func(ctx context.Context) (*ccsched.Result, error) {
 			// Solve the snapshot, not whatever the session holds by the time
 			// a worker gets here: the flight's key, permutation and any
@@ -339,16 +348,19 @@ func (s *Server) solveSession(w http.ResponseWriter, r *http.Request, sv *svcSes
 	s.flights[k] = f
 	s.met.admitted.Add(1)
 	s.mu.Unlock()
-	s.awaitSessionFlight(w, r, sv, snapshotView{perm: canon.perm, ids: ids, machines: cur.M}, f, wait, false)
+	setOutcome(r, "admitted")
+	s.awaitSessionFlight(w, r, sv, snapshotView{perm: canon.perm, ids: ids, machines: cur.M, trace: trace}, f, wait, false)
 }
 
 // snapshotView is the request-scoped view of the session state one
 // re-solve was keyed on: the canonical→session permutation, the job ids
-// parallel to the result's job order, and the machine count.
+// parallel to the result's job order, the machine count, and whether the
+// response keeps the span timeline.
 type snapshotView struct {
 	perm     []int
 	ids      []int64
 	machines int64
+	trace    bool
 }
 
 // awaitSessionFlight blocks one session request on its flight and responds,
@@ -366,7 +378,7 @@ func (s *Server) awaitSessionFlight(w http.ResponseWriter, r *http.Request, sv *
 		// later GET picks the result up from the LRU.
 		s.pin(f)
 		s.detach(f)
-		writeJSON(w, http.StatusAccepted, SessionResponse{SessionID: sv.id, Status: s.flightStatus(f)})
+		writeJSON(w, http.StatusAccepted, SessionResponse{SessionID: sv.id, Status: s.flightStatus(f), RequestID: requestID(r)})
 	case <-r.Context().Done():
 		s.detach(f)
 		writeError(w, statusClientClosedRequest, "client closed request")
@@ -394,6 +406,9 @@ func (s *Server) respondSession(w http.ResponseWriter, sv *svcSession, view snap
 	}
 	resp.Status = StatusDone
 	resp.Result = remapResult(out.res, view.perm)
+	if !view.trace {
+		resp.Result.Trace = nil
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,356 @@
+// Package trace is the solve pipeline's zero-dependency span collector: a
+// bounded, concurrency-safe timeline of hierarchical spans (solve →
+// guess_search → probe → engine stages) attached to one Solve call.
+//
+// The design constraints, in order:
+//
+//   - Disabled tracing must be free. Span is a small value type whose
+//     methods no-op when no Collector is attached, so an untraced hot path
+//     pays exactly one nil check per would-be span — no allocation, no
+//     time.Now, no lock. The zero Span is valid and disabled.
+//   - Tracing must be inert. A Collector only ever records names, clocks
+//     and int64 attributes; nothing in this package is readable by solver
+//     code, so attaching a collector cannot influence a verdict, guess or
+//     schedule (the trace-parity differential tests pin this end to end).
+//   - Cardinality must be bounded. A collector holds at most its span
+//     limit; spans past the limit are not dropped silently but aggregated
+//     by name into summary rows (count + total duration), so a pathological
+//     solve (thousands of branch-and-bound batches) still exports a small,
+//     complete-by-construction document.
+//
+// Spans may start and end on different goroutines than their parent (the
+// speculative probe search does this); the collector serializes all writes
+// behind one mutex, which is acceptable because traced spans are created at
+// stage granularity (per probe, per engine run, per node batch), never per
+// LP pivot.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultSpanLimit is the per-collector span cap used when NewCollector is
+// given a non-positive limit. Past it, spans aggregate into summary rows.
+const DefaultSpanLimit = 512
+
+// Attr is one int64 span attribute (a counter or label the span carries).
+type Attr struct {
+	// Key names the attribute ("t", "nodes", "pivots", ...).
+	Key string `json:"k"`
+	// Val is the attribute value.
+	Val int64 `json:"v"`
+}
+
+// A builds an Attr; it exists to keep call sites one token per attribute.
+func A(key string, val int64) Attr { return Attr{Key: key, Val: val} }
+
+// Collector accumulates the spans of one solve. Create with NewCollector,
+// hand out spans via Root/Child, and Export once the solve finished. Safe
+// for concurrent use by any number of goroutines.
+type Collector struct {
+	mu    sync.Mutex
+	start time.Time
+	limit int
+	spans []spanRec
+	agg   map[string]*aggRec
+}
+
+// spanRec is one recorded span. start/end are offsets from the collector
+// epoch; end < 0 marks a still-open span (closed at Export time).
+type spanRec struct {
+	name       string
+	parent     int
+	start, end time.Duration
+	attrs      []Attr
+}
+
+// aggRec accumulates spans beyond the cap, by name.
+type aggRec struct {
+	count int64
+	total time.Duration
+}
+
+// NewCollector returns an empty collector capped at limit spans
+// (DefaultSpanLimit when limit <= 0).
+func NewCollector(limit int) *Collector {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Collector{start: time.Now(), limit: limit}
+}
+
+// Span is a handle on one live span, or a disabled no-op handle when its
+// collector pointer is nil (the zero value). Copy freely; End at most once.
+type Span struct {
+	c *Collector
+	// idx is the span's index in the collector, or aggIdx for spans past
+	// the cap (recorded only as name + duration into the aggregate rows).
+	idx  int
+	name string
+	t0   time.Time
+}
+
+// aggIdx marks a Span that exists only as an aggregate row contribution.
+const aggIdx = -2
+
+// rootIdx is the parent index of root spans in the exported document.
+const rootIdx = -1
+
+// Enabled reports whether the span actually records (false for the zero
+// Span and for every span derived from it). Hot paths use it to skip
+// attribute computation that only feeds tracing.
+func (s Span) Enabled() bool { return s.c != nil }
+
+// Root opens a top-level span. A nil collector returns a disabled span, so
+// callers thread Collector pointers without nil checks of their own.
+func (c *Collector) Root(name string) Span {
+	if c == nil {
+		return Span{}
+	}
+	return c.open(name, rootIdx)
+}
+
+// Child opens a sub-span of s. On a disabled span it returns another
+// disabled span — the one nil check that makes untraced solves free.
+func (s Span) Child(name string) Span {
+	if s.c == nil {
+		return Span{}
+	}
+	parent := s.idx
+	if parent == aggIdx {
+		// Children of an aggregated span aggregate too: the cap bounds the
+		// whole subtree, not just one generation.
+		return Span{c: s.c, idx: aggIdx, name: name, t0: time.Now()}
+	}
+	return s.c.open(name, parent)
+}
+
+// open records a new span (or routes it to the aggregate rows past the cap).
+func (c *Collector) open(name string, parent int) Span {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spans) >= c.limit {
+		return Span{c: c, idx: aggIdx, name: name, t0: now}
+	}
+	c.spans = append(c.spans, spanRec{name: name, parent: parent, start: now.Sub(c.start), end: -1})
+	return Span{c: c, idx: len(c.spans) - 1, name: name, t0: now}
+}
+
+// End closes the span, attaching attrs. Ending a disabled span is a no-op;
+// ending twice keeps the first closure.
+func (s Span) End(attrs ...Attr) {
+	if s.c == nil {
+		return
+	}
+	now := time.Now()
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if s.idx == aggIdx {
+		if s.c.agg == nil {
+			s.c.agg = make(map[string]*aggRec)
+		}
+		r := s.c.agg[s.name]
+		if r == nil {
+			r = &aggRec{}
+			s.c.agg[s.name] = r
+		}
+		r.count++
+		r.total += now.Sub(s.t0)
+		return
+	}
+	rec := &s.c.spans[s.idx]
+	if rec.end >= 0 {
+		return
+	}
+	rec.end = now.Sub(s.c.start)
+	if len(attrs) > 0 {
+		rec.attrs = append(rec.attrs, attrs...)
+	}
+}
+
+// SpanRecord is one exported span of a Trace. Parent is the index of the
+// enclosing span in Trace.Spans, or -1 for a root span. Times are integer
+// microseconds from the collector epoch, so jq arithmetic over them is
+// exact.
+type SpanRecord struct {
+	// Name identifies the pipeline stage ("solve", "guess_search",
+	// "probe", "nfold_augment", "bb", ...).
+	Name string `json:"name"`
+	// Parent indexes the enclosing span in Spans (-1 for roots).
+	Parent int `json:"parent"`
+	// StartUs is the span's start offset in microseconds.
+	StartUs int64 `json:"start_us"`
+	// DurUs is the span's wall-clock duration in microseconds.
+	DurUs int64 `json:"dur_us"`
+	// Attrs carries the stage's counters (cache hits, nodes, pivots, ...).
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Aggregate is one summary row for spans recorded past the collector's span
+// cap: everything of one name folded into a count and a total duration.
+type Aggregate struct {
+	// Name is the aggregated spans' stage name.
+	Name string `json:"name"`
+	// Count is how many spans were folded into this row.
+	Count int64 `json:"count"`
+	// TotalUs is their summed duration in microseconds.
+	TotalUs int64 `json:"total_us"`
+}
+
+// Trace is the exported span timeline of one solve, as serialized into
+// Result.Trace. Spans is bounded by the collector's span limit; spans past
+// the limit appear only in Aggregated.
+type Trace struct {
+	// Spans is the recorded timeline in creation order (parents precede
+	// children).
+	Spans []SpanRecord `json:"spans"`
+	// Aggregated summarizes spans beyond the span cap, by name, sorted.
+	Aggregated []Aggregate `json:"aggregated,omitempty"`
+	// SpanLimit echoes the collector's cap, so a reader can tell a complete
+	// timeline from a truncated-and-aggregated one.
+	SpanLimit int `json:"span_limit"`
+}
+
+// Export renders the collected spans. Still-open spans are closed at the
+// export instant. Export may be called on a nil collector (returns nil).
+func (c *Collector) Export() *Trace {
+	if c == nil {
+		return nil
+	}
+	now := time.Now().Sub(c.start)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &Trace{SpanLimit: c.limit, Spans: make([]SpanRecord, len(c.spans))}
+	for i, rec := range c.spans {
+		end := rec.end
+		if end < 0 {
+			end = now
+		}
+		out.Spans[i] = SpanRecord{
+			Name:    rec.name,
+			Parent:  rec.parent,
+			StartUs: rec.start.Microseconds(),
+			DurUs:   (end - rec.start).Microseconds(),
+			Attrs:   rec.attrs,
+		}
+	}
+	for name, r := range c.agg {
+		out.Aggregated = append(out.Aggregated, Aggregate{Name: name, Count: r.count, TotalUs: r.total.Microseconds()})
+	}
+	sort.Slice(out.Aggregated, func(i, j int) bool { return out.Aggregated[i].Name < out.Aggregated[j].Name })
+	return out
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (r SpanRecord) Attr(key string) (int64, bool) {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Render pretty-prints the trace: the span tree with durations and
+// attributes, a per-stage self-time table, and the slowest probe spans.
+// This is what ccsolve -trace shows.
+func (t *Trace) Render(w io.Writer) {
+	if t == nil || len(t.Spans) == 0 {
+		fmt.Fprintln(w, "trace: empty")
+		return
+	}
+	children := make([][]int, len(t.Spans))
+	var roots []int
+	for i, sp := range t.Spans {
+		if sp.Parent >= 0 && sp.Parent < len(t.Spans) {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := t.Spans[i]
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s%-*s %9.3fms", strings.Repeat("  ", depth), 24-2*depth, sp.Name, float64(sp.DurUs)/1000)
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(&b, " %s=%d", a.Key, a.Val)
+		}
+		fmt.Fprintln(w, b.String())
+		for _, c := range children[i] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	if len(t.Aggregated) > 0 {
+		fmt.Fprintln(w, "aggregated (past span cap):")
+		for _, a := range t.Aggregated {
+			fmt.Fprintf(w, "  %-22s ×%-6d %9.3fms total\n", a.Name, a.Count, float64(a.TotalUs)/1000)
+		}
+	}
+
+	// Self time per stage: a span's duration minus its children's.
+	type stage struct {
+		name          string
+		count         int64
+		totalUs, self int64
+	}
+	childUs := make([]int64, len(t.Spans))
+	for i, sp := range t.Spans {
+		if sp.Parent >= 0 && sp.Parent < len(t.Spans) {
+			childUs[sp.Parent] += sp.DurUs
+		}
+		_ = i
+	}
+	byName := map[string]*stage{}
+	order := []string{}
+	for i, sp := range t.Spans {
+		st := byName[sp.Name]
+		if st == nil {
+			st = &stage{name: sp.Name}
+			byName[sp.Name] = st
+			order = append(order, sp.Name)
+		}
+		st.count++
+		st.totalUs += sp.DurUs
+		self := sp.DurUs - childUs[i]
+		if self > 0 {
+			st.self += self
+		}
+	}
+	fmt.Fprintln(w, "self time per stage:")
+	for _, name := range order {
+		st := byName[name]
+		fmt.Fprintf(w, "  %-22s ×%-6d total %9.3fms  self %9.3fms\n",
+			st.name, st.count, float64(st.totalUs)/1000, float64(st.self)/1000)
+	}
+
+	// Slowest probes.
+	var probes []int
+	for i, sp := range t.Spans {
+		if sp.Name == "probe" {
+			probes = append(probes, i)
+		}
+	}
+	if len(probes) > 0 {
+		sort.Slice(probes, func(a, b int) bool { return t.Spans[probes[a]].DurUs > t.Spans[probes[b]].DurUs })
+		if len(probes) > 5 {
+			probes = probes[:5]
+		}
+		fmt.Fprintln(w, "slowest probes:")
+		for _, i := range probes {
+			sp := t.Spans[i]
+			tGuess, _ := sp.Attr("t")
+			feas, _ := sp.Attr("feasible")
+			fmt.Fprintf(w, "  T=%-12d %9.3fms feasible=%d\n", tGuess, float64(sp.DurUs)/1000, feas)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDisabledSpanIsInert pins the nil-safe disabled path: every operation
+// on the zero Span (and children derived from it) must be a no-op.
+func TestDisabledSpanIsInert(t *testing.T) {
+	var s Span
+	if s.Enabled() {
+		t.Fatal("zero Span reports Enabled")
+	}
+	c := s.Child("x")
+	if c.Enabled() {
+		t.Fatal("child of zero Span reports Enabled")
+	}
+	c.End(A("k", 1))
+	s.End()
+	var nilC *Collector
+	if nilC.Export() != nil {
+		t.Fatal("nil collector exported a trace")
+	}
+	if nilC.Root("r").Enabled() {
+		t.Fatal("nil collector handed out an enabled span")
+	}
+}
+
+// TestHierarchyAndAttrs checks parent indices, attributes, and creation
+// order in the exported document.
+func TestHierarchyAndAttrs(t *testing.T) {
+	col := NewCollector(0)
+	root := col.Root("solve")
+	search := root.Child("guess_search")
+	probe := search.Child("probe")
+	probe.End(A("t", 42), A("feasible", 1))
+	search.End(A("probes", 1))
+	root.End()
+	tr := col.Export()
+	if len(tr.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tr.Spans))
+	}
+	if tr.Spans[0].Name != "solve" || tr.Spans[0].Parent != -1 {
+		t.Fatalf("bad root span: %+v", tr.Spans[0])
+	}
+	if tr.Spans[1].Parent != 0 || tr.Spans[2].Parent != 1 {
+		t.Fatalf("bad parent chain: %+v", tr.Spans)
+	}
+	if v, ok := tr.Spans[2].Attr("t"); !ok || v != 42 {
+		t.Fatalf("probe span lost attr t: %+v", tr.Spans[2])
+	}
+	if _, ok := tr.Spans[2].Attr("missing"); ok {
+		t.Fatal("Attr invented a value")
+	}
+	for i, sp := range tr.Spans {
+		if sp.DurUs < 0 || sp.StartUs < 0 {
+			t.Fatalf("span %d has negative time: %+v", i, sp)
+		}
+	}
+}
+
+// TestDoubleEndKeepsFirst verifies ending twice does not extend a span.
+func TestDoubleEndKeepsFirst(t *testing.T) {
+	col := NewCollector(0)
+	s := col.Root("solve")
+	s.End(A("a", 1))
+	s.End(A("b", 2))
+	tr := col.Export()
+	if len(tr.Spans) != 1 {
+		t.Fatalf("got %d spans", len(tr.Spans))
+	}
+	if _, ok := tr.Spans[0].Attr("b"); ok {
+		t.Fatal("second End mutated the span")
+	}
+}
+
+// TestOpenSpansClosedAtExport verifies Export closes still-open spans
+// instead of exporting negative durations.
+func TestOpenSpansClosedAtExport(t *testing.T) {
+	col := NewCollector(0)
+	col.Root("solve") // never ended
+	tr := col.Export()
+	if len(tr.Spans) != 1 || tr.Spans[0].DurUs < 0 {
+		t.Fatalf("open span exported badly: %+v", tr.Spans)
+	}
+}
+
+// TestCardinalityCap pins the bounded-cardinality contract: spans past the
+// limit (and their whole subtrees) fold into per-name aggregate rows.
+func TestCardinalityCap(t *testing.T) {
+	const limit = 8
+	col := NewCollector(limit)
+	root := col.Root("solve")
+	for i := 0; i < 100; i++ {
+		p := root.Child("probe")
+		// Children of overflowed spans must aggregate too.
+		b := p.Child("bb")
+		b.End()
+		p.End(A("t", int64(i)))
+	}
+	root.End()
+	tr := col.Export()
+	if len(tr.Spans) != limit {
+		t.Fatalf("cap not enforced: %d spans, want %d", len(tr.Spans), limit)
+	}
+	if tr.SpanLimit != limit {
+		t.Fatalf("SpanLimit = %d, want %d", tr.SpanLimit, limit)
+	}
+	var probeAgg, bbAgg int64
+	for _, a := range tr.Aggregated {
+		switch a.Name {
+		case "probe":
+			probeAgg = a.Count
+		case "bb":
+			bbAgg = a.Count
+		}
+		if a.TotalUs < 0 {
+			t.Fatalf("negative aggregate time: %+v", a)
+		}
+	}
+	// 7 probes recorded as spans (root took one slot); each recorded probe's
+	// bb child also takes a slot until the cap, so counts must cover the rest.
+	recorded := int64(0)
+	for _, sp := range tr.Spans {
+		if sp.Name == "probe" {
+			recorded++
+		}
+	}
+	if probeAgg+recorded != 100 {
+		t.Fatalf("probe spans lost: %d recorded + %d aggregated != 100", recorded, probeAgg)
+	}
+	if bbAgg == 0 {
+		t.Fatal("overflowed subtree children were not aggregated")
+	}
+}
+
+// TestConcurrentSpans drives the collector from many goroutines (run under
+// -race in CI) and checks nothing is lost.
+func TestConcurrentSpans(t *testing.T) {
+	col := NewCollector(10000)
+	root := col.Root("solve")
+	var wg sync.WaitGroup
+	const workers, each = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s := root.Child("probe")
+				s.End(A("t", int64(w*each+i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	tr := col.Export()
+	if got := len(tr.Spans); got != 1+workers*each {
+		t.Fatalf("got %d spans, want %d", got, 1+workers*each)
+	}
+}
+
+// TestJSONShape pins the wire field names the server CI job queries with jq.
+func TestJSONShape(t *testing.T) {
+	col := NewCollector(0)
+	s := col.Root("solve")
+	s.End(A("n", 3))
+	data, err := json.Marshal(col.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"spans"`, `"span_limit"`, `"name":"solve"`, `"parent":-1`, `"start_us"`, `"dur_us"`, `"k":"n"`, `"v":3`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %s: %s", want, data)
+		}
+	}
+}
+
+// TestRender smoke-tests the pretty-printer sections.
+func TestRender(t *testing.T) {
+	col := NewCollector(4)
+	root := col.Root("solve")
+	for i := 0; i < 10; i++ {
+		p := root.Child("probe")
+		p.End(A("t", int64(i)), A("feasible", int64(i%2)))
+	}
+	root.End()
+	var buf bytes.Buffer
+	col.Export().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"solve", "probe", "self time per stage:", "slowest probes:", "aggregated (past span cap):"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	(&Trace{}).Render(&buf) // empty trace must not panic
+	var nilTr *Trace
+	nilTr.Render(&buf) // nor a nil one
+}

@@ -1,0 +1,39 @@
+// Command promlint validates a Prometheus text exposition document (a
+// /metrics?format=prom scrape) against the format rules in
+// internal/promtext. CI pipes a live scrape through it; a format violation
+// exits nonzero with the offending line.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics?format=prom | go run ./scripts/promlint
+//	go run ./scripts/promlint scrape.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ccsched/internal/promtext"
+)
+
+func main() {
+	var (
+		data []byte
+		err  error
+	)
+	if len(os.Args) > 1 {
+		data, err = os.ReadFile(os.Args[1])
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	if err := promtext.Lint(data); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}

@@ -1,0 +1,103 @@
+// Trace inertness: enabling Options.Trace must not change any output —
+// not the makespan, not the certified lower bound, not the schedule, not a
+// single deterministic report counter. The span collector only observes; a
+// divergence here means tracing leaked into control flow. The differential
+// below runs traced and untraced solves across every generator family,
+// all three variants, and both serial and parallel engines, and requires
+// the normalized results to be bit-identical.
+package ccsched_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"ccsched"
+)
+
+// normalizedJSON serializes a result with the trace and the run-to-run
+// nondeterministic diagnostics removed (speculative-probe and intra-engine
+// counters vary with scheduling regardless of tracing), leaving exactly the
+// deterministic surface: makespan, lower bound, tier, schedules, accepted
+// guess, probe count, N-fold parameters.
+func normalizedJSON(t *testing.T, res *ccsched.Result) []byte {
+	t.Helper()
+	r := *res
+	r.Trace = nil
+	r.Report.BBNodes = 0
+	r.Report.BBPivots = 0
+	r.Report.WarmHits = 0
+	r.Report.CacheHits = 0
+	r.Report.BrickScanWorkers = 0
+	r.Report.BBSubtreeSteals = 0
+	r.Report.BatchedLPSolves = 0
+	data, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTraceParityAllFamilies is the tracing differential: for every
+// generator family × variant × EngineParallelism ∈ {1, 4}, a traced solve
+// must be bit-identical to the untraced solve of the same instance, and the
+// traced result must actually carry a root span.
+func TestTraceParityAllFamilies(t *testing.T) {
+	for _, family := range ccsched.GeneratorFamilies() {
+		// Per-variant sizes and node budgets mirror variantCases: each PTAS
+		// solve stays well under a second, and the preemptive scheme (whose
+		// configuration sets grow fastest) gets the smallest instance.
+		for _, vc := range []struct {
+			variant  ccsched.Variant
+			n, cls   int
+			maxNodes int
+		}{
+			{ccsched.Splittable, 16, 4, 300},
+			{ccsched.NonPreemptive, 12, 4, 300},
+			{ccsched.Preemptive, 8, 2, 150},
+		} {
+			variant := vc.variant
+			in, err := ccsched.Generate(family, ccsched.GeneratorConfig{
+				N: vc.n, Classes: vc.cls, Machines: 3, Slots: 2, PMax: 100, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, engPar := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/%v/engpar=%d", family, variant, engPar), func(t *testing.T) {
+					// ε = 1 keeps the guess grid (and therefore the runtime)
+					// small without skipping any pipeline stage; the race job
+					// runs this whole matrix.
+					opts := ccsched.Options{
+						Variant: variant, Tier: ccsched.TierPTAS, Epsilon: 1,
+						MaxNodes: vc.maxNodes, Parallelism: 1, EngineParallelism: engPar, NoCache: true,
+					}
+					plain, err := ccsched.Solve(context.Background(), in, opts)
+					if err != nil {
+						t.Fatalf("untraced: %v", err)
+					}
+					opts.Trace = true
+					traced, err := ccsched.Solve(context.Background(), in, opts)
+					if err != nil {
+						t.Fatalf("traced: %v", err)
+					}
+					if plain.Trace != nil {
+						t.Fatal("untraced solve carries a trace")
+					}
+					if traced.Trace == nil || len(traced.Trace.Spans) == 0 {
+						t.Fatal("traced solve has no spans")
+					}
+					if traced.Trace.Spans[0].Name != "solve" || traced.Trace.Spans[0].Parent != -1 {
+						t.Fatalf("root span %+v, want solve/-1", traced.Trace.Spans[0])
+					}
+					a, b := normalizedJSON(t, plain), normalizedJSON(t, traced)
+					if !bytes.Equal(a, b) {
+						t.Errorf("traced result diverges\nuntraced: %s\ntraced:   %s", a, b)
+					}
+				})
+			}
+		}
+	}
+}
