@@ -46,6 +46,7 @@ import (
 	"ccsched/internal/exact"
 	"ccsched/internal/generator"
 	"ccsched/internal/hetslots"
+	"ccsched/internal/panicsafe"
 	"ccsched/internal/ptas"
 	"ccsched/internal/rat"
 	"ccsched/internal/trace"
@@ -135,6 +136,22 @@ var ErrInfeasible = core.ErrInfeasible
 // Services map it to a timeout/canceled status (e.g. HTTP 408 vs 499)
 // without inspecting variant-specific internal error strings.
 var ErrCanceled = errors.New("ccsched: solve canceled")
+
+// ErrInternal reports that a panic fired somewhere in the solver and was
+// recovered instead of killing the process: Solve converts panics — its
+// own, and those of every engine worker goroutine (speculative guess
+// probes, branch-and-bound subtree workers, brick-scan workers) — into an
+// error wrapping this sentinel. The concrete error is an *InternalError
+// carrying the panic value, the stack captured at the recovery site and
+// the label of the component that panicked; extract it with errors.As.
+// Services map ErrInternal to HTTP 500 and quarantine request keys that
+// hit it repeatedly.
+var ErrInternal = panicsafe.ErrInternal
+
+// InternalError is the typed error behind ErrInternal: the recovered panic
+// value, the goroutine stack captured where the panic was caught, and the
+// component label (mirroring the solve-trace span names) that panicked.
+type InternalError = panicsafe.Error
 
 // ErrTooLarge reports an instance beyond the exact solvers' enforced size
 // limits (ExactNonPreemptive: > 24 jobs; ExactSplittable: C > 6 or m > 6).
@@ -350,6 +367,17 @@ type Options struct {
 	// infeasible subproblems faster — so this is a measurement baseline and
 	// determinism escape hatch, not a semantic knob.
 	NoWarmStart bool `json:"no_warm_start,omitempty"`
+	// FallbackTier, when set to TierApprox, arms degraded fallback: if the
+	// requested PTAS or exact tier is canceled by its context (deadline
+	// expiry or cancellation) before producing a schedule, Solve runs the
+	// strongly polynomial constant-factor tier — milliseconds, never
+	// cancelable mid-solve — and returns its result with Result.Degraded
+	// set instead of ErrCanceled. The degraded result still carries the
+	// certified LowerBound, so callers always know the optimality gap they
+	// accepted. Zero (TierAuto) disables fallback; values other than
+	// TierApprox are rejected — only the constant-factor tier is fast
+	// enough to be a fallback.
+	FallbackTier Tier `json:"fallback_tier,omitempty"`
 }
 
 // defaultCache is the process-wide feasibility cache used when
@@ -389,6 +417,13 @@ type Result struct {
 	Preemptive *PreemptiveSchedule `json:"preemptive,omitempty"`
 	// NonPreemptive is the one-machine-per-job assignment.
 	NonPreemptive *NonPreemptiveSchedule `json:"non_preemptive,omitempty"`
+	// Degraded reports that this result came from the FallbackTier (or a
+	// serving layer's soft-deadline fallback) instead of the requested
+	// tier: the makespan is the constant-factor tier's, within its proven
+	// ratio of LowerBound, and Tier names the tier that actually ran.
+	// Degraded results are served instead of an error, never silently — a
+	// later solve of the same request at the full tier replaces them.
+	Degraded bool `json:"degraded,omitempty"`
 	// Report carries PTAS diagnostics (zero unless a PTAS tier ran).
 	Report PTASReport `json:"report"`
 	// Trace is the span timeline of this solve, present only when
@@ -421,14 +456,53 @@ func solveWith(ctx context.Context, in *Instance, opts Options, st *ptas.Session
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, wrapCanceled(err)
-	}
 	switch opts.Variant {
 	case Splittable, Preemptive, NonPreemptive:
 	default:
 		return nil, fmt.Errorf("ccsched: unknown variant %v", opts.Variant)
 	}
+	switch opts.FallbackTier {
+	case TierAuto, TierApprox:
+	default:
+		return nil, fmt.Errorf("ccsched: unsupported FallbackTier %v (only TierApprox can be a fallback)", opts.FallbackTier)
+	}
+	if err := ctx.Err(); err != nil {
+		// A deadline already expired at entry is the fallback's best case:
+		// the caller gets the degraded constant-factor answer immediately
+		// instead of a guaranteed ErrCanceled.
+		if opts.FallbackTier == TierApprox && opts.Tier != TierApprox {
+			return solveFallback(in, opts)
+		}
+		return nil, wrapCanceled(err)
+	}
+	res, err := runTiers(ctx, in, opts, st)
+	if err != nil {
+		err = wrapCanceled(err)
+		// Degraded fallback: the requested tier died at its deadline, but
+		// the caller armed FallbackTier — answer with the milliseconds
+		// constant-factor tier and its certified lower bound instead of
+		// ErrCanceled. Only cancellation triggers it: infeasibility, size
+		// limits and internal errors would fail the fallback identically
+		// (or mask a bug), so they pass through.
+		if errors.Is(err, ErrCanceled) && opts.FallbackTier == TierApprox && opts.Tier != TierApprox {
+			return solveFallback(in, opts)
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// runTiers dispatches the selected tier with tracing attached and the
+// process-wide panic boundary in place: a panic anywhere below — this
+// goroutine or an engine worker whose captured panic was re-raised here —
+// returns as an error wrapping ErrInternal instead of unwinding the
+// caller.
+func runTiers(ctx context.Context, in *Instance, opts Options, st *ptas.SessionState) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, panicsafe.Capture(v, "solve")
+		}
+	}()
 	var col *trace.Collector
 	var root trace.Span
 	if opts.Trace {
@@ -439,7 +513,7 @@ func solveWith(ctx context.Context, in *Instance, opts Options, st *ptas.Session
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Variant: opts.Variant, Tier: opts.Tier, LowerBound: lb}
+	res = &Result{Variant: opts.Variant, Tier: opts.Tier, LowerBound: lb}
 	switch opts.Tier {
 	case TierApprox:
 		err = solveApprox(in, opts, res)
@@ -452,7 +526,7 @@ func solveWith(ctx context.Context, in *Instance, opts Options, st *ptas.Session
 		return nil, fmt.Errorf("ccsched: unknown tier %v", opts.Tier)
 	}
 	if err != nil {
-		return nil, wrapCanceled(err)
+		return nil, err
 	}
 	if col != nil {
 		root.End(
@@ -463,6 +537,29 @@ func solveWith(ctx context.Context, in *Instance, opts Options, st *ptas.Session
 			trace.A("tier", int64(res.Tier)),
 		)
 		res.Trace = col.Export()
+	}
+	return res, nil
+}
+
+// solveFallback runs the degraded constant-factor answer after the
+// requested tier was canceled: same variant, TierApprox, Degraded set.
+// The fallback ignores the (already dead) context — the constant-factor
+// algorithms are strongly polynomial and finish in milliseconds. It is
+// untraced: the trace of the canceled full-tier attempt died with it, and
+// a degraded answer should cost nothing beyond the approx solve itself.
+func solveFallback(in *Instance, opts Options) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, panicsafe.Capture(v, "solve_fallback")
+		}
+	}()
+	lb, err := core.LowerBound(in, opts.Variant)
+	if err != nil {
+		return nil, err
+	}
+	res = &Result{Variant: opts.Variant, Tier: TierApprox, LowerBound: lb, Degraded: true}
+	if err := solveApprox(in, opts, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

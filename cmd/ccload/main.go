@@ -57,6 +57,7 @@ import (
 	"os"
 	"os/exec"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -196,7 +197,10 @@ func backoff(attempt int) time.Duration {
 // and transport errors (connection refused during a server restart looks
 // like the latter). mk builds a fresh request per attempt — bodies cannot be
 // replayed from a consumed reader. The final attempt's response or error is
-// returned as is.
+// returned as is. A Retry-After header on a rejection is honored in place of
+// the exponential backoff — the server knows its own drain cadence better
+// than a generic doubling does — capped so a confused server cannot stall
+// the load generator for minutes.
 func doWithRetry(client *http.Client, retries int, mk func() (*http.Request, error)) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
 		req, err := mk()
@@ -207,14 +211,40 @@ func doWithRetry(client *http.Client, retries int, mk func() (*http.Request, err
 		if attempt >= retries {
 			return resp, err
 		}
+		sleep := backoff(attempt)
 		if err == nil {
 			if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
 				return resp, nil
 			}
+			if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+				sleep = d
+			}
 			resp.Body.Close()
 		}
-		time.Sleep(backoff(attempt))
+		time.Sleep(sleep)
 	}
+}
+
+// maxRetryAfter caps how long a server-suggested Retry-After can hold one
+// retry attempt.
+const maxRetryAfter = 10 * time.Second
+
+// parseRetryAfter reads a Retry-After header in delay-seconds form (the form
+// ccserved sends; HTTP-date is not worth parsing here), capped at
+// maxRetryAfter.
+func parseRetryAfter(h string) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	secs, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
 }
 
 // sessionRequest performs one /v1/sessions call (with up to retries retries

@@ -22,11 +22,16 @@
 //	DELETE /v1/sessions/{id}  drop the session
 //	GET    /v1/sessions/{id}/export   versioned session snapshot (live migration)
 //	PUT    /v1/sessions/{id}/export   import a snapshot under the given id
-//	GET    /healthz           liveness + queue gauges
+//	GET    /healthz           liveness + queue gauges (200 for as long as the
+//	                          process serves, draining included)
+//	GET    /readyz            readiness: 503 while draining, while the queue
+//	                          is over 90% full, or while checkpointing is
+//	                          degraded to in-memory-only
 //	GET    /metrics           counters, caches, labeled latency histograms;
 //	                          JSON by default, Prometheus text exposition with
 //	                          ?format=prom (or Accept: text/plain)
 //	GET    /v1/debug/traces   the -trace-ring slowest solves' span timelines
+//	       /v1/debug/faults   fault-injection admin (-fault-admin only)
 //
 // Every request gets an X-Request-Id (client-supplied ids are honored) and
 // one structured log line — method, path, status, latency, outcome —
@@ -40,6 +45,14 @@
 // logged reason, never trusted. A kill -9 costs at most the work since the
 // last checkpoint; restored warm state is re-verified before it can touch a
 // verdict, so restarted sessions answer bit-identically to a cold solve.
+//
+// Resilience: solver panics are recovered into HTTP 500s (the process never
+// dies for one request), keys that panic repeatedly are quarantined with 422
+// for a TTL, and -soft-timeout (or soft_timeout_ms per request) answers slow
+// solves with the millisecond 2-approx (certified lower bound,
+// result.degraded=true) while the full solve continues. Chaos testing arms
+// faults via -faults, the CCSCHED_FAULTS environment variable, or — with
+// -fault-admin — at PUT /v1/debug/faults.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: admission stops (503), the
 // queue drains, and solves still running when -grace expires are canceled
@@ -63,6 +76,7 @@ import (
 	"time"
 
 	"ccsched"
+	"ccsched/internal/faultinject"
 	"ccsched/internal/server"
 )
 
@@ -99,8 +113,20 @@ func main() {
 		traceRing   = flag.Int("trace-ring", 0, "slowest-traces debug ring capacity at /v1/debug/traces (0 = 16, negative disables tracing unless requested)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); off by default")
 		enginePar   = flag.Int("engine-parallelism", 0, "intra-engine worker count for requests that do not set engine_parallelism (clamped to GOMAXPROCS; 0 keeps engines serial; results are bit-identical at any value)")
+		softTimeout = flag.Duration("soft-timeout", 0, "degraded-fallback deadline: synchronous solves still running this long are answered with the 2-approx while the full solve continues (0 disables; soft_timeout_ms overrides per request)")
+		faultAdmin  = flag.Bool("fault-admin", false, "expose the fault-injection registry at /v1/debug/faults (chaos testing only; never on an exposed port)")
+		faults      = flag.String("faults", "", "arm fault-injection specs at boot, comma-separated point=mode[:arg][*hits] clauses (also read from CCSCHED_FAULTS)")
 	)
 	flag.Parse()
+	for _, specs := range []string{os.Getenv("CCSCHED_FAULTS"), *faults} {
+		if specs == "" {
+			continue
+		}
+		if err := faultinject.ArmSpecs(specs); err != nil {
+			log.Fatalf("ccserved: %v", err)
+		}
+		log.Printf("ccserved: fault injection armed: %s", specs)
+	}
 	var pprofSrv *http.Server
 	if *pprofAddr != "" {
 		// A dedicated listener keeps the profiling surface off the public
@@ -148,6 +174,8 @@ func main() {
 		StateDir:           *stateDir,
 		CheckpointInterval: *checkpoint,
 		EngineParallelism:  *enginePar,
+		SoftTimeout:        *softTimeout,
+		FaultAdmin:         *faultAdmin,
 		TraceRing:          *traceRing,
 		Cache:              ccsched.NewFeasibilityCache(),
 		Logger:             logger,

@@ -1,0 +1,126 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDisabledFastPath checks the zero-cost contract: with nothing armed,
+// Check and ShortWrite are inert.
+func TestDisabledFastPath(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() with empty registry")
+	}
+	if err := Check("lp.solve"); err != nil {
+		t.Fatalf("Check on empty registry: %v", err)
+	}
+	if n, err := ShortWrite("server.snapshot.write", 100); n != 100 || err != nil {
+		t.Fatalf("ShortWrite on empty registry: n=%d err=%v", n, err)
+	}
+}
+
+// TestModes exercises each fault mode through Check/ShortWrite.
+func TestModes(t *testing.T) {
+	defer Reset()
+
+	Reset()
+	if err := Arm("p.err", Spec{Mode: ModeError, Msg: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	err := Check("p.err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error mode: got %v", err)
+	}
+	if Fired("p.err") != 1 {
+		t.Fatalf("fired = %d, want 1", Fired("p.err"))
+	}
+	if err := Check("p.other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+
+	if err := Arm("p.delay", Spec{Mode: ModeDelay, Delay: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Check("p.delay"); err != nil {
+		t.Fatalf("delay mode returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay mode slept only %v", d)
+	}
+
+	if err := Arm("p.panic", Spec{Mode: ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic mode did not panic")
+			}
+		}()
+		Check("p.panic")
+	}()
+
+	if err := Arm("p.short", Spec{Mode: ModeShortWrite}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ShortWrite("p.short", 100)
+	if n != 50 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("shortwrite: n=%d err=%v, want 50 bytes and an injected error", n, err)
+	}
+}
+
+// TestHitBudget checks the *N suffix: the fault fires N times then goes
+// inert without being cleared.
+func TestHitBudget(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := ArmSpecs("p.lim=error:once*2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Check("p.lim"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: %v", i, err)
+		}
+	}
+	if err := Check("p.lim"); err != nil {
+		t.Fatalf("beyond budget: %v", err)
+	}
+	if Fired("p.lim") != 2 {
+		t.Fatalf("fired = %d, want 2", Fired("p.lim"))
+	}
+}
+
+// TestArmSpecs checks the spec-string parser end to end, including
+// rejection of malformed clauses.
+func TestArmSpecs(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := ArmSpecs("a=error, b=delay:5ms, c=panic:why, d=shortwrite"); err != nil {
+		t.Fatal(err)
+	}
+	pts := List()
+	if len(pts) != 4 {
+		t.Fatalf("armed %d points, want 4", len(pts))
+	}
+	if pts[1].Spec.Mode != ModeDelay || pts[1].Spec.Delay != 5*time.Millisecond {
+		t.Fatalf("clause b parsed as %+v", pts[1])
+	}
+	if pts[2].Spec.Msg != "why" {
+		t.Fatalf("clause c parsed as %+v", pts[2])
+	}
+	for _, bad := range []string{"x", "x=", "=error", "x=delay:nope", "x=warp", "x=error*0", "x=shortwrite:arg"} {
+		if err := ArmSpecs(bad); err == nil {
+			t.Errorf("ArmSpecs(%q) accepted", bad)
+		}
+	}
+	if !Clear("a") || Clear("a") {
+		t.Fatal("Clear bookkeeping wrong")
+	}
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() after Reset")
+	}
+}

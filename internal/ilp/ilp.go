@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"ccsched/internal/faultinject"
 	"ccsched/internal/lp"
 	"ccsched/internal/trace"
 )
@@ -272,6 +273,9 @@ func SolveCtx(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 	hitLimit := false
 	for len(stack) > 0 {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Check("ilp.node"); err != nil {
 			return nil, err
 		}
 		if res.Nodes >= maxNodes {

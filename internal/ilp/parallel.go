@@ -47,7 +47,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ccsched/internal/faultinject"
 	"ccsched/internal/lp"
+	"ccsched/internal/panicsafe"
 	"ccsched/internal/trace"
 )
 
@@ -64,9 +66,10 @@ type pnode struct {
 	warm     *lp.Basis // parent's terminal basis (nil without warm starts)
 	sibling  *pnode    // the branch's other child, for batched co-claims
 
-	claimed atomic.Bool
-	done    chan struct{}
-	res     pres
+	claimed  atomic.Bool
+	finished atomic.Bool
+	done     chan struct{}
+	res      pres
 }
 
 // pres is the outcome of one node's LP relaxation.
@@ -148,11 +151,13 @@ func (ps *pstate) claim(ctx context.Context) (*pnode, *pnode) {
 	}
 }
 
-// chainScratch holds a worker's reusable bound-materialization state.
+// chainScratch holds a worker's reusable bound-materialization state (plus
+// the sibling-batch bound scratch, lazily allocated on the first co-claim).
 type chainScratch struct {
-	lower, upper []float64
-	prev         []*pnode // patches currently applied, for undoing
-	chain        []*pnode
+	lower, upper       []float64
+	sibLower, sibUpper []float64
+	prev               []*pnode // patches currently applied, for undoing
+	chain              []*pnode
 }
 
 // setBounds materializes nd's bounds into the scratch arrays by undoing the
@@ -177,7 +182,13 @@ func (cs *chainScratch) setBounds(ps *pstate, nd *pnode) {
 }
 
 // finish records a node's LP outcome and releases anyone waiting on it.
+// It is idempotent: the first call wins, later calls are no-ops — which is
+// what lets a worker's panic-recovery path blanket-finish its claims without
+// tracking which ones already completed.
 func (nd *pnode) finish(r pres) {
+	if !nd.finished.CompareAndSwap(false, true) {
+		return
+	}
 	nd.res = r
 	close(nd.done)
 }
@@ -222,59 +233,84 @@ func (ps *pstate) worker(ctx context.Context, wg *sync.WaitGroup) {
 		lower: append([]float64(nil), ps.lower0...),
 		upper: append([]float64(nil), ps.upper0...),
 	}
-	var sibLower, sibUpper []float64
 	for {
 		nd, sib := ps.claim(ctx)
 		if nd == nil {
 			return
 		}
-		cs.setBounds(ps, nd)
-		if sib == nil {
-			var sol lp.Solution
-			if err := prep.SolveBounds(ctx, cs.lower, cs.upper, nd.warm, &sol); err != nil {
-				nd.finish(pres{err: err})
-				continue
+		ps.solveClaim(ctx, prep, &cs, nd, sib)
+	}
+}
+
+// solveClaim solves one claimed node (and its co-claimed sibling, when
+// present). A panic anywhere in the solve is recovered and delivered as the
+// claim's result — finish is idempotent, so the recovery path can
+// blanket-finish both nodes and the done channels still close exactly once.
+// A worker panic therefore surfaces as an error at the walker's consume
+// instead of killing the process.
+func (ps *pstate) solveClaim(ctx context.Context, prep *lp.Prepared, cs *chainScratch, nd, sib *pnode) {
+	defer func() {
+		if v := recover(); v != nil {
+			perr := panicsafe.Capture(v, "bb_worker")
+			nd.finish(pres{err: perr})
+			if sib != nil {
+				sib.finish(pres{err: perr})
 			}
-			ps.steals.Add(1)
-			nd.finish(ps.resFromSolution(prep, nd, &sol))
-			continue
 		}
-		// Batched sibling pair: both children share nd's bounds except for
-		// the branched variable, and share the parent basis, so one
-		// SolveBatch amortizes the warm restore's refactorization.
-		if sibLower == nil {
-			sibLower = make([]float64, len(cs.lower))
-			sibUpper = make([]float64, len(cs.upper))
-		}
-		copy(sibLower, cs.lower)
-		copy(sibUpper, cs.upper)
-		sibLower[sib.patchVar], sibUpper[sib.patchVar] = sib.lo, sib.up
-		items := [2]lp.BatchBounds{
-			{Lower: cs.lower, Upper: cs.upper},
-			{Lower: sibLower, Upper: sibUpper},
-		}
-		var outs [2]lp.Solution
-		var bases [2]*lp.Basis
-		basesOut := bases[:]
-		if !ps.warmStart {
-			basesOut = nil
-		}
-		if err := prep.SolveBatch(ctx, items[:], nd.warm, outs[:], basesOut); err != nil {
-			nd.finish(pres{err: err})
+	}()
+	if err := faultinject.Check("ilp.worker"); err != nil {
+		nd.finish(pres{err: err})
+		if sib != nil {
 			sib.finish(pres{err: err})
-			continue
 		}
-		ps.steals.Add(2)
-		ps.batched.Add(2)
-		for i, n := range [2]*pnode{nd, sib} {
-			r := pres{status: outs[i].Status, obj: outs[i].Obj, iters: outs[i].Iterations, warmHit: outs[i].Warm}
-			if outs[i].Status == lp.Optimal {
-				r.x = outs[i].X // SolveBatch already copied it out
-				r.basis = bases[i]
-			}
-			// Children are never the root, so no ray derivation here.
-			n.finish(r)
+		return
+	}
+	cs.setBounds(ps, nd)
+	if sib == nil {
+		var sol lp.Solution
+		if err := prep.SolveBounds(ctx, cs.lower, cs.upper, nd.warm, &sol); err != nil {
+			nd.finish(pres{err: err})
+			return
 		}
+		ps.steals.Add(1)
+		nd.finish(ps.resFromSolution(prep, nd, &sol))
+		return
+	}
+	// Batched sibling pair: both children share nd's bounds except for
+	// the branched variable, and share the parent basis, so one
+	// SolveBatch amortizes the warm restore's refactorization.
+	if cs.sibLower == nil {
+		cs.sibLower = make([]float64, len(cs.lower))
+		cs.sibUpper = make([]float64, len(cs.upper))
+	}
+	copy(cs.sibLower, cs.lower)
+	copy(cs.sibUpper, cs.upper)
+	cs.sibLower[sib.patchVar], cs.sibUpper[sib.patchVar] = sib.lo, sib.up
+	items := [2]lp.BatchBounds{
+		{Lower: cs.lower, Upper: cs.upper},
+		{Lower: cs.sibLower, Upper: cs.sibUpper},
+	}
+	var outs [2]lp.Solution
+	var bases [2]*lp.Basis
+	basesOut := bases[:]
+	if !ps.warmStart {
+		basesOut = nil
+	}
+	if err := prep.SolveBatch(ctx, items[:], nd.warm, outs[:], basesOut); err != nil {
+		nd.finish(pres{err: err})
+		sib.finish(pres{err: err})
+		return
+	}
+	ps.steals.Add(2)
+	ps.batched.Add(2)
+	for i, n := range [2]*pnode{nd, sib} {
+		r := pres{status: outs[i].Status, obj: outs[i].Obj, iters: outs[i].Iterations, warmHit: outs[i].Warm}
+		if outs[i].Status == lp.Optimal {
+			r.x = outs[i].X // SolveBatch already copied it out
+			r.basis = bases[i]
+		}
+		// Children are never the root, so no ray derivation here.
+		n.finish(r)
 	}
 }
 
@@ -346,6 +382,9 @@ func solveParallel(ctx context.Context, p *Problem, maxNodes int, first, warmSta
 			break
 		}
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Check("ilp.node"); err != nil {
 			return nil, err
 		}
 		if res.Nodes >= maxNodes {

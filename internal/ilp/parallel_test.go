@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"ccsched/internal/testutil"
 )
 
 // randomOptimizationILP is randomFeasibilityILP with a nonzero objective, so
@@ -158,7 +160,7 @@ func TestParallelIncumbentRace(t *testing.T) {
 // wait).
 func TestParallelCancellation(t *testing.T) {
 	rng := rand.New(rand.NewSource(53))
-	before := runtime.NumGoroutine()
+	leak := testutil.LeakCheck(t)
 	for trial := 0; trial < 10; trial++ {
 		p := randomOptimizationILP(rng, 7, 18)
 		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(trial)*time.Millisecond)
@@ -180,13 +182,7 @@ func TestParallelCancellation(t *testing.T) {
 			t.Fatalf("trial %d: cancellation took %v", trial, elapsed)
 		}
 	}
-	// Workers are joined before solveParallel returns; give the runtime a
-	// moment and verify nothing leaked.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > before+2 {
-		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
-	}
+	// Workers are joined before solveParallel returns; the shared checker
+	// retries for a grace period and verifies nothing leaked.
+	leak()
 }

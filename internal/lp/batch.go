@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 
+	"ccsched/internal/faultinject"
 	"ccsched/internal/trace"
 )
 
@@ -75,6 +76,9 @@ func (rc *restoreCache) capture(st *simplexState) {
 // The batch stops at the first error (cancellation included); out entries
 // past the failed item are left zeroed.
 func (pr *Prepared) SolveBatch(ctx context.Context, items []BatchBounds, warm *Basis, out []Solution, bases []*Basis) error {
+	if err := faultinject.Check("lp.batch"); err != nil {
+		return err
+	}
 	if len(out) < len(items) || (bases != nil && len(bases) < len(items)) {
 		return errBatchOut
 	}

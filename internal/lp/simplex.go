@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"ccsched/internal/faultinject"
 	"ccsched/internal/trace"
 )
 
@@ -240,6 +241,9 @@ func (pr *Prepared) Release() {
 // branch-and-bound trajectories (and therefore every schedule the PTAS
 // emits) independent of warm-starting.
 func (pr *Prepared) SolveBounds(ctx context.Context, lower, upper []float64, warm *Basis, sol *Solution) error {
+	if err := faultinject.Check("lp.solve"); err != nil {
+		return err
+	}
 	return pr.solveBoundsCached(ctx, lower, upper, warm, nil, sol)
 }
 

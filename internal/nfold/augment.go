@@ -4,6 +4,10 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"ccsched/internal/faultinject"
+	"ccsched/internal/panicsafe"
 )
 
 // The augmentation engine follows the shape of the theoretical N-fold
@@ -89,6 +93,9 @@ type augState struct {
 	// scanWorkers records the largest worker count actually engaged.
 	par         int
 	scanWorkers int
+	// scanErr is a fault injected at the nfold.scan point; the descent
+	// stops at the next iteration boundary and solveAugment surfaces it.
+	scanErr error
 }
 
 func abs64(v int64) int64 {
@@ -516,6 +523,10 @@ func (st *augState) scanRange(ctx context.Context, from, to int) scanRes {
 // worker count — worker scheduling can only change timing, never the
 // winner. Moves are still applied serially by the caller.
 func (st *augState) scanBest(ctx context.Context) scanRes {
+	if err := faultinject.Check("nfold.scan"); err != nil {
+		st.scanErr = err
+		return scanRes{brick: -1, move: -1}
+	}
 	n := st.p.N
 	workers := st.par
 	if workers > n {
@@ -529,16 +540,29 @@ func (st *augState) scanBest(ctx context.Context) scanRes {
 	}
 	results := make([]scanRes, workers)
 	var wg sync.WaitGroup
+	// A panic on a scan worker goroutine would kill the process; capture the
+	// first one and re-raise it on the joining goroutine after wg.Wait(), so
+	// it unwinds to the solve boundary like a caller-goroutine panic
+	// (Capture's passthrough keeps the worker's original stack and span).
+	var panicErr atomic.Pointer[panicsafe.Error]
 	for w := 1; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicErr.CompareAndSwap(nil, panicsafe.Capture(v, "brick_scan"))
+				}
+			}()
 			results[w] = st.scanRange(ctx, lo, hi)
 		}(w, lo, hi)
 	}
 	results[0] = st.scanRange(ctx, 0, n/workers)
 	wg.Wait()
+	if pe := panicErr.Load(); pe != nil {
+		panic(pe)
+	}
 	best := scanRes{brick: -1, move: -1}
 	for _, r := range results {
 		if r.brick >= 0 && best.better(r.gain, r.lambda) {
@@ -561,7 +585,7 @@ func (st *augState) descend(ctx context.Context, opt AugmentOptions) int64 {
 			return 0
 		}
 		best := st.scanBest(ctx)
-		if ctx.Err() != nil {
+		if st.scanErr != nil || ctx.Err() != nil {
 			return st.residualNorm()
 		}
 		if best.gain <= 0 {
@@ -644,7 +668,10 @@ func (p *Problem) solveAugment(ctx context.Context, opts *AugmentOptions, tmpl *
 	st := newAugState(p, opt, tmpl)
 	st.ctx = ctx
 	st.par = par
-	if rest := st.descend(ctx, opt); rest != 0 {
+	if rest := st.descend(ctx, opt); rest != 0 || st.scanErr != nil {
+		if err := st.scanErr; err != nil {
+			return nil, err
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

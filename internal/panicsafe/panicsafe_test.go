@@ -1,0 +1,50 @@
+package panicsafe
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRecoverConvertsPanic checks the deferred boundary helper: a panic
+// becomes an error wrapping ErrInternal, carrying the value, a stack and
+// the span label; no panic leaves the error slot alone.
+func TestRecoverConvertsPanic(t *testing.T) {
+	boom := func() (err error) {
+		defer Recover(&err, "solve")
+		panic("kaboom")
+	}
+	err := boom()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("errors.Is(err, ErrInternal) = false for %v", err)
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("errors.As(*Error) failed for %T", err)
+	}
+	if pe.Value != "kaboom" || pe.Span != "solve" || len(pe.Stack) == 0 {
+		t.Fatalf("captured error incomplete: value=%v span=%q stack=%d bytes", pe.Value, pe.Span, len(pe.Stack))
+	}
+	if !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), "solve") {
+		t.Fatalf("message %q missing value or span", err.Error())
+	}
+
+	calm := func() (err error) {
+		defer Recover(&err, "solve")
+		return nil
+	}
+	if err := calm(); err != nil {
+		t.Fatalf("no panic, but err = %v", err)
+	}
+}
+
+// TestCapturePassthrough checks the re-panic hop protocol: a worker's
+// captured *Error re-panicked on the joining goroutine keeps its original
+// stack and span through a second Capture.
+func TestCapturePassthrough(t *testing.T) {
+	orig := Capture("first", "brick_scan")
+	again := Capture(orig, "solve")
+	if again != orig {
+		t.Fatalf("Capture re-wrapped an existing *Error (span now %q)", again.Span)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ccsched/internal/faultinject"
 	"ccsched/internal/nfold"
 	"ccsched/internal/trace"
 )
@@ -359,6 +360,12 @@ func fallbackReport(g, hi int64, tried int, stats *probeStats) Report {
 // cached entries stay valid across NoWarmStart settings and between session
 // and cold solves.
 func solveGuessCached(pctx context.Context, opts Options, key cacheKey, t int64, stats *probeStats, tmpl *nfold.Template, rec *sessionRecorder, build func() *nfold.Problem) (cacheEntry, error) {
+	// Chaos hook: one injection point per feasibility probe. A delay here
+	// pushes a solve past its soft deadline; a panic exercises the search
+	// workers' recovery; an error must surface as a clean typed failure.
+	if err := faultinject.Check("ptas.probe"); err != nil {
+		return cacheEntry{}, err
+	}
 	sp := opts.Trace.Child("probe")
 	var prob *nfold.Problem
 	if entry, ok := opts.Cache.lookup(key); ok {

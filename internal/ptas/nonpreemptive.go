@@ -427,6 +427,9 @@ func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		if recoveredPanic(err) {
+			return nil, err
+		}
 		return &NonPreemptiveResult{
 			Schedule: apx.Schedule,
 			Report:   fallbackReport(g, hi, tried, &stats),

@@ -381,6 +381,9 @@ func solvePreemptiveScaled(ctx context.Context, in *core.Instance, g, scale int6
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		if recoveredPanic(err) {
+			return nil, err
+		}
 		return &PreemptiveResult{
 			Schedule: apx.Schedule,
 			Report:   fallbackReport(g, hi, tried, &stats),

@@ -2,13 +2,25 @@ package ptas
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
 
+	"ccsched/internal/panicsafe"
 	"ccsched/internal/trace"
 )
+
+// recoveredPanic reports whether err carries a recovered engine panic. A
+// panic indicates a bug, not an infeasible or over-budget search: masking it
+// behind the graceful approx fallback would hide the defect and break the
+// contract that panics surface as typed internal errors, so every fallback
+// site propagates these instead of degrading.
+func recoveredPanic(err error) bool {
+	var pe *panicsafe.Error
+	return errors.As(err, &pe)
+}
 
 // The makespan-guess search. Feasibility of a guess T is monotone for the
 // paper's schemes (Lemma 7's dual approximation: any schedule for T is a
@@ -119,7 +131,7 @@ func searchGuessesSpec[T any](ctx context.Context, grid []int64, parallelism int
 				}
 				p := probes[order[k]]
 				if p.err = p.ctx.Err(); p.err == nil {
-					p.payload, p.ok, p.err = feasibleAt(p.ctx, grid[order[k]])
+					p.payload, p.ok, p.err = runProbe(p.ctx, grid[order[k]], feasibleAt)
 				}
 				close(p.done)
 			}
@@ -288,6 +300,15 @@ func searchGuessesSeeded[T any](ctx context.Context, grid []int64, seed int64, s
 	}
 	fsp.End(trace.A("probes", int64(tried-pre)))
 	return finishSearch(grid, best, bestGuess, tried)
+}
+
+// runProbe evaluates one speculative probe, converting a panic inside the
+// feasibility predicate into a *panicsafe.Error delivered through the probe's
+// err slot — a panic on a search worker goroutine must never kill the
+// process; the walker surfaces it like any other probe error.
+func runProbe[T any](ctx context.Context, guess int64, feasibleAt func(context.Context, int64) (T, bool, error)) (payload T, ok bool, err error) {
+	defer panicsafe.Recover(&err, "guess_probe")
+	return feasibleAt(ctx, guess)
 }
 
 // probeTreeOrder lists the grid indices of [lo, hi] in breadth-first

@@ -311,6 +311,9 @@ func solveSplittableAnyM(ctx context.Context, in *core.Instance, g, scale int64,
 	if ctx.Err() != nil {
 		return nil, ctx.Err()
 	}
+	if recoveredPanic(err) {
+		return nil, err
+	}
 	// Degrade gracefully: the 2-approximation schedule is always available
 	// when every guess is rejected within budget (or the configuration
 	// enumeration exceeds its limit).

@@ -83,6 +83,9 @@ func solveSplittableHuge(ctx context.Context, in *core.Instance, g, scale int64,
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		if recoveredPanic(err) {
+			return nil, err
+		}
 		// Degrade gracefully to the 2-approximation's compact schedule.
 		rep := Report{InvDelta: g, Guess: hi, Guesses: tried, Engine: "approx-fallback"}
 		stats.report(&rep)

@@ -1,6 +1,9 @@
 package server
 
-import "ccsched"
+import (
+	"ccsched"
+	"ccsched/internal/faultinject"
+)
 
 // Wire types of the HTTP/JSON API. cmd/ccload and the tests share them; the
 // formats themselves are plain JSON over the public ccsched codecs, so any
@@ -17,6 +20,13 @@ type SolveRequest struct {
 	// TimeoutMs, when positive, is the solve deadline in milliseconds;
 	// exceeding it yields HTTP 408. Zero selects the server default.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// SoftTimeoutMs, when positive, is the degraded-fallback deadline in
+	// milliseconds: if the requested tier is still solving when it fires, the
+	// response is the millisecond 2-approx (certified lower bound,
+	// result.degraded=true) while the full solve keeps running and publishes
+	// for later requests. Zero inherits the server's -soft-timeout default;
+	// negative disables degradation for this request.
+	SoftTimeoutMs int64 `json:"soft_timeout_ms,omitempty"`
 }
 
 // Job states reported in SolveResponse.Status.
@@ -137,6 +147,31 @@ type SessionResponse struct {
 type ErrorResponse struct {
 	// Error describes what was rejected and why.
 	Error string `json:"error"`
+}
+
+// ReadyResponse is the body of GET /readyz.
+type ReadyResponse struct {
+	// Ready reports whether the server should receive traffic right now.
+	Ready bool `json:"ready"`
+	// Reasons lists why the server is not ready (draining, queue over 90%
+	// full, checkpointing degraded); empty when Ready.
+	Reasons []string `json:"reasons,omitempty"`
+	// QueueDepth and QueueCapacity describe the admission queue.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+}
+
+// FaultsRequest is the body of PUT /v1/debug/faults (Config.FaultAdmin).
+type FaultsRequest struct {
+	// Specs is a comma-separated fault list in the CCSCHED_FAULTS syntax:
+	// point=mode[:arg][*hits] (see package faultinject).
+	Specs string `json:"specs"`
+}
+
+// FaultsResponse is the body of every /v1/debug/faults response.
+type FaultsResponse struct {
+	// Armed lists every armed injection point with its spec and fire count.
+	Armed []faultinject.PointStatus `json:"armed"`
 }
 
 // HealthResponse is the body of GET /healthz.

@@ -144,9 +144,29 @@ func requestKey(canon *ccsched.Instance, opts ccsched.Options) key {
 	if opts.Trace {
 		put(2)
 	}
+	// FallbackTier changes what a deadline expiry returns (a degraded
+	// 2-approx instead of an error), so fallback and non-fallback requests
+	// must not share a flight or a cache entry.
+	if opts.FallbackTier == ccsched.TierApprox {
+		put(3)
+	}
 	var k key
 	h.Sum(k[:0])
 	return k
+}
+
+// degradedKey derives the result-LRU key under which a request key's
+// degraded 2-approx answer is stored. Keeping degraded results under a
+// distinct key means they can never satisfy a normal submission (no LRU
+// poisoning); the full-tier publish of k removes its degraded twin, so later
+// requests get the full answer.
+func degradedKey(k key) key {
+	h := sha256.New()
+	h.Write(k[:])
+	h.Write([]byte("degraded"))
+	var dk key
+	h.Sum(dk[:0])
+	return dk
 }
 
 // invertPerm returns the inverse permutation: out[perm[i]] = i. Used to map

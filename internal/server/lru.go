@@ -52,5 +52,18 @@ func (c *lruCache[K, V]) add(k K, v V) {
 	c.m[k] = c.ll.PushFront(&lruItem[K, V]{k: k, v: v})
 }
 
+// remove deletes the entry for k; reports whether one existed. Used to
+// retire a degraded result when the full-tier solve of the same request
+// publishes.
+func (c *lruCache[K, V]) remove(k K) bool {
+	el, ok := c.m[k]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.m, k)
+	return true
+}
+
 // len reports the number of cached entries.
 func (c *lruCache[K, V]) len() int { return c.ll.Len() }

@@ -63,6 +63,11 @@ type metrics struct {
 	sessionsCreated atomic.Int64 // sessions ever created
 	sessionResolves atomic.Int64 // session re-solves executed by workers
 
+	panicsRecovered     atomic.Int64 // solves that ended in a recovered panic (ErrInternal)
+	keysQuarantined     atomic.Int64 // request keys quarantined after repeated panics
+	rejectedQuarantined atomic.Int64 // submissions refused while their key was quarantined
+	degradedServed      atomic.Int64 // degraded 2-approx answers served (soft timeout or saturation)
+
 	// queueWait tracks admission-to-worker-pickup waits, the queueing delay
 	// a client pays before its solve even starts; under load it grows before
 	// solve latency does, making it the earlier saturation signal.
@@ -70,8 +75,10 @@ type metrics struct {
 
 	snapshotWrites         atomic.Int64 // session snapshots persisted to StateDir
 	snapshotWriteErrors    atomic.Int64 // snapshot encode/write failures (non-fatal)
+	snapshotRetries        atomic.Int64 // snapshot write retries after a failed attempt
 	snapshotRestores       atomic.Int64 // sessions restored (boot or PUT export)
 	snapshotCorruptSkipped atomic.Int64 // snapshots skipped on boot (unreadable/stale)
+	persistDegradedEvents  atomic.Int64 // checkpointing degradations to in-memory-only
 
 	// restoreLatency tracks RestoreSession wall clocks (boot + import), so
 	// snapshot restore cost is visible next to solve cost.
@@ -136,6 +143,19 @@ type MetricsSnapshot struct {
 	// SolveCanceledTotal counts solver errors that were cancellations or
 	// deadline expiries (a subset of SolveErrorsTotal).
 	SolveCanceledTotal int64 `json:"solve_canceled_total"`
+	// PanicsRecoveredTotal counts solves that ended in a recovered panic
+	// (ccsched.ErrInternal); each was answered with HTTP 500, never cached,
+	// and counted toward its request key's quarantine streak.
+	PanicsRecoveredTotal int64 `json:"panics_recovered_total"`
+	// KeysQuarantinedTotal counts request keys quarantined after repeated
+	// recovered panics (see Config.PanicQuarantineThreshold).
+	KeysQuarantinedTotal int64 `json:"keys_quarantined_total"`
+	// RejectedQuarantinedTotal counts submissions refused with 422 because
+	// their request key was quarantined.
+	RejectedQuarantinedTotal int64 `json:"rejected_quarantined_total"`
+	// DegradedServedTotal counts degraded 2-approx answers served in place of
+	// the requested tier (soft-timeout expiry or admission saturation).
+	DegradedServedTotal int64 `json:"degraded_served_total"`
 	// SessionsActive is the number of live sessions right now.
 	SessionsActive int `json:"sessions_active"`
 	// SessionsCreatedTotal counts sessions ever created.
@@ -170,6 +190,18 @@ type MetricsSnapshot struct {
 	// SnapshotWriteErrors counts snapshot encode or write failures; they are
 	// non-fatal (the session stays dirty and the next tick retries).
 	SnapshotWriteErrors int64 `json:"snapshot_write_errors_total"`
+	// SnapshotRetriesTotal counts in-checkpoint write retries (capped
+	// exponential backoff with jitter) after a failed snapshot write.
+	SnapshotRetriesTotal int64 `json:"snapshot_retries_total"`
+	// PersistDegradedTotal counts transitions into in-memory-only
+	// checkpointing after persistent disk failure; CheckpointDegraded reports
+	// whether the server is in that state right now.
+	PersistDegradedTotal int64 `json:"persist_degraded_total"`
+	// CheckpointDegraded reports that checkpointing is currently degraded to
+	// in-memory only: snapshot writes keep failing, sessions stay dirty, and
+	// a background disk probe will resume durability without a restart. Also
+	// surfaced as a /readyz failure.
+	CheckpointDegraded bool `json:"checkpoint_degraded"`
 	// SnapshotRestoresTotal counts sessions restored from snapshots, at boot
 	// and via PUT /v1/sessions/{id}/export.
 	SnapshotRestoresTotal int64 `json:"snapshot_restores_total"`

@@ -27,6 +27,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"ccsched"
+	"ccsched/internal/faultinject"
 )
 
 // snapMagic and snapExt identify session snapshot files on disk.
@@ -79,10 +81,20 @@ func writeSessionSnapshot(dir, id string, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(encodeSnapshotFile(payload)); err != nil {
+	data := encodeSnapshotFile(payload)
+	// The injection point truncates the write under a shortwrite fault,
+	// leaving a convincing partial temp file — which the atomic rename
+	// protocol must (and does) keep out of the final path.
+	n, faultErr := faultinject.ShortWrite("server.snapshot.write", len(data))
+	if _, err := f.Write(data[:n]); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if faultErr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return faultErr
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -201,8 +213,32 @@ func (s *Server) checkpointer() {
 	}
 }
 
+// Checkpoint write retry policy: a failed snapshot write is retried in place
+// with capped exponential backoff plus jitter (transient disk hiccups heal
+// within the same checkpoint), and ckptDegradeStreak consecutive sessions
+// failing all their retries flips the server to in-memory-only checkpointing
+// until a disk probe succeeds.
+const (
+	ckptWriteRetries  = 3
+	ckptBackoffBase   = 25 * time.Millisecond
+	ckptBackoffCap    = 250 * time.Millisecond
+	ckptDegradeStreak = 2
+)
+
 // checkpointSessions writes every dirty session's snapshot, one at a time.
+// While checkpointing is degraded it instead probes the disk; sessions stay
+// dirty (in memory, still serving) until the probe succeeds, at which point
+// durability resumes in the same pass — no restart needed.
 func (s *Server) checkpointSessions() {
+	if s.persistDegraded.Load() {
+		if err := s.probeDisk(); err != nil {
+			s.logger.Warn("disk probe failed; checkpointing stays in-memory-only", "err", err)
+			return
+		}
+		s.persistDegraded.Store(false)
+		s.ckptFailStreak.Store(0)
+		s.logger.Info("disk probe succeeded; checkpoint durability resumed")
+	}
 	s.mu.Lock()
 	svs := make([]*svcSession, 0, len(s.sessions))
 	for _, sv := range s.sessions {
@@ -220,8 +256,8 @@ func (s *Server) checkpointSessions() {
 // counters are read before the snapshot is taken, so anything landing in
 // between leaves the session dirty and the next tick rewrites it — a
 // checkpoint can be fresher than its recorded counters but never staler.
-// Write failures are logged and counted, and leave the session dirty for
-// the next tick.
+// A failed write retries with backoff; exhausting the retries leaves the
+// session dirty for the next tick and feeds the degradation streak.
 func (s *Server) checkpointSession(sv *svcSession) {
 	gen, res := sv.sess.Generation(), sv.sess.Resolves()
 	if gen == sv.ckptGen.Load() && res == sv.ckptRes.Load() {
@@ -229,18 +265,93 @@ func (s *Server) checkpointSession(sv *svcSession) {
 	}
 	payload, err := sv.sess.SnapshotState()
 	if err != nil {
+		// An encode failure is a session problem, not a disk problem: count
+		// and log it, but keep it out of the disk-degradation streak.
 		s.met.snapshotWriteErrors.Add(1)
 		s.logger.Warn("session snapshot failed", "session", sv.id, "err", err)
 		return
 	}
-	if err := writeSessionSnapshot(s.cfg.StateDir, sv.id, payload); err != nil {
+	backoff := ckptBackoffBase
+	for attempt := 0; ; attempt++ {
+		err = writeSessionSnapshot(s.cfg.StateDir, sv.id, payload)
+		if err == nil {
+			break
+		}
 		s.met.snapshotWriteErrors.Add(1)
-		s.logger.Warn("session snapshot write failed", "session", sv.id, "err", err)
-		return
+		if attempt >= ckptWriteRetries {
+			s.logger.Warn("session snapshot write failed; retries exhausted",
+				"session", sv.id, "attempts", attempt+1, "err", err)
+			s.noteCkptFailure()
+			return
+		}
+		s.met.snapshotRetries.Add(1)
+		// Full jitter over [backoff/2, backoff]: concurrent retries (several
+		// ccserved on one disk) decorrelate instead of hammering in lockstep.
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff)/2+1)))
+		if backoff *= 2; backoff > ckptBackoffCap {
+			backoff = ckptBackoffCap
+		}
 	}
 	sv.ckptGen.Store(gen)
 	sv.ckptRes.Store(res)
 	s.met.snapshotWrites.Add(1)
+	s.noteCkptSuccess()
+}
+
+// noteCkptFailure records one session checkpoint that exhausted its write
+// retries; at ckptDegradeStreak consecutive failures checkpointing degrades
+// to in-memory-only (metered, logged, surfaced on /readyz) and the
+// checkpointer switches to probing for disk recovery.
+func (s *Server) noteCkptFailure() {
+	if s.ckptFailStreak.Add(1) < ckptDegradeStreak {
+		return
+	}
+	if s.persistDegraded.CompareAndSwap(false, true) {
+		s.met.persistDegradedEvents.Add(1)
+		s.logger.Warn("checkpointing degraded to in-memory-only after persistent snapshot write failures",
+			"streak", s.ckptFailStreak.Load())
+	}
+}
+
+// noteCkptSuccess resets the disk-failure streak after a successful
+// checkpoint write.
+func (s *Server) noteCkptSuccess() {
+	s.ckptFailStreak.Store(0)
+}
+
+// probeDisk verifies the state directory accepts durable writes again: a
+// small file is written through the same injection point as real snapshots,
+// fsynced and removed. Its name does not carry the snapshot extension, so a
+// probe leftover is ignored by boot restores.
+func (s *Server) probeDisk() error {
+	path := filepath.Join(s.cfg.StateDir, ".ccserved-probe")
+	const probe = "ccserved disk probe"
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	n, faultErr := faultinject.ShortWrite("server.snapshot.write", len(probe))
+	if _, err := f.Write([]byte(probe)[:n]); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if faultErr != nil {
+		f.Close()
+		os.Remove(path)
+		return faultErr
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	os.Remove(path)
+	return nil
 }
 
 // drainSnapshots is the final checkpoint pass of a graceful (or grace-

@@ -59,10 +59,16 @@ func renderProm(w io.Writer, m MetricsSnapshot) {
 	c("ccsched_solves_total", "Completed solver invocations, one-shot and session.", m.SolvesTotal)
 	c("ccsched_solve_errors_total", "Solver invocations that returned an error.", m.SolveErrorsTotal)
 	c("ccsched_solve_canceled_total", "Solver errors that were cancellations or deadline expiries.", m.SolveCanceledTotal)
+	c("ccsched_panics_recovered_total", "Solves that ended in a recovered panic (internal error).", m.PanicsRecoveredTotal)
+	c("ccsched_keys_quarantined_total", "Request keys quarantined after repeated solver panics.", m.KeysQuarantinedTotal)
+	c("ccsched_rejected_quarantined_total", "Submissions refused with 422 while their key was quarantined.", m.RejectedQuarantinedTotal)
+	c("ccsched_degraded_served_total", "Degraded 2-approx answers served in place of the requested tier.", m.DegradedServedTotal)
 	c("ccsched_sessions_created_total", "Sessions ever created.", m.SessionsCreatedTotal)
 	c("ccsched_session_resolves_total", "Session re-solves executed by the worker pool.", m.SessionResolvesTotal)
 	c("ccsched_snapshot_writes_total", "Session snapshots persisted to the state directory.", m.SnapshotWritesTotal)
 	c("ccsched_snapshot_write_errors_total", "Snapshot encode or write failures (non-fatal).", m.SnapshotWriteErrors)
+	c("ccsched_snapshot_retries_total", "In-checkpoint snapshot write retries after a failed attempt.", m.SnapshotRetriesTotal)
+	c("ccsched_persist_degraded_total", "Transitions into in-memory-only checkpointing after persistent disk failure.", m.PersistDegradedTotal)
 	c("ccsched_snapshot_restores_total", "Sessions restored from snapshots (boot or import).", m.SnapshotRestoresTotal)
 	c("ccsched_snapshot_corrupt_skipped_total", "Snapshot files skipped on boot as unreadable or stale.", m.SnapshotCorruptSkipped)
 	c("ccsched_feasibility_cache_hits_total", "Feasibility cache lookup hits.", m.FeasibilityCache.Hits)
@@ -75,6 +81,11 @@ func renderProm(w io.Writer, m MetricsSnapshot) {
 	g("ccsched_workers_busy", "Workers currently inside the solver.", float64(m.WorkersBusy))
 	g("ccsched_in_flight", "Distinct solves admitted but not finished.", float64(m.InFlight))
 	g("ccsched_result_cache_entries", "Current full-result LRU size.", float64(m.ResultCacheEntries))
+	degraded := 0.0
+	if m.CheckpointDegraded {
+		degraded = 1
+	}
+	g("ccsched_checkpoint_degraded", "1 while checkpointing is degraded to in-memory-only, else 0.", degraded)
 	g("ccsched_feasibility_cache_entries", "Memoized guess verdicts.", float64(m.FeasibilityCache.Entries))
 	g("ccsched_uptime_seconds", "Seconds since the server was created.", m.UptimeSeconds)
 

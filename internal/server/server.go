@@ -31,6 +31,8 @@ import (
 	"time"
 
 	"ccsched"
+	"ccsched/internal/faultinject"
+	"ccsched/internal/panicsafe"
 )
 
 // SolveFunc is the solver the worker pool invokes; it defaults to
@@ -82,6 +84,27 @@ type Config struct {
 	// is set. Zero selects 30s. Ticks are skipped while the solve queue is
 	// more than half full, so checkpointing never competes with admission.
 	CheckpointInterval time.Duration
+	// SoftTimeout is the default degraded-fallback deadline for synchronous
+	// solve requests: when a non-approx solve is still running this long
+	// after its waiter attached, the waiter is answered with the millisecond
+	// 2-approx (certified LowerBound, degraded=true) while the full solve
+	// keeps running and publishes for later requests. Requests override it
+	// with soft_timeout_ms (negative disables per request). Zero disables the
+	// soft deadline by default.
+	SoftTimeout time.Duration
+	// PanicQuarantineThreshold is how many consecutive recovered-panic
+	// (ccsched.ErrInternal) outcomes one request key may produce before new
+	// submissions of that key are refused with 422 for
+	// PanicQuarantineTTL. Zero selects 3; negative disables quarantining.
+	PanicQuarantineThreshold int
+	// PanicQuarantineTTL is how long a quarantined request key stays refused;
+	// after the TTL one submission is let through to re-test the key. Zero
+	// selects 1m.
+	PanicQuarantineTTL time.Duration
+	// FaultAdmin exposes the fault-injection registry at /v1/debug/faults
+	// (GET lists, PUT arms spec strings, DELETE clears). Off by default;
+	// never enable it on an exposed port.
+	FaultAdmin bool
 	// TraceRing is the capacity of the slowest-traces debug ring served at
 	// GET /v1/debug/traces. While the ring is enabled every solve runs with
 	// tracing on (the per-solve cost is bounded by the span cap) and the ring
@@ -132,6 +155,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StateDir != "" && c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.PanicQuarantineThreshold == 0 {
+		c.PanicQuarantineThreshold = 3
+	}
+	if c.PanicQuarantineTTL <= 0 {
+		c.PanicQuarantineTTL = time.Minute
 	}
 	if c.TraceRing == 0 {
 		c.TraceRing = 16
@@ -213,6 +242,10 @@ type Server struct {
 	sessions   map[string]*svcSession
 	sessionSeq uint64
 
+	// quarantine tracks request keys whose solves ended in recovered panics;
+	// entries reset on any non-panic outcome and expire by TTL. Guarded by mu.
+	quarantine map[key]*quarEntry
+
 	queue chan *flight
 	wg    sync.WaitGroup
 
@@ -223,8 +256,24 @@ type Server struct {
 	ckptStop chan struct{}
 	ckptDone chan struct{}
 
+	// persistDegraded flips when snapshot writes keep failing after retries:
+	// checkpointing becomes in-memory only (sessions stay dirty), /readyz
+	// reports 503, and the checkpointer probes the disk each tick so
+	// durability resumes without a restart. ckptFailStreak counts consecutive
+	// failed session checkpoints feeding that decision.
+	persistDegraded atomic.Bool
+	ckptFailStreak  atomic.Int64
+
 	met   metrics
 	start time.Time
+}
+
+// quarEntry is one request key's recovered-panic streak. until is zero while
+// the streak is below the quarantine threshold; once set, submissions of the
+// key are refused until it passes.
+type quarEntry struct {
+	panics int
+	until  time.Time
 }
 
 // jobEntry links a submission's job id to its unit of work, the
@@ -247,6 +296,10 @@ var (
 	// ErrInstanceTooLarge reports an instance beyond Config.MaxJobs; the
 	// HTTP layer maps it to 422.
 	ErrInstanceTooLarge = errors.New("server: instance exceeds the job limit")
+	// ErrQuarantined reports that the request key produced repeated solver
+	// panics and is temporarily refused; the HTTP layer maps it to 422 with
+	// a Retry-After covering the quarantine TTL.
+	ErrQuarantined = errors.New("server: request quarantined after repeated solver panics")
 )
 
 // New returns a started Server: its worker pool is running and its handler
@@ -264,6 +317,7 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		flights:    make(map[key]*flight),
+		quarantine: make(map[key]*quarEntry),
 		results:    newLRU[key, outcome](cfg.ResultCacheEntries),
 		jobs:       newLRU[string, jobEntry](4 * cfg.ResultCacheEntries),
 		sessions:   make(map[string]*svcSession),
@@ -380,6 +434,9 @@ func (s *Server) submit(in *ccsched.Instance, opts ccsched.Options, timeout time
 	if s.closed {
 		return nil, ErrShuttingDown
 	}
+	if err := s.quarantinedLocked(k); err != nil {
+		return nil, err
+	}
 	if out, ok := s.results.get(k); ok {
 		s.met.resultCacheHits.Add(1)
 		return &submission{id: s.addJobLocked(k, canon.perm, wantTrace), perm: canon.perm, done: &out}, nil
@@ -442,6 +499,23 @@ func (s *Server) pin(f *flight) {
 	s.mu.Unlock()
 }
 
+// quarantinedLocked refuses k while its recovered-panic quarantine TTL is
+// live. An expired TTL deletes the entry, letting one submission through to
+// re-test the key (a clean outcome then clears the streak for good). Caller
+// holds s.mu.
+func (s *Server) quarantinedLocked(k key) error {
+	q, ok := s.quarantine[k]
+	if !ok || q.until.IsZero() {
+		return nil
+	}
+	if rem := time.Until(q.until); rem > 0 {
+		s.met.rejectedQuarantined.Add(1)
+		return fmt.Errorf("%w: %d consecutive panics; retry in %s", ErrQuarantined, q.panics, rem.Round(time.Second))
+	}
+	delete(s.quarantine, k)
+	return nil
+}
+
 // addJobLocked mints a job id and records its work key, remap permutation
 // and trace choice in the job table; caller holds s.mu.
 func (s *Server) addJobLocked(k key, perm []int, trace bool) string {
@@ -467,13 +541,7 @@ func (s *Server) worker() {
 		s.met.queueWait.observe(time.Since(f.enqueuedAt))
 		s.met.workersBusy.Add(1)
 		start := time.Now()
-		var res *ccsched.Result
-		var err error
-		if f.run != nil {
-			res, err = f.run(f.ctx)
-		} else {
-			res, err = s.cfg.Solver(f.ctx, f.in, f.opts)
-		}
+		res, err := s.runFlight(f)
 		elapsed := time.Since(start)
 		f.cancel() // release the deadline timer
 		s.met.workersBusy.Add(-1)
@@ -486,10 +554,15 @@ func (s *Server) worker() {
 		}
 		canceled := errors.Is(err, ccsched.ErrCanceled) ||
 			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		internal := errors.Is(err, ccsched.ErrInternal)
+		injected := errors.Is(err, faultinject.ErrInjected)
 		if err != nil {
 			s.met.solveErrors.Add(1)
 			if canceled {
 				s.met.solveCanceled.Add(1)
+			}
+			if internal {
+				s.met.panicsRecovered.Add(1)
 			}
 		}
 		f.res, f.err, f.elapsed = res, err, elapsed
@@ -500,11 +573,22 @@ func (s *Server) worker() {
 			delete(s.flights, f.key)
 		}
 		// Cancellation depends on timing, never on the instance: such
-		// verdicts are not cached. Everything else (results, infeasibility,
-		// size-limit errors) is deterministic and is.
-		if !canceled {
+		// verdicts are not cached. Recovered panics are not either — they
+		// feed the quarantine streak instead, so a key that stops panicking
+		// (a fixed build, a transient corruption) solves normally again.
+		// Injected faults are excluded too: caching one would keep the key
+		// erroring after the fault clears, defeating chaos recovery checks.
+		// Everything else (results, infeasibility, size-limit errors) is
+		// deterministic and is cached.
+		if !canceled && !internal && !injected {
 			s.results.add(f.key, outcome{res: res, err: err, elapsed: elapsed})
 		}
+		if err == nil {
+			// The full-tier result supersedes any degraded answer served
+			// for this key while the solve ran.
+			s.results.remove(degradedKey(f.key))
+		}
+		s.notePanicOutcomeLocked(f.key, internal)
 		s.mu.Unlock()
 		close(f.done)
 		if s.traces != nil && res != nil && res.Trace != nil {
@@ -525,6 +609,85 @@ func (s *Server) worker() {
 				"elapsed_ms", elapsed.Milliseconds())
 		}
 	}
+}
+
+// runFlight executes one flight's solve behind the service's last-resort
+// panic boundary: a panic escaping the solver (or an injected server.worker
+// fault) becomes an error wrapping ccsched.ErrInternal instead of killing
+// the process. ccsched.Solve recovers its own panics already; this boundary
+// covers injected Solver implementations and the session re-solve runners.
+func (s *Server) runFlight(f *flight) (res *ccsched.Result, err error) {
+	defer panicsafe.Recover(&err, "flight")
+	if err := faultinject.Check("server.worker"); err != nil {
+		return nil, err
+	}
+	if f.run != nil {
+		return f.run(f.ctx)
+	}
+	return s.cfg.Solver(f.ctx, f.in, f.opts)
+}
+
+// notePanicOutcomeLocked updates k's quarantine streak with one solve
+// outcome: a recovered panic extends the streak (tripping the TTL at the
+// threshold), anything else clears it. Caller holds s.mu.
+func (s *Server) notePanicOutcomeLocked(k key, internal bool) {
+	if !internal {
+		delete(s.quarantine, k)
+		return
+	}
+	if s.cfg.PanicQuarantineThreshold < 0 {
+		return
+	}
+	q := s.quarantine[k]
+	if q == nil {
+		q = &quarEntry{}
+		s.quarantine[k] = q
+	}
+	q.panics++
+	if q.panics >= s.cfg.PanicQuarantineThreshold && q.until.IsZero() {
+		q.until = time.Now().Add(s.cfg.PanicQuarantineTTL)
+		s.met.keysQuarantined.Add(1)
+		s.logger.Warn("request key quarantined after repeated solver panics",
+			"panics", q.panics, "ttl", s.cfg.PanicQuarantineTTL.String())
+	}
+}
+
+// degradedOutcome answers one request key with its degraded-tier result: the
+// full-tier answer if it landed meanwhile, the cached degraded answer, or a
+// freshly solved millisecond 2-approx (certified LowerBound, degraded=true)
+// cached under the key's degraded twin. The degraded entry never serves
+// normal submissions — only this path reads it — and the full-tier publish
+// of the same key removes it.
+func (s *Server) degradedOutcome(k key, in *ccsched.Instance, opts ccsched.Options) outcome {
+	dk := degradedKey(k)
+	s.mu.Lock()
+	if out, ok := s.results.get(k); ok {
+		s.mu.Unlock()
+		return out
+	}
+	if out, ok := s.results.get(dk); ok {
+		s.mu.Unlock()
+		s.met.degradedServed.Add(1)
+		return out
+	}
+	s.mu.Unlock()
+	opts.Tier = ccsched.TierApprox
+	opts.FallbackTier = ccsched.TierAuto
+	opts.Trace = false
+	opts.Cache = nil
+	start := time.Now()
+	res, err := ccsched.Solve(s.baseCtx, in, opts)
+	out := outcome{res: res, err: err, elapsed: time.Since(start)}
+	if err == nil {
+		res.Degraded = true
+		s.mu.Lock()
+		if _, full := s.results.get(k); !full {
+			s.results.add(dk, out)
+		}
+		s.mu.Unlock()
+	}
+	s.met.degradedServed.Add(1)
+	return out
 }
 
 // Shutdown gracefully stops the server: admission closes immediately (new
@@ -582,32 +745,39 @@ func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Unlock()
 	hits, misses := s.cfg.Cache.Stats()
 	return MetricsSnapshot{
-		RequestsTotal:          s.met.requests.Load(),
-		AdmittedTotal:          s.met.admitted.Load(),
-		RejectedQueueFullTotal: s.met.rejectedFull.Load(),
-		CoalescedHitsTotal:     s.met.coalesced.Load(),
-		ResultCacheHitsTotal:   s.met.resultCacheHits.Load(),
-		SolvesTotal:            s.met.solves.Load(),
-		SolveErrorsTotal:       s.met.solveErrors.Load(),
-		SolveCanceledTotal:     s.met.solveCanceled.Load(),
-		SessionsActive:         sessionsActive,
-		SessionsCreatedTotal:   s.met.sessionsCreated.Load(),
-		SessionResolvesTotal:   s.met.sessionResolves.Load(),
-		QueueDepth:             len(s.queue),
-		QueueCapacity:          cap(s.queue),
-		Workers:                s.cfg.Workers,
-		WorkersBusy:            s.met.workersBusy.Load(),
-		InFlight:               inFlight,
-		ResultCacheEntries:     resultEntries,
-		FeasibilityCache:       CacheStats{Hits: hits, Misses: misses, Entries: s.cfg.Cache.Len()},
-		SolveLatency:           s.met.solveLatency.snapshot(),
-		SessionSolveLatency:    s.met.sessionLatency.snapshot(),
-		QueueWaitLatency:       s.met.queueWait.snapshot(),
-		SnapshotWritesTotal:    s.met.snapshotWrites.Load(),
-		SnapshotWriteErrors:    s.met.snapshotWriteErrors.Load(),
-		SnapshotRestoresTotal:  s.met.snapshotRestores.Load(),
-		SnapshotCorruptSkipped: s.met.snapshotCorruptSkipped.Load(),
-		RestoreLatency:         s.met.restoreLatency.snapshot(),
-		UptimeSeconds:          time.Since(s.start).Seconds(),
+		RequestsTotal:            s.met.requests.Load(),
+		AdmittedTotal:            s.met.admitted.Load(),
+		RejectedQueueFullTotal:   s.met.rejectedFull.Load(),
+		CoalescedHitsTotal:       s.met.coalesced.Load(),
+		ResultCacheHitsTotal:     s.met.resultCacheHits.Load(),
+		SolvesTotal:              s.met.solves.Load(),
+		SolveErrorsTotal:         s.met.solveErrors.Load(),
+		SolveCanceledTotal:       s.met.solveCanceled.Load(),
+		PanicsRecoveredTotal:     s.met.panicsRecovered.Load(),
+		KeysQuarantinedTotal:     s.met.keysQuarantined.Load(),
+		RejectedQuarantinedTotal: s.met.rejectedQuarantined.Load(),
+		DegradedServedTotal:      s.met.degradedServed.Load(),
+		SessionsActive:           sessionsActive,
+		SessionsCreatedTotal:     s.met.sessionsCreated.Load(),
+		SessionResolvesTotal:     s.met.sessionResolves.Load(),
+		QueueDepth:               len(s.queue),
+		QueueCapacity:            cap(s.queue),
+		Workers:                  s.cfg.Workers,
+		WorkersBusy:              s.met.workersBusy.Load(),
+		InFlight:                 inFlight,
+		ResultCacheEntries:       resultEntries,
+		FeasibilityCache:         CacheStats{Hits: hits, Misses: misses, Entries: s.cfg.Cache.Len()},
+		SolveLatency:             s.met.solveLatency.snapshot(),
+		SessionSolveLatency:      s.met.sessionLatency.snapshot(),
+		QueueWaitLatency:         s.met.queueWait.snapshot(),
+		SnapshotWritesTotal:      s.met.snapshotWrites.Load(),
+		SnapshotWriteErrors:      s.met.snapshotWriteErrors.Load(),
+		SnapshotRetriesTotal:     s.met.snapshotRetries.Load(),
+		SnapshotRestoresTotal:    s.met.snapshotRestores.Load(),
+		SnapshotCorruptSkipped:   s.met.snapshotCorruptSkipped.Load(),
+		PersistDegradedTotal:     s.met.persistDegradedEvents.Load(),
+		CheckpointDegraded:       s.persistDegraded.Load(),
+		RestoreLatency:           s.met.restoreLatency.snapshot(),
+		UptimeSeconds:            time.Since(s.start).Seconds(),
 	}
 }

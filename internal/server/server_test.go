@@ -9,7 +9,6 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -17,6 +16,7 @@ import (
 
 	"ccsched"
 	"ccsched/internal/server"
+	"ccsched/internal/testutil"
 )
 
 // gatedSolver is an instrumented SolveFunc: it counts invocations, signals
@@ -379,7 +379,7 @@ func TestShutdownDrains(t *testing.T) {
 	} else {
 		resp.Body.Close()
 	}
-	before := runtime.NumGoroutine()
+	leak := testutil.LeakCheck(t)
 
 	replies := make(chan int, 2)
 	go func() {
@@ -399,8 +399,9 @@ func TestShutdownDrains(t *testing.T) {
 		defer cancel()
 		shutdownErr <- s.Shutdown(ctx)
 	}()
+	// Liveness stays 200 while draining; readiness is what flips to 503.
 	waitMetrics(t, s, "draining", func(m server.MetricsSnapshot) bool {
-		resp, err := http.Get(ts.URL + "/healthz")
+		resp, err := http.Get(ts.URL + "/readyz")
 		if err != nil {
 			return false
 		}
@@ -419,18 +420,9 @@ func TestShutdownDrains(t *testing.T) {
 			t.Fatalf("drained request %d: HTTP %d, want 200", i, st)
 		}
 	}
-	// The worker pool and every waiter must be gone: drop the client's
-	// keepalive connections, then compare goroutine counts (small tolerance
-	// for HTTP connection teardown still in progress).
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		http.DefaultClient.CloseIdleConnections()
-		if runtime.NumGoroutine() <= before+2 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("goroutines: %d before, %d after shutdown", before, runtime.NumGoroutine())
+	// The worker pool and every waiter must be gone; the shared checker
+	// drops idle keepalive connections while it retries.
+	leak()
 }
 
 // TestShutdownForceCancelsInFlight checks the drain deadline: when the

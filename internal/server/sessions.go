@@ -300,6 +300,11 @@ func (s *Server) solveSession(w http.ResponseWriter, r *http.Request, sv *svcSes
 		s.writeSessionError(w, sv.id, ErrShuttingDown)
 		return
 	}
+	if err := s.quarantinedLocked(k); err != nil {
+		s.mu.Unlock()
+		s.writeSessionError(w, sv.id, err)
+		return
+	}
 	trace := wantTrace(r, sv.trace)
 	if out, ok := s.results.get(k); ok {
 		s.met.resultCacheHits.Add(1)
@@ -413,14 +418,20 @@ func (s *Server) respondSession(w http.ResponseWriter, sv *svcSession, view snap
 }
 
 // writeSessionError maps session pipeline errors onto HTTP statuses,
-// carrying the session id when one exists.
+// carrying the session id when one exists. Backpressure rejections (queue
+// full, draining) and quarantine refusals carry a Retry-After.
 func (s *Server) writeSessionError(w http.ResponseWriter, id string, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTooManySessions):
 		status = http.StatusTooManyRequests
+		setRetryAfter(w, retryAfterQueueFull)
 	case errors.Is(err, ErrShuttingDown):
 		status = http.StatusServiceUnavailable
+		setRetryAfter(w, retryAfterDraining)
+	case errors.Is(err, ErrQuarantined):
+		status = http.StatusUnprocessableEntity
+		setRetryAfter(w, s.cfg.PanicQuarantineTTL)
 	case errors.Is(err, ErrInstanceTooLarge):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, ccsched.ErrInfeasible):

@@ -1,0 +1,70 @@
+// Package testutil holds helpers shared by the test suites. Production
+// code never imports it.
+package testutil
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakSlack is how many extra goroutines the checker tolerates: HTTP
+// connection teardown and runtime housekeeping can lag the test body by a
+// moment even when nothing leaked.
+const leakSlack = 2
+
+// LeakCheck snapshots the current goroutine count and returns a function
+// that fails t if the count has not returned to within a small tolerance
+// of the snapshot. The returned check retries for a grace period —
+// dropping idle HTTP keepalive connections between attempts, the usual
+// stragglers in service tests — so naturally-draining goroutines are not
+// misreported as leaks. Use it around any code that forks workers:
+//
+//	check := testutil.LeakCheck(t)
+//	... spawn and join goroutines ...
+//	check()
+//
+// Call LeakCheck after standing up long-lived fixtures (test servers, warm
+// client connections) so their goroutines are part of the baseline.
+func LeakCheck(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			http.DefaultClient.CloseIdleConnections()
+			after = runtime.NumGoroutine()
+			if after <= before+leakSlack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, goroutineDump())
+	}
+}
+
+// goroutineDump renders the current goroutine stacks (truncated) so a leak
+// failure names the stuck goroutines instead of just counting them.
+func goroutineDump() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	dump := string(buf[:n])
+	const maxDump = 16 << 10
+	if len(dump) > maxDump {
+		if cut := strings.LastIndex(dump[:maxDump], "\n\ngoroutine "); cut > 0 {
+			dump = dump[:cut]
+		} else {
+			dump = dump[:maxDump]
+		}
+		dump += fmt.Sprintf("\n... (dump truncated; %d goroutines total)", runtime.NumGoroutine())
+	}
+	return dump
+}
