@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"ccsched/internal/approx"
 	"ccsched/internal/core"
@@ -355,6 +356,85 @@ func BenchmarkE11EngineParallelism(b *testing.B) {
 			}
 		})
 	}
+}
+
+// E12: the anytime tier (PR 10). Two figures of merit:
+//
+//   - first-answer/n=1000: the instant bounded answer. Tier "anytime"
+//     returns the certified 2-approx synchronously, tagged as rung 0 of
+//     the ε-ladder; the acceptance bar is 50ms at n=1000 and the
+//     measurement is well under 1ms. Gated by scripts/benchdiff.
+//   - ladder rows: SolveAnytime driven through the whole ladder,
+//     reporting ms-to-first-answer, ms-to-gap≤10% (when the certified
+//     gap gets there) and ms-to-final via ReportMetric. Ungated — the
+//     reported metrics, not ns/op, are the signal, and the terminal rung
+//     cost is already gated as E10.
+//
+// The ladder instances are chosen from the gap survey in DESIGN.md: the
+// non-preemptive uniform row is the strictly-improving case (every
+// published rung shrinks the gap: 2-approx 498 → ε=1 PTAS 468), and the
+// thirds row is the tight-lower-bound case where the first answer is
+// already within 10% (certified gap ≈ 2.2% at rung 0) — there
+// time-to-gap≤10% equals time-to-first-answer by construction.
+func BenchmarkE12AnytimeFirstAnswer(b *testing.B) {
+	b.Run("first-answer/n=1000", func(b *testing.B) {
+		in := benchInstance(1000, 111)
+		opts := Options{Variant: Splittable, Tier: TierAnytime, Epsilon: 0.5, NoCache: true}
+		for i := 0; i < b.N; i++ {
+			res, err := Solve(context.Background(), in, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Anytime == nil || res.Anytime.Rung != 0 || res.LowerBound == nil {
+				b.Fatal("first answer not tagged as ladder rung 0 with a certified bound")
+			}
+		}
+	})
+	ladder := func(b *testing.B, in *core.Instance, opts Options) {
+		var msFirst, msGap10, msFinal, finalGap float64
+		gap10Hits := 0
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			first, gap10 := -1.0, -1.0
+			res, err := SolveAnytime(context.Background(), in, opts, func(r *Result) {
+				at := float64(time.Since(start)) / float64(time.Millisecond)
+				if first < 0 {
+					first = at
+				}
+				if gap10 < 0 && r.Anytime != nil && r.Anytime.Gap <= 0.10 {
+					gap10 = at
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res == nil || res.Anytime == nil || !res.Anytime.Final {
+				b.Fatal("ladder did not end on a final result")
+			}
+			msFinal += float64(time.Since(start)) / float64(time.Millisecond)
+			msFirst += first
+			finalGap += res.Anytime.Gap
+			if gap10 >= 0 {
+				msGap10 += gap10
+				gap10Hits++
+			}
+		}
+		n := float64(b.N)
+		b.ReportMetric(msFirst/n, "ms-to-first")
+		b.ReportMetric(msFinal/n, "ms-to-final")
+		b.ReportMetric(finalGap/n, "final-gap")
+		if gap10Hits == b.N {
+			b.ReportMetric(msGap10/n, "ms-to-gap10")
+		}
+	}
+	b.Run("ladder/nonpreemptive/n=24", func(b *testing.B) {
+		in := generator.Uniform(generator.Config{N: 24, Classes: 4, Machines: 3, Slots: 2, PMax: 100, Seed: 1})
+		ladder(b, in, Options{Variant: NonPreemptive, Tier: TierAnytime, Epsilon: 1, NoCache: true})
+	})
+	b.Run("ladder/thirds/n=100", func(b *testing.B) {
+		in := generator.AdversarialThirds(generator.Config{N: 100, Classes: 10, Machines: 5, Slots: 3, PMax: 10000, Seed: 11})
+		ladder(b, in, Options{Variant: Splittable, Tier: TierAnytime, Epsilon: 1, NoCache: true})
+	})
 }
 
 // Exact baselines used by E3/E6 ratio columns.

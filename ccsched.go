@@ -288,6 +288,15 @@ const (
 	// limits (ErrTooLarge) and support only the non-preemptive and
 	// splittable variants.
 	TierExact
+	// TierAnytime answers immediately with the constant-factor tier's
+	// schedule (milliseconds, carrying the certified LowerBound and the
+	// implied optimality gap), tagged with Result.Anytime describing the
+	// ε-ladder that refines it. Solve returns only that first answer; the
+	// background descent through the ladder is driven rung by rung via
+	// Session.Ladder (each improvement replacing the session's current
+	// result atomically), and the terminal rung is bit-identical to a cold
+	// TierPTAS solve at Options.Epsilon.
+	TierAnytime
 )
 
 // String names the tier.
@@ -301,6 +310,8 @@ func (t Tier) String() string {
 		return "ptas"
 	case TierExact:
 		return "exact"
+	case TierAnytime:
+		return "anytime"
 	default:
 		return fmt.Sprintf("Tier(%d)", int(t))
 	}
@@ -429,6 +440,10 @@ type Result struct {
 	// Trace is the span timeline of this solve, present only when
 	// Options.Trace was set (or the serving layer forced tracing on).
 	Trace *SolveTrace `json:"trace,omitempty"`
+	// Anytime describes this result's position on the TierAnytime ε-ladder
+	// (nil for every other tier): which rung produced it, the live
+	// optimality gap against LowerBound, and whether refinement is done.
+	Anytime *AnytimeInfo `json:"anytime,omitempty"`
 }
 
 // Solve is the unified, context-aware entry point: it runs the tier and
@@ -522,6 +537,10 @@ func runTiers(ctx context.Context, in *Instance, opts Options, st *ptas.SessionS
 		err = solvePTAS(ctx, in, opts, st, res, root)
 	case TierExact:
 		err = solveExact(ctx, in, opts, res)
+	case TierAnytime:
+		// The anytime first answer IS the constant-factor tier, tagged with
+		// its ladder position; refinement is the Ladder's job, not Solve's.
+		err = solveAnytimeFirst(in, opts, res)
 	default:
 		return nil, fmt.Errorf("ccsched: unknown tier %v", opts.Tier)
 	}

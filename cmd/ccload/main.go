@@ -17,6 +17,15 @@
 // -verify additionally re-solves every round's instance cold in-process and
 // fails unless the session makespans are bit-identical.
 //
+// With -watch ccload exercises the anytime tier: it creates one TierAnytime
+// session (instant 2-approx answer), consumes the GET /v1/sessions/{id}/watch
+// SSE stream to the terminal rung, and fails unless the stream carries at
+// least two events with strictly increasing generations and monotone
+// non-increasing optimality gaps. The report records time-to-first-answer and
+// time-to-gap≤10% — the anytime tier's two serving latencies. -verify
+// additionally solves the instance cold at the terminal ε in-process and
+// requires the final streamed makespan to be bit-identical.
+//
 // Either mode ends by printing the run's queue-wait p50/p99 to stderr,
 // read off the server's queue_wait_latency histogram deltas — the early
 // saturation signal: queue wait grows before solve latency does when the
@@ -43,9 +52,12 @@
 //	       -family uniform -n 1000 -tier ptas -eps 1 -verify -out churn.json
 //	ccload -url http://localhost:8081 -churn 0.05 -rounds 10 -verify -retries 8 \
 //	       -kill9 -server-cmd "./ccserved -addr :8081 -state-dir /tmp/ccstate -checkpoint 200ms"
+//	ccload -url http://localhost:8080 -watch -family uniform -n 1000 -eps 0.5 \
+//	       -verify -out watch.json
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -79,6 +91,33 @@ type report struct {
 	Server     serverDeltas   `json:"server_deltas"`
 	// Session is populated by -churn runs only.
 	Session *sessionReport `json:"session,omitempty"`
+	// Watch is populated by -watch runs only.
+	Watch *watchReport `json:"watch,omitempty"`
+}
+
+// watchReport summarizes a -watch run: the anytime tier's serving latencies
+// and the refinement stream's shape.
+type watchReport struct {
+	// Events is the number of SSE events to the terminal rung (first answer
+	// included); the contract guarantees at least two.
+	Events int `json:"events"`
+	// FirstAnswerMs is the create's inline 2-approx latency — the anytime
+	// tier's time-to-first-answer.
+	FirstAnswerMs float64 `json:"first_answer_ms"`
+	// FirstGap and FinalGap bracket the stream's certified optimality gaps.
+	FirstGap float64 `json:"first_gap"`
+	FinalGap float64 `json:"final_gap"`
+	// TimeToGap10Ms is when the first event with gap <= 10% arrived, counted
+	// from the create (0 when the stream never got there).
+	TimeToGap10Ms float64 `json:"time_to_gap10_ms,omitempty"`
+	// FinalMs is when the terminal rung arrived, counted from the create.
+	FinalMs float64 `json:"final_ms"`
+	// MonotoneGap reports every event's gap was <= its predecessor's.
+	MonotoneGap bool `json:"monotone_gap"`
+	// RefinementRungs is the server's refinement_rungs_total delta.
+	RefinementRungs int64 `json:"refinement_rungs"`
+	// Verified reports the -verify cold solve matched bit-identically.
+	Verified bool `json:"verified_bit_identical,omitempty"`
 }
 
 // sessionReport summarizes a -churn run: per-round PATCH latencies and the
@@ -555,6 +594,192 @@ func runChurn(c churnConfig) {
 		c.rounds, wall.Seconds(), rep.LatencyMs.Mean, rep.Session.SessionResolves, rep.Session.Verified, c.out)
 }
 
+// watchConfig parameterizes one -watch anytime run.
+type watchConfig struct {
+	url               string
+	family            string
+	n, classes, slots int
+	m                 int64
+	pmax, seed        int64
+	opts              ccsched.Options
+	verify            bool
+	timeoutMs         int64
+	wait              time.Duration
+	out, label        string
+	retries           int
+	cfg               runConfig
+}
+
+// runWatch drives the anytime tier: one TierAnytime session, its /watch SSE
+// stream consumed to the terminal rung, the stream contract asserted (>= 2
+// events, strictly increasing generations, monotone non-increasing gaps) and
+// the serving latencies recorded.
+func runWatch(c watchConfig) {
+	in, err := ccsched.Generate(c.family, ccsched.GeneratorConfig{
+		N: c.n, Classes: c.classes, Machines: c.m, Slots: c.slots, PMax: c.pmax, Seed: c.seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	c.opts.Tier = ccsched.TierAnytime
+	client := &http.Client{Timeout: c.wait}
+	before, err := fetchMetrics(c.url, c.retries)
+	if err != nil {
+		fail(fmt.Errorf("reading initial metrics (is ccserved running?): %w", err))
+	}
+	start := time.Now()
+	sr, err := sessionRequest(client, c.retries, "POST", c.url+"/v1/sessions", server.SessionCreateRequest{
+		Instance: in, Options: c.opts, TimeoutMs: c.timeoutMs,
+	})
+	if err != nil {
+		fail(err)
+	}
+	firstAnswer := time.Since(start)
+	if sr.Result == nil || sr.Result.Anytime == nil || sr.Result.Anytime.Rung != 0 {
+		fail(fmt.Errorf("create answered without a rung-0 anytime result: %+v", sr.Result))
+	}
+
+	// Stream to the terminal rung. The SSE connection outlives any sane
+	// per-request timeout, so it gets its own unbounded client with the wait
+	// budget enforced by a context deadline instead.
+	ctx, cancel := context.WithTimeout(context.Background(), c.wait)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", c.url+"/v1/sessions/"+sr.SessionID+"/watch", nil)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		fail(fmt.Errorf("opening watch stream: %w", err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("watch stream: status %d", resp.StatusCode))
+	}
+	var (
+		events   []server.WatchEvent
+		final    *server.WatchEvent
+		timeTo10 time.Duration
+		finalAt  time.Duration
+		monotone = true
+		lastGen  uint64
+		sc       = bufio.NewScanner(resp.Body)
+	)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev server.WatchEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			fail(fmt.Errorf("decoding watch event: %w", err))
+		}
+		if ev.Generation <= lastGen {
+			fail(fmt.Errorf("watch generation %d did not increase past %d", ev.Generation, lastGen))
+		}
+		lastGen = ev.Generation
+		if len(events) > 0 && ev.Gap > events[len(events)-1].Gap+1e-9 {
+			monotone = false
+		}
+		if timeTo10 == 0 && ev.Gap <= 0.10 {
+			timeTo10 = time.Since(start)
+		}
+		events = append(events, ev)
+		if ev.Final {
+			final = &events[len(events)-1]
+			finalAt = time.Since(start)
+			break
+		}
+	}
+	if final == nil {
+		fail(fmt.Errorf("watch stream ended without a final event after %d events: %v", len(events), sc.Err()))
+	}
+	if len(events) < 2 {
+		fail(fmt.Errorf("watch stream carried %d events, want >= 2 (first answer + terminal rung)", len(events)))
+	}
+	if !monotone {
+		fail(fmt.Errorf("watch gaps are not monotone non-increasing: %+v", gaps(events)))
+	}
+
+	verified := false
+	if c.verify {
+		coldOpts := c.opts
+		coldOpts.Tier = ccsched.TierPTAS
+		coldOpts.Cache = ccsched.NewFeasibilityCache()
+		want, err := ccsched.Solve(context.Background(), in, coldOpts)
+		if err != nil {
+			fail(fmt.Errorf("cold verify solve: %w", err))
+		}
+		if final.Makespan != want.Makespan.RatString() {
+			fail(fmt.Errorf("final anytime makespan %s != cold TierPTAS(ε=%g) %s — parity broken",
+				final.Makespan, coldOpts.Epsilon, want.Makespan.RatString()))
+		}
+		verified = true
+	}
+	after, err := fetchMetrics(c.url, c.retries)
+	if err != nil {
+		fail(err)
+	}
+	printQueueWait(before, after)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep := report{
+		Label:  c.label,
+		Config: c.cfg,
+		WallS:  finalAt.Seconds(),
+		Totals: totals{OK: int64(len(events)) + 1, ByStatus: map[int]int64{http.StatusOK: int64(len(events)) + 1}},
+		LatencyMs: latencySummary{
+			P50: ms(firstAnswer), P90: ms(finalAt), P99: ms(finalAt),
+			Max: ms(finalAt), Mean: ms(finalAt) / float64(len(events)),
+		},
+		Server: serverDeltas{
+			Admitted:             after.AdmittedTotal - before.AdmittedTotal,
+			Solves:               after.SolvesTotal - before.SolvesTotal,
+			FeasibilityCacheHits: after.FeasibilityCache.Hits - before.FeasibilityCache.Hits,
+			FeasibilityCacheMiss: after.FeasibilityCache.Misses - before.FeasibilityCache.Misses,
+		},
+		Watch: &watchReport{
+			Events:          len(events),
+			FirstAnswerMs:   ms(firstAnswer),
+			FirstGap:        events[0].Gap,
+			FinalGap:        final.Gap,
+			TimeToGap10Ms:   ms(timeTo10),
+			FinalMs:         ms(finalAt),
+			MonotoneGap:     monotone,
+			RefinementRungs: after.RefinementRungsTotal - before.RefinementRungsTotal,
+			Verified:        verified,
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if c.out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(c.out, data, 0o644); err != nil {
+		fail(err)
+	}
+	gap10 := "never"
+	if timeTo10 > 0 {
+		gap10 = fmt.Sprintf("at %.1fms", rep.Watch.TimeToGap10Ms)
+	}
+	fmt.Printf("ccload: anytime watch: first answer %.1fms (gap %.3f), %d events to final %.1fms (gap %.3f), gap<=10%% %s, verified=%v → %s\n",
+		rep.Watch.FirstAnswerMs, rep.Watch.FirstGap, rep.Watch.Events, rep.Watch.FinalMs, rep.Watch.FinalGap,
+		gap10, rep.Watch.Verified, c.out)
+}
+
+// gaps projects the events' gap sequence for error messages.
+func gaps(evs []server.WatchEvent) []float64 {
+	out := make([]float64, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Gap
+	}
+	return out
+}
+
 // histPercentile estimates the p-quantile (in milliseconds) of the run's
 // share of a cumulative latency histogram: per-bucket deltas between the
 // after and before scrapes, with the quantile read off the first bucket
@@ -708,6 +933,7 @@ func main() {
 		wait      = flag.Duration("wait", 5*time.Minute, "client-side wait per request")
 		out       = flag.String("out", "", "write the JSON report here (default stdout)")
 		label     = flag.String("label", "", "free-form label recorded in the report")
+		watch     = flag.Bool("watch", false, "anytime mode: create one TierAnytime session, stream /watch to the terminal rung, assert >= 2 events with monotone non-increasing gaps, record time-to-first-answer and time-to-gap<=10%")
 		churn     = flag.Float64("churn", 0, "session mode: fraction of jobs mutated per round (0 = classic load mode)")
 		rounds    = flag.Int("rounds", 20, "session mode: delta rounds")
 		resizePct = flag.Float64("churn-resize-pct", 2, "session mode: max resize magnitude as a percentage of the current size")
@@ -728,8 +954,24 @@ func main() {
 		fail(err)
 	}
 	opts := ccsched.Options{Variant: v, Tier: tr}
-	if tr == ccsched.TierPTAS || tr == ccsched.TierAuto {
+	if tr == ccsched.TierPTAS || tr == ccsched.TierAuto || tr == ccsched.TierAnytime || *watch {
 		opts.Epsilon = *eps
+	}
+
+	if *watch {
+		runWatch(watchConfig{
+			url: *url, family: *family, n: *n, classes: *classes, m: *m,
+			slots: *slots, pmax: *pmax, seed: *seed, opts: opts,
+			verify: *verify, timeoutMs: *timeoutMs, wait: *wait,
+			out: *out, label: *label, retries: *retries,
+			cfg: runConfig{
+				URL: *url, Clients: 1, Requests: 1, Family: *family,
+				N: *n, Classes: *classes, Machines: *m, Slots: *slots,
+				PMax: *pmax, Seed: *seed, Variant: v.String(), Tier: ccsched.TierAnytime.String(),
+				Epsilon: opts.Epsilon, TimeoutMs: *timeoutMs,
+			},
+		})
+		return
 	}
 
 	if *churn > 0 {

@@ -22,6 +22,12 @@
 //	DELETE /v1/sessions/{id}  drop the session
 //	GET    /v1/sessions/{id}/export   versioned session snapshot (live migration)
 //	PUT    /v1/sessions/{id}/export   import a snapshot under the given id
+//	GET    /v1/sessions/{id}/watch    SSE stream of an anytime session's
+//	                          refinement improvements (options.tier "anytime":
+//	                          instant 2-approx answer, background ε-ladder
+//	                          refinement on the -refine-workers pool;
+//	                          Last-Event-ID resumes after a disconnect or
+//	                          restart without duplicate generations)
 //	GET    /healthz           liveness + queue gauges (200 for as long as the
 //	                          process serves, draining included)
 //	GET    /readyz            readiness: 503 while draining, while the queue
@@ -96,26 +102,28 @@ func pprofMux() *http.ServeMux {
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "solver pool size (0 = 4)")
-		queue       = flag.Int("queue", 256, "bounded admission queue depth (excess gets 429)")
-		resultCache = flag.Int("result-cache", 1024, "full-result LRU entries")
-		defTimeout  = flag.Duration("default-timeout", 120*time.Second, "solve deadline for requests without timeout_ms")
-		maxTimeout  = flag.Duration("max-timeout", 15*time.Minute, "cap on the wire-settable timeout_ms")
-		maxJobs     = flag.Int("max-jobs", 100000, "largest admitted instance (jobs)")
-		maxSessions = flag.Int("max-sessions", 1024, "cap on live scheduling sessions (excess creations get 429)")
-		maxBody     = flag.Int64("max-body", 32<<20, "maximum request body bytes")
-		stateDir    = flag.String("state-dir", "", "directory for durable session snapshots (restore on boot, checkpoint while running, snapshot on drain); empty disables persistence")
-		checkpoint  = flag.Duration("checkpoint", 0, "background checkpoint interval for dirty sessions when -state-dir is set (0 = 30s)")
-		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight solves are canceled")
-		quiet       = flag.Bool("quiet", false, "suppress per-solve and per-request logging (warnings still log)")
-		logFormat   = flag.String("log-format", "text", "structured log format: text | json")
-		traceRing   = flag.Int("trace-ring", 0, "slowest-traces debug ring capacity at /v1/debug/traces (0 = 16, negative disables tracing unless requested)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); off by default")
-		enginePar   = flag.Int("engine-parallelism", 0, "intra-engine worker count for requests that do not set engine_parallelism (clamped to GOMAXPROCS; 0 keeps engines serial; results are bit-identical at any value)")
-		softTimeout = flag.Duration("soft-timeout", 0, "degraded-fallback deadline: synchronous solves still running this long are answered with the 2-approx while the full solve continues (0 disables; soft_timeout_ms overrides per request)")
-		faultAdmin  = flag.Bool("fault-admin", false, "expose the fault-injection registry at /v1/debug/faults (chaos testing only; never on an exposed port)")
-		faults      = flag.String("faults", "", "arm fault-injection specs at boot, comma-separated point=mode[:arg][*hits] clauses (also read from CCSCHED_FAULTS)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 0, "solver pool size (0 = 4)")
+		queue         = flag.Int("queue", 256, "bounded admission queue depth (excess gets 429)")
+		resultCache   = flag.Int("result-cache", 1024, "full-result LRU entries")
+		defTimeout    = flag.Duration("default-timeout", 120*time.Second, "solve deadline for requests without timeout_ms")
+		maxTimeout    = flag.Duration("max-timeout", 15*time.Minute, "cap on the wire-settable timeout_ms")
+		maxJobs       = flag.Int("max-jobs", 100000, "largest admitted instance (jobs)")
+		maxSessions   = flag.Int("max-sessions", 1024, "cap on live scheduling sessions (excess creations get 429)")
+		maxBody       = flag.Int64("max-body", 32<<20, "maximum request body bytes")
+		stateDir      = flag.String("state-dir", "", "directory for durable session snapshots (restore on boot, checkpoint while running, snapshot on drain); empty disables persistence")
+		checkpoint    = flag.Duration("checkpoint", 0, "background checkpoint interval for dirty sessions when -state-dir is set (0 = 30s)")
+		grace         = flag.Duration("grace", 30*time.Second, "shutdown drain budget before in-flight solves are canceled")
+		quiet         = flag.Bool("quiet", false, "suppress per-solve and per-request logging (warnings still log)")
+		logFormat     = flag.String("log-format", "text", "structured log format: text | json")
+		traceRing     = flag.Int("trace-ring", 0, "slowest-traces debug ring capacity at /v1/debug/traces (0 = 16, negative disables tracing unless requested)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); off by default")
+		enginePar     = flag.Int("engine-parallelism", 0, "intra-engine worker count for requests that do not set engine_parallelism (clamped to GOMAXPROCS; 0 keeps engines serial; results are bit-identical at any value)")
+		softTimeout   = flag.Duration("soft-timeout", 0, "degraded-fallback deadline: synchronous solves still running this long are answered with the 2-approx while the full solve continues (0 disables; soft_timeout_ms overrides per request)")
+		refineWorkers = flag.Int("refine-workers", 0, "low-priority worker pool refining anytime sessions through the ε-ladder (0 = 2; negative disables background refinement)")
+		refineBudget  = flag.Float64("refine-budget", 0, "per-tenant refinement budget in ladder rungs per second (X-Tenant-Id header selects the bucket; 0 = unlimited); an exhausted tenant's ladders park, metered, until tokens refill")
+		faultAdmin    = flag.Bool("fault-admin", false, "expose the fault-injection registry at /v1/debug/faults (chaos testing only; never on an exposed port)")
+		faults        = flag.String("faults", "", "arm fault-injection specs at boot, comma-separated point=mode[:arg][*hits] clauses (also read from CCSCHED_FAULTS)")
 	)
 	flag.Parse()
 	for _, specs := range []string{os.Getenv("CCSCHED_FAULTS"), *faults} {
@@ -175,6 +183,8 @@ func main() {
 		CheckpointInterval: *checkpoint,
 		EngineParallelism:  *enginePar,
 		SoftTimeout:        *softTimeout,
+		RefineWorkers:      *refineWorkers,
+		RefineBudgetPerSec: *refineBudget,
 		FaultAdmin:         *faultAdmin,
 		TraceRing:          *traceRing,
 		Cache:              ccsched.NewFeasibilityCache(),

@@ -380,7 +380,7 @@ func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*
 	tsp := opts.Trace.Child("template_build")
 	tm := newNPTemplate(in, g, opts.maxConfigs())
 	tsp.End()
-	seed, rec := opts.Session.probeSeed(cacheNonPreemptive, 1)
+	seed, rec := opts.Session.probeSeed(cacheNonPreemptive, g, 1)
 	ssp := opts.Trace.Child("guess_search")
 	opts.Trace = ssp // probes hang their spans off the search span
 	probe := func(pctx context.Context, t int64) (payload, bool, error) {
@@ -421,7 +421,7 @@ func SolveNonPreemptive(ctx context.Context, in *core.Instance, opts Options) (*
 		trace.A("seeded", b2i(opts.Session != nil)),
 	)
 	if err == nil {
-		opts.Session.noteSearch(cacheNonPreemptive, guess, 1, rec)
+		opts.Session.noteSearch(cacheNonPreemptive, g, guess, 1, rec)
 	}
 	if err != nil {
 		if ctx.Err() != nil {

@@ -333,7 +333,7 @@ func solvePreemptiveScaled(ctx context.Context, in *core.Instance, g, scale int6
 	var best payload
 	var guess int64
 	if err == nil {
-		seed, rec := opts.Session.probeSeed(cachePreemptive, scale)
+		seed, rec := opts.Session.probeSeed(cachePreemptive, g, scale)
 		ssp := opts.Trace.Child("guess_search")
 		opts.Trace = ssp // probes hang their spans off the search span
 		probe := func(pctx context.Context, t int64) (payload, bool, error) {
@@ -374,7 +374,7 @@ func solvePreemptiveScaled(ctx context.Context, in *core.Instance, g, scale int6
 			trace.A("seeded", b2i(opts.Session != nil)),
 		)
 		if err == nil {
-			opts.Session.noteSearch(cachePreemptive, guess, scale, rec)
+			opts.Session.noteSearch(cachePreemptive, g, guess, scale, rec)
 		}
 	}
 	if err != nil {

@@ -49,8 +49,13 @@ type SessionState struct {
 // variant tags).
 type sessionSeed struct {
 	// guess is the previously accepted makespan guess, in the units of the
-	// scale it was found under.
+	// scale it was found under, valid only for the accuracy g it was found
+	// at: a different g means a different rounding grid, where seeding from
+	// a foreign boundary could steer a node-capped search to a different
+	// (if still certified) outcome — the anytime ladder solves the same
+	// session at descending ε, so cross-ε seeds must not leak.
 	guess int64
+	g     int64
 	scale int64
 	// ray is the Farkas certificate of the previous boundary reject.
 	ray []float64
@@ -65,14 +70,22 @@ func NewSessionState() *SessionState {
 
 // seedFor returns the seed guess (rescaled into the current scale when the
 // previous solve ran under a different power-of-two scaling), certificate
-// and root hint for one probe shape. A zero guess means "no seed".
-func (st *SessionState) seedFor(tag byte, scale int64) (guess int64, ray []float64, root *lp.Basis) {
+// and root hint for one probe shape. A zero guess means "no seed". A seed
+// recorded under a different accuracy g contributes only its certificate
+// and root basis (both verdict-preserving under any g — the ray is
+// re-verified against each candidate, the basis is a verdict-only hint);
+// its guess stays out of the search, which falls back to the cold binary
+// search over the new grid.
+func (st *SessionState) seedFor(tag byte, g, scale int64) (guess int64, ray []float64, root *lp.Basis) {
 	if st == nil {
 		return 0, nil, nil
 	}
 	s := st.seeds[tag]
 	if s == nil {
 		return 0, nil, nil
+	}
+	if s.g != g {
+		return 0, s.ray, s.root
 	}
 	guess = s.guess
 	if s.scale != scale && s.scale > 0 {
@@ -89,11 +102,11 @@ func (st *SessionState) seedFor(tag byte, scale int64) (guess int64, ray []float
 // probeSeed builds one re-solve's seed guess and recorder for a probe
 // shape; a nil state returns a zero seed and nil recorder, which select the
 // cold search behavior everywhere downstream.
-func (st *SessionState) probeSeed(tag byte, scale int64) (int64, *sessionRecorder) {
+func (st *SessionState) probeSeed(tag byte, g, scale int64) (int64, *sessionRecorder) {
 	if st == nil {
 		return 0, nil
 	}
-	guess, ray, root := st.seedFor(tag, scale)
+	guess, ray, root := st.seedFor(tag, g, scale)
 	return guess, &sessionRecorder{seedGuess: guess, ray: ray, root: root}
 }
 
@@ -101,11 +114,11 @@ func (st *SessionState) probeSeed(tag byte, scale int64) (int64, *sessionRecorde
 // certificate and root basis for the next re-solve. When this search
 // produced no fresh certificate or basis (every probe answered from the
 // cache), the previous ones are kept as long as the scale still matches.
-func (st *SessionState) noteSearch(tag byte, guess, scale int64, rec *sessionRecorder) {
+func (st *SessionState) noteSearch(tag byte, g, guess, scale int64, rec *sessionRecorder) {
 	if st == nil {
 		return
 	}
-	s := &sessionSeed{guess: guess, scale: scale}
+	s := &sessionSeed{guess: guess, g: g, scale: scale}
 	if rec != nil {
 		s.ray, s.root = rec.newRay, rec.newRoot
 	}

@@ -250,7 +250,7 @@ func solveSplittableAnyM(ctx context.Context, in *core.Instance, g, scale int64,
 	tm, err := splitTemplateFor(opts.Session, in, g, opts.maxConfigs())
 	tsp.End()
 	if err == nil {
-		seed, rec := opts.Session.probeSeed(cacheSplit, scale)
+		seed, rec := opts.Session.probeSeed(cacheSplit, g, scale)
 		ssp := opts.Trace.Child("guess_search")
 		opts.Trace = ssp // probes hang their spans off the search span
 		probe := func(pctx context.Context, t int64) (payload, bool, error) {
@@ -289,7 +289,7 @@ func solveSplittableAnyM(ctx context.Context, in *core.Instance, g, scale int64,
 			trace.A("seeded", b2i(opts.Session != nil)),
 		)
 		if err == nil {
-			opts.Session.noteSearch(cacheSplit, guess, scale, rec)
+			opts.Session.noteSearch(cacheSplit, g, guess, scale, rec)
 			best.report.Guess = guess
 			best.report.Guesses = tried
 			stats.report(&best.report)

@@ -55,7 +55,7 @@ func solveSplittableHuge(ctx context.Context, in *core.Instance, g, scale int64,
 	var best payload
 	var guess int64
 	if err == nil {
-		seed, rec := opts.Session.probeSeed(cacheSplitHuge, scale)
+		seed, rec := opts.Session.probeSeed(cacheSplitHuge, g, scale)
 		ssp := opts.Trace.Child("guess_search")
 		opts.Trace = ssp // probes hang their spans off the search span
 		probe := func(pctx context.Context, t int64) (payload, bool, error) {
@@ -76,7 +76,7 @@ func solveSplittableHuge(ctx context.Context, in *core.Instance, g, scale int64,
 			trace.A("seeded", b2i(opts.Session != nil)),
 		)
 		if err == nil {
-			opts.Session.noteSearch(cacheSplitHuge, guess, scale, rec)
+			opts.Session.noteSearch(cacheSplitHuge, g, guess, scale, rec)
 		}
 	}
 	if err != nil {

@@ -143,6 +143,37 @@ type SessionResponse struct {
 	RequestID string `json:"request_id,omitempty"`
 }
 
+// WatchEvent is one Server-Sent Event on GET /v1/sessions/{id}/watch: an
+// anytime session's published improvement, carried in full (events are
+// self-contained state snapshots, so a subscriber that missed intermediate
+// events holds the current best after any single event). The SSE id line
+// carries Generation; reconnecting with Last-Event-ID replays everything
+// published after it.
+type WatchEvent struct {
+	// SessionID identifies the watched session.
+	SessionID string `json:"session_id"`
+	// Generation is the event's publication number, strictly increasing per
+	// session and never reused across server restarts (the floor is
+	// persisted before an event becomes visible).
+	Generation uint64 `json:"generation"`
+	// Rung and Rungs locate the improvement on the ε-ladder: rung 0 is the
+	// constant-factor first answer, Rungs-1 the terminal PTAS rung.
+	Rung  int `json:"rung"`
+	Rungs int `json:"rungs"`
+	// Epsilon is the rung's PTAS accuracy (0 on rung 0).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Gap is the certified optimality gap Makespan/LowerBound − 1.
+	Gap float64 `json:"gap"`
+	// Makespan and LowerBound are the exact rationals as "p/q" strings.
+	Makespan   string `json:"makespan"`
+	LowerBound string `json:"lower_bound"`
+	// Final marks the terminal rung: the stream ends after this event, and
+	// no further refinement follows until the next delta.
+	Final bool `json:"final"`
+	// Result is the full improvement in the session's job order.
+	Result *ccsched.Result `json:"result,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	// Error describes what was rejected and why.

@@ -123,10 +123,10 @@ func requestKey(canon *ccsched.Instance, opts ccsched.Options) key {
 		tier = ccsched.TierPTAS
 	}
 	eps := opts.Epsilon
-	if tier != ccsched.TierPTAS {
+	if tier != ccsched.TierPTAS && tier != ccsched.TierAnytime {
 		eps = 0 // ignored by the approx and exact tiers
 	} else if eps == 0 {
-		eps = 0.5 // Solve's default
+		eps = 0.5 // Solve's default (also the anytime terminal rung's)
 	}
 	put(int64(opts.Variant))
 	put(int64(tier))

@@ -19,6 +19,10 @@ import (
 //	                          up to ?wait= (default 30s; 0 = async submit),
 //	                          else returns 202 with a job id
 //	GET  /v1/jobs/{id}        poll a submission; ?wait= blocks until done
+//	GET  /v1/sessions/{id}/watch
+//	                          SSE stream of an anytime session's refinement
+//	                          improvements (see watch.go); Last-Event-ID
+//	                          replays missed generations on reconnect
 //	GET  /healthz             liveness: 200 with queue gauges for as long as
 //	                          the process serves (draining included)
 //	GET  /readyz              readiness: 503 while draining, while the
@@ -63,6 +67,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleSessionExport)
 	mux.HandleFunc("PUT /v1/sessions/{id}/export", s.handleSessionImport)
+	mux.HandleFunc("GET /v1/sessions/{id}/watch", s.handleSessionWatch)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

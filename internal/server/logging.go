@@ -105,6 +105,14 @@ func (w *statusRecorder) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
+// Flush forwards http.Flusher, so SSE streams (/watch) flush through the
+// logging middleware instead of buffering until the stream ends.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // outcomeForStatus is the fallback label when no handler called setOutcome.
 func outcomeForStatus(status int) string {
 	switch status {

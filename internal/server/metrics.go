@@ -47,6 +47,49 @@ func (h *latencyHist) snapshot() LatencySnapshot {
 	return out
 }
 
+// gapBuckets are the upper bounds of the anytime optimality-gap histogram.
+// Gaps are dimensionless ratios (Makespan/LowerBound − 1), not durations, so
+// this histogram has its own bucket scale and its own Prometheus renderer
+// (promGapHistogram — no millisecond-to-second conversion).
+var gapBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2}
+
+// gapHist is one lock-free cumulative histogram over dimensionless gap
+// values, mirroring latencyHist's layout.
+type gapHist struct {
+	counts [9]atomic.Int64 // len(gapBuckets)+1, last is +Inf
+	total  atomic.Int64
+	sumE6  atomic.Int64 // sum in millionths, so the accumulator stays integral
+}
+
+// observe records one published improvement's optimality gap.
+func (h *gapHist) observe(gap float64) {
+	i := 0
+	for i < len(gapBuckets) && gap > gapBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumE6.Add(int64(gap * 1e6))
+}
+
+// snapshot renders the histogram.
+func (h *gapHist) snapshot() GapSnapshot {
+	out := GapSnapshot{
+		Count: h.total.Load(),
+		Sum:   float64(h.sumE6.Load()) / 1e6,
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b := GapBucket{Count: cum}
+		if i < len(gapBuckets) {
+			b.Le = gapBuckets[i]
+		}
+		out.Buckets = append(out.Buckets, b)
+	}
+	return out
+}
+
 // metrics holds the service counters. All fields are atomics, so the hot
 // path never takes a lock to count.
 type metrics struct {
@@ -62,6 +105,12 @@ type metrics struct {
 
 	sessionsCreated atomic.Int64 // sessions ever created
 	sessionResolves atomic.Int64 // session re-solves executed by workers
+
+	refineRungs           atomic.Int64 // anytime ε-ladder rungs executed by the refinement pool
+	refineBudgetExhausted atomic.Int64 // refinement steps parked on an exhausted tenant budget
+	refineParked          atomic.Int64 // gauge: ladders currently parked (budget or queue pressure)
+	watchStreams          atomic.Int64 // gauge: open /watch SSE streams
+	anytimeGap            gapHist      // optimality gaps of published anytime improvements
 
 	panicsRecovered     atomic.Int64 // solves that ended in a recovered panic (ErrInternal)
 	keysQuarantined     atomic.Int64 // request keys quarantined after repeated panics
@@ -110,6 +159,26 @@ type LatencySnapshot struct {
 	Buckets []LatencyBucket `json:"buckets"`
 }
 
+// GapBucket is one cumulative optimality-gap histogram bucket: Count
+// observations had a gap of at most Le. Le is 0 for the final +Inf bucket.
+type GapBucket struct {
+	Le    float64 `json:"le,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// GapSnapshot is the anytime optimality-gap histogram at one point in time:
+// every published refinement improvement contributes its dimensionless
+// Makespan/LowerBound − 1 gap.
+type GapSnapshot struct {
+	// Count is the number of published improvements observed.
+	Count int64 `json:"count"`
+	// Sum is the summed gap over all observations.
+	Sum float64 `json:"sum"`
+	// Buckets is the cumulative histogram; the last bucket (le omitted)
+	// counts everything.
+	Buckets []GapBucket `json:"buckets"`
+}
+
 // CacheStats reports the shared feasibility cache's counters.
 type CacheStats struct {
 	// Hits and Misses are cumulative lookup counters.
@@ -156,6 +225,20 @@ type MetricsSnapshot struct {
 	// DegradedServedTotal counts degraded 2-approx answers served in place of
 	// the requested tier (soft-timeout expiry or admission saturation).
 	DegradedServedTotal int64 `json:"degraded_served_total"`
+	// RefinementRungsTotal counts anytime ε-ladder rungs executed by the
+	// refinement pool, published improvements and silent rungs alike.
+	RefinementRungsTotal int64 `json:"refinement_rungs_total"`
+	// RefineBudgetExhaustedTotal counts refinement steps parked because the
+	// session's tenant had no refinement budget token left.
+	RefineBudgetExhaustedTotal int64 `json:"refine_budget_exhausted_total"`
+	// RefineParked is the number of anytime ladders currently parked —
+	// waiting for tenant budget tokens or refinement queue room.
+	RefineParked int64 `json:"refine_parked"`
+	// WatchStreams is the number of open /watch SSE streams right now.
+	WatchStreams int64 `json:"watch_streams"`
+	// AnytimeGap is the histogram of optimality gaps over published anytime
+	// improvements (dimensionless Makespan/LowerBound − 1).
+	AnytimeGap GapSnapshot `json:"anytime_gap"`
 	// SessionsActive is the number of live sessions right now.
 	SessionsActive int `json:"sessions_active"`
 	// SessionsCreatedTotal counts sessions ever created.

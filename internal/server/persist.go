@@ -110,8 +110,10 @@ func writeSessionSnapshot(dir, id string, payload []byte) error {
 		return err
 	}
 	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+		// Directory fsync is best-effort: the file itself is already durable,
+		// this only hardens the rename's visibility after a crash.
+		_ = d.Sync()
+		_ = d.Close()
 	}
 	return nil
 }
@@ -173,7 +175,14 @@ func (s *Server) restoreSnapshots() {
 			timeout: s.cfg.DefaultTimeout,
 		}
 		sv.ckptGen.Store(sess.Generation())
+		s.armAnytime(sv, "")
 		s.sessions[id] = sv
+		if sv.any != nil {
+			// Boot is single-threaded and the refine queue is buffered with
+			// workers not yet running, so this cannot block; the ladder resumes
+			// (or re-publishes the terminal rung) as soon as workers start.
+			s.enqueueRefine(sv.any)
+		}
 		s.met.snapshotRestores.Add(1)
 		s.met.restoreLatency.observe(time.Since(start))
 		s.logger.Info("session restored from snapshot", "session", id, "jobs", len(sess.JobIDs()))
@@ -371,6 +380,7 @@ func (s *Server) removeSnapshot(id string) {
 		return
 	}
 	os.Remove(filepath.Join(s.cfg.StateDir, id+snapExt))
+	os.Remove(filepath.Join(s.cfg.StateDir, id+genExt))
 }
 
 // handleSessionExport serves GET /v1/sessions/{id}/export: the session's
@@ -394,7 +404,9 @@ func (s *Server) handleSessionExport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	w.Write(data)
+	if _, err := w.Write(data); err != nil {
+		s.logger.Warn("session export write failed", "session", sv.id, "err", err)
+	}
 }
 
 // handleSessionImport serves PUT /v1/sessions/{id}/export: restores an
@@ -447,9 +459,13 @@ func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "%v: %d live", ErrTooManySessions, len(s.sessions))
 		return
 	}
+	s.armAnytime(sv, r.Header.Get("X-Tenant-Id"))
 	s.sessions[id] = sv
 	s.met.sessionsCreated.Add(1)
 	s.mu.Unlock()
+	if sv.any != nil {
+		s.enqueueRefine(sv.any)
+	}
 	s.met.snapshotRestores.Add(1)
 	s.met.restoreLatency.observe(time.Since(start))
 	in := sess.Instance()

@@ -45,8 +45,26 @@ func promHistogram(w io.Writer, name, help string, h LatencySnapshot) {
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }
 
+// promGapHistogram writes one cumulative histogram over dimensionless
+// optimality-gap values. Unlike promHistogram there is no
+// millisecond-to-second unit conversion: gaps are ratios, already in their
+// base unit.
+func promGapHistogram(w io.Writer, name, help string, h GapSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, b := range h.Buckets {
+		le := "+Inf"
+		if b.Le != 0 {
+			le = strconv.FormatFloat(b.Le, 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatPromValue(h.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
 // renderProm writes the full snapshot in exposition format. Counter names
-// end in _total, histograms are in seconds, gauges are bare.
+// end in _total, histograms are in seconds (except the dimensionless
+// anytime gap), gauges are bare.
 func renderProm(w io.Writer, m MetricsSnapshot) {
 	c := func(name, help string, v int64) { promMetric(w, name, "counter", help, float64(v)) }
 	g := func(name, help string, v float64) { promMetric(w, name, "gauge", help, v) }
@@ -71,6 +89,8 @@ func renderProm(w io.Writer, m MetricsSnapshot) {
 	c("ccsched_persist_degraded_total", "Transitions into in-memory-only checkpointing after persistent disk failure.", m.PersistDegradedTotal)
 	c("ccsched_snapshot_restores_total", "Sessions restored from snapshots (boot or import).", m.SnapshotRestoresTotal)
 	c("ccsched_snapshot_corrupt_skipped_total", "Snapshot files skipped on boot as unreadable or stale.", m.SnapshotCorruptSkipped)
+	c("ccsched_refinement_rungs_total", "Anytime refinement ladder rungs executed.", m.RefinementRungsTotal)
+	c("ccsched_refine_budget_exhausted_total", "Refinement steps parked on an exhausted tenant budget.", m.RefineBudgetExhaustedTotal)
 	c("ccsched_feasibility_cache_hits_total", "Feasibility cache lookup hits.", m.FeasibilityCache.Hits)
 	c("ccsched_feasibility_cache_misses_total", "Feasibility cache lookup misses.", m.FeasibilityCache.Misses)
 
@@ -86,6 +106,8 @@ func renderProm(w io.Writer, m MetricsSnapshot) {
 		degraded = 1
 	}
 	g("ccsched_checkpoint_degraded", "1 while checkpointing is degraded to in-memory-only, else 0.", degraded)
+	g("ccsched_refine_parked", "Anytime ladders currently parked awaiting refinement budget or queue room.", float64(m.RefineParked))
+	g("ccsched_watch_streams", "Open /watch SSE streams.", float64(m.WatchStreams))
 	g("ccsched_feasibility_cache_entries", "Memoized guess verdicts.", float64(m.FeasibilityCache.Entries))
 	g("ccsched_uptime_seconds", "Seconds since the server was created.", m.UptimeSeconds)
 
@@ -93,4 +115,5 @@ func renderProm(w io.Writer, m MetricsSnapshot) {
 	promHistogram(w, "ccsched_session_solve_latency_seconds", "Session re-solve wall clock.", m.SessionSolveLatency)
 	promHistogram(w, "ccsched_queue_wait_latency_seconds", "Admission-to-worker-pickup wait.", m.QueueWaitLatency)
 	promHistogram(w, "ccsched_restore_latency_seconds", "Session snapshot restore wall clock.", m.RestoreLatency)
+	promGapHistogram(w, "ccsched_anytime_gap", "Optimality gap of published anytime improvements (makespan/lower_bound - 1).", m.AnytimeGap)
 }

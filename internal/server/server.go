@@ -92,6 +92,18 @@ type Config struct {
 	// with soft_timeout_ms (negative disables per request). Zero disables the
 	// soft deadline by default.
 	SoftTimeout time.Duration
+	// RefineWorkers is the anytime refinement pool size — the workers that
+	// step TierAnytime sessions' ε-ladders in the background. The pool is
+	// separate from Workers, so refinement never starves interactive solves.
+	// Zero selects 2; negative disables background refinement (ladders stay
+	// at their first answer until stepped by nothing — useful in tests).
+	RefineWorkers int
+	// RefineBudgetPerSec is each tenant's refinement admission budget in
+	// ladder rungs per second (tenant = X-Tenant-Id at session create,
+	// "default" when absent). An exhausted bucket parks the tenant's ladders
+	// — metered via refine_budget_exhausted_total and the refine_parked
+	// gauge — until tokens refill. Zero or negative is unlimited.
+	RefineBudgetPerSec float64
 	// PanicQuarantineThreshold is how many consecutive recovered-panic
 	// (ccsched.ErrInternal) outcomes one request key may produce before new
 	// submissions of that key are refused with 422 for
@@ -155,6 +167,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StateDir != "" && c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.RefineWorkers == 0 {
+		c.RefineWorkers = 2
+	}
+	if c.RefineWorkers < 0 {
+		c.RefineWorkers = 0
 	}
 	if c.PanicQuarantineThreshold == 0 {
 		c.PanicQuarantineThreshold = 3
@@ -249,6 +267,15 @@ type Server struct {
 	queue chan *flight
 	wg    sync.WaitGroup
 
+	// refineQ feeds the anytime refinement pool; refineStop ends the refine
+	// workers and the nudger on Shutdown (the queue itself stays open —
+	// late enqueues land in the buffer and are simply never drained).
+	// budgets holds the per-tenant refinement token buckets.
+	refineQ    chan *anytimeRun
+	refineStop chan struct{}
+	budgetMu   sync.Mutex
+	budgets    map[string]*refineBudget
+
 	// ckptStop/ckptDone manage the background checkpointer (StateDir only):
 	// Shutdown closes ckptStop once, the checkpointer closes ckptDone on
 	// exit, and the final drain snapshot pass waits on ckptDone so disk
@@ -322,8 +349,14 @@ func New(cfg Config) *Server {
 		jobs:       newLRU[string, jobEntry](4 * cfg.ResultCacheEntries),
 		sessions:   make(map[string]*svcSession),
 		queue:      make(chan *flight, cfg.QueueDepth),
+		refineStop: make(chan struct{}),
+		budgets:    make(map[string]*refineBudget),
 		start:      time.Now(),
 	}
+	// Sized so every live session can queue once (the queued flag caps each
+	// at one entry) with headroom for dead entries of dropped sessions; the
+	// non-blocking enqueue parks on overflow either way.
+	s.refineQ = make(chan *anytimeRun, 4*cfg.MaxSessions)
 	if cfg.TraceRing > 0 {
 		s.traces = newTraceRing(cfg.TraceRing)
 	}
@@ -344,6 +377,13 @@ func New(cfg Config) *Server {
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.RefineWorkers > 0 {
+		s.wg.Add(cfg.RefineWorkers + 1)
+		for i := 0; i < cfg.RefineWorkers; i++ {
+			go s.refineWorker()
+		}
+		go s.refineNudger()
 	}
 	return s
 }
@@ -703,6 +743,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if first {
 		s.closed = true
 		close(s.queue)
+		close(s.refineStop)
 		if s.ckptStop != nil {
 			close(s.ckptStop)
 		}
@@ -745,39 +786,44 @@ func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Unlock()
 	hits, misses := s.cfg.Cache.Stats()
 	return MetricsSnapshot{
-		RequestsTotal:            s.met.requests.Load(),
-		AdmittedTotal:            s.met.admitted.Load(),
-		RejectedQueueFullTotal:   s.met.rejectedFull.Load(),
-		CoalescedHitsTotal:       s.met.coalesced.Load(),
-		ResultCacheHitsTotal:     s.met.resultCacheHits.Load(),
-		SolvesTotal:              s.met.solves.Load(),
-		SolveErrorsTotal:         s.met.solveErrors.Load(),
-		SolveCanceledTotal:       s.met.solveCanceled.Load(),
-		PanicsRecoveredTotal:     s.met.panicsRecovered.Load(),
-		KeysQuarantinedTotal:     s.met.keysQuarantined.Load(),
-		RejectedQuarantinedTotal: s.met.rejectedQuarantined.Load(),
-		DegradedServedTotal:      s.met.degradedServed.Load(),
-		SessionsActive:           sessionsActive,
-		SessionsCreatedTotal:     s.met.sessionsCreated.Load(),
-		SessionResolvesTotal:     s.met.sessionResolves.Load(),
-		QueueDepth:               len(s.queue),
-		QueueCapacity:            cap(s.queue),
-		Workers:                  s.cfg.Workers,
-		WorkersBusy:              s.met.workersBusy.Load(),
-		InFlight:                 inFlight,
-		ResultCacheEntries:       resultEntries,
-		FeasibilityCache:         CacheStats{Hits: hits, Misses: misses, Entries: s.cfg.Cache.Len()},
-		SolveLatency:             s.met.solveLatency.snapshot(),
-		SessionSolveLatency:      s.met.sessionLatency.snapshot(),
-		QueueWaitLatency:         s.met.queueWait.snapshot(),
-		SnapshotWritesTotal:      s.met.snapshotWrites.Load(),
-		SnapshotWriteErrors:      s.met.snapshotWriteErrors.Load(),
-		SnapshotRetriesTotal:     s.met.snapshotRetries.Load(),
-		SnapshotRestoresTotal:    s.met.snapshotRestores.Load(),
-		SnapshotCorruptSkipped:   s.met.snapshotCorruptSkipped.Load(),
-		PersistDegradedTotal:     s.met.persistDegradedEvents.Load(),
-		CheckpointDegraded:       s.persistDegraded.Load(),
-		RestoreLatency:           s.met.restoreLatency.snapshot(),
-		UptimeSeconds:            time.Since(s.start).Seconds(),
+		RequestsTotal:              s.met.requests.Load(),
+		AdmittedTotal:              s.met.admitted.Load(),
+		RejectedQueueFullTotal:     s.met.rejectedFull.Load(),
+		CoalescedHitsTotal:         s.met.coalesced.Load(),
+		ResultCacheHitsTotal:       s.met.resultCacheHits.Load(),
+		SolvesTotal:                s.met.solves.Load(),
+		SolveErrorsTotal:           s.met.solveErrors.Load(),
+		SolveCanceledTotal:         s.met.solveCanceled.Load(),
+		PanicsRecoveredTotal:       s.met.panicsRecovered.Load(),
+		KeysQuarantinedTotal:       s.met.keysQuarantined.Load(),
+		RejectedQuarantinedTotal:   s.met.rejectedQuarantined.Load(),
+		DegradedServedTotal:        s.met.degradedServed.Load(),
+		RefinementRungsTotal:       s.met.refineRungs.Load(),
+		RefineBudgetExhaustedTotal: s.met.refineBudgetExhausted.Load(),
+		RefineParked:               s.met.refineParked.Load(),
+		WatchStreams:               s.met.watchStreams.Load(),
+		AnytimeGap:                 s.met.anytimeGap.snapshot(),
+		SessionsActive:             sessionsActive,
+		SessionsCreatedTotal:       s.met.sessionsCreated.Load(),
+		SessionResolvesTotal:       s.met.sessionResolves.Load(),
+		QueueDepth:                 len(s.queue),
+		QueueCapacity:              cap(s.queue),
+		Workers:                    s.cfg.Workers,
+		WorkersBusy:                s.met.workersBusy.Load(),
+		InFlight:                   inFlight,
+		ResultCacheEntries:         resultEntries,
+		FeasibilityCache:           CacheStats{Hits: hits, Misses: misses, Entries: s.cfg.Cache.Len()},
+		SolveLatency:               s.met.solveLatency.snapshot(),
+		SessionSolveLatency:        s.met.sessionLatency.snapshot(),
+		QueueWaitLatency:           s.met.queueWait.snapshot(),
+		SnapshotWritesTotal:        s.met.snapshotWrites.Load(),
+		SnapshotWriteErrors:        s.met.snapshotWriteErrors.Load(),
+		SnapshotRetriesTotal:       s.met.snapshotRetries.Load(),
+		SnapshotRestoresTotal:      s.met.snapshotRestores.Load(),
+		SnapshotCorruptSkipped:     s.met.snapshotCorruptSkipped.Load(),
+		PersistDegradedTotal:       s.met.persistDegradedEvents.Load(),
+		CheckpointDegraded:         s.persistDegraded.Load(),
+		RestoreLatency:             s.met.restoreLatency.snapshot(),
+		UptimeSeconds:              time.Since(s.start).Seconds(),
 	}
 }

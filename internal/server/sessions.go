@@ -49,6 +49,11 @@ type svcSession struct {
 	// requests can still opt in per-call with ?trace=1.
 	trace bool
 
+	// any is the anytime refinement state of a TierAnytime session (nil for
+	// every other tier). Set before the session becomes visible and never
+	// reassigned, so handlers read it without a lock.
+	any *anytimeRun
+
 	// ckptGen/ckptRes are the session generation and resolve count captured
 	// by the last successful checkpoint; the checkpointer skips sessions
 	// where both still match. Generation alone is not enough — warm state
@@ -64,8 +69,9 @@ type svcSession struct {
 // exist; the HTTP layer maps it to 429.
 var ErrTooManySessions = errors.New("server: too many live sessions")
 
-// createSession registers a new session under the cap.
-func (s *Server) createSession(in *ccsched.Instance, opts ccsched.Options, timeout time.Duration) (*svcSession, error) {
+// createSession registers a new session under the cap. tenant labels a
+// TierAnytime session's refinement budget bucket (ignored otherwise).
+func (s *Server) createSession(in *ccsched.Instance, opts ccsched.Options, timeout time.Duration, tenant string) (*svcSession, error) {
 	if in.N() > s.cfg.MaxJobs {
 		return nil, fmt.Errorf("%w: %d jobs > %d", ErrInstanceTooLarge, in.N(), s.cfg.MaxJobs)
 	}
@@ -107,6 +113,7 @@ func (s *Server) createSession(in *ccsched.Instance, opts ccsched.Options, timeo
 		opts:    opts,
 		timeout: timeout,
 	}
+	s.armAnytime(sv, tenant)
 	s.sessions[sv.id] = sv
 	s.met.sessionsCreated.Add(1)
 	return sv, nil
@@ -115,12 +122,15 @@ func (s *Server) createSession(in *ccsched.Instance, opts ccsched.Options, timeo
 // dropSession removes a session; reports whether it existed.
 func (s *Server) dropSession(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
+	sv, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	delete(s.sessions, id)
 	s.removeSnapshot(id)
+	s.mu.Unlock()
+	dropRefine(s, sv.any)
 	return true
 }
 
@@ -150,7 +160,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.requests.Add(1)
-	sv, err := s.createSession(req.Instance, req.Options, time.Duration(req.TimeoutMs)*time.Millisecond)
+	tenant := r.Header.Get("X-Tenant-Id")
+	sv, err := s.createSession(req.Instance, req.Options, time.Duration(req.TimeoutMs)*time.Millisecond, tenant)
 	if err != nil {
 		s.writeSessionError(w, "", err)
 		return
@@ -158,6 +169,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	sv.trace = wantTrace(r, req.Options.Trace)
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
+	if sv.any != nil {
+		// Anytime sessions bypass the flight pipeline: the first answer is
+		// the millisecond 2-approx, solved inline, and the refinement pool
+		// takes over in the background the moment the response is written.
+		s.solveSessionAnytime(w, r, sv, 0)
+		s.enqueueRefine(sv.any)
+		return
+	}
 	// The session outlives an initial-solve admission failure (queue full):
 	// the client holds the id and retries the solve with GET. Sessions are
 	// bounded by MaxSessions and freed by DELETE either way.
@@ -195,6 +214,16 @@ func (s *Server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, SessionResponse{SessionID: sv.id, Status: StatusError, Error: err.Error()})
 		return
 	}
+	if sv.any != nil {
+		// The delta bumped the session generation: cancel the in-flight rung
+		// (its result belongs to a dead generation and would be discarded
+		// anyway), answer with the fresh 2-approx inline, and restart the
+		// ladder — the next Step rebinds to the new generation automatically.
+		sv.any.cancelStep()
+		s.solveSessionAnytime(w, r, sv, time.Duration(delta.TimeoutMs)*time.Millisecond)
+		s.enqueueRefine(sv.any)
+		return
+	}
 	// An admission failure leaves the deltas applied — the session is the
 	// durable state, the solve is retryable via GET (or the next PATCH).
 	s.solveSession(w, r, sv, time.Duration(delta.TimeoutMs)*time.Millisecond, wait)
@@ -216,6 +245,10 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
+	if sv.any != nil {
+		s.solveSessionAnytime(w, r, sv, 0)
+		return
+	}
 	s.solveSession(w, r, sv, 0, wait)
 }
 

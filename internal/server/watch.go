@@ -1,0 +1,103 @@
+// GET /v1/sessions/{id}/watch: a Server-Sent Events stream of an anytime
+// session's published refinement improvements.
+//
+// Each event is one WatchEvent JSON document; the SSE id line carries the
+// event generation, so a reconnect with the standard Last-Event-ID header
+// replays exactly the events published after the client's last one — across
+// server restarts too, because generations are reserved on disk before they
+// become visible (see anytime.go). The event type is "update" for
+// intermediate rungs and "final" for the terminal rung, after which the
+// stream closes; a later delta restarts refinement and a reconnect picks the
+// new generations up.
+//
+// The replay contract: events are full-state snapshots (result + gap +
+// rung), so a subscriber that reconnects past the replay ring's horizon
+// still holds the current best after its first event — it only missed
+// intermediate gap readings.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// handleSessionWatch streams an anytime session's improvements as SSE.
+func (s *Server) handleSessionWatch(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	ar := sv.any
+	if ar == nil {
+		writeError(w, http.StatusConflict,
+			"session %q is not an anytime session (create it with options.tier \"anytime\")", sv.id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	var after uint64
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		g, err := strconv.ParseUint(lei, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "cannot parse Last-Event-ID %q", lei)
+			return
+		}
+		after = g
+	}
+	s.met.requests.Add(1)
+	s.met.watchStreams.Add(1)
+	defer s.met.watchStreams.Add(-1)
+	setOutcome(r, "watch")
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		evs, wait := ar.eventsSince(after)
+		for _, ev := range evs {
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			after = ev.Generation
+			if ev.Final {
+				flusher.Flush()
+				return
+			}
+		}
+		flusher.Flush()
+		if ar.isDead() {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one watch event in SSE framing: the id line (what a
+// reconnect echoes as Last-Event-ID), the event type and the JSON data.
+func writeSSE(w io.Writer, ev WatchEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	typ := "update"
+	if ev.Final {
+		typ = "final"
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Generation, typ, data)
+	return err
+}

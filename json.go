@@ -19,8 +19,8 @@ import (
 // "preemptive", "nonpreemptive"/"non-preemptive") to a Variant.
 func ParseVariant(s string) (Variant, error) { return core.ParseVariant(s) }
 
-// ParseTier maps the tier names ("auto", "approx", "ptas", "exact") to a
-// Tier.
+// ParseTier maps the tier names ("auto", "approx", "ptas", "exact",
+// "anytime") to a Tier.
 func ParseTier(s string) (Tier, error) {
 	switch s {
 	case "auto":
@@ -31,6 +31,8 @@ func ParseTier(s string) (Tier, error) {
 		return TierPTAS, nil
 	case "exact":
 		return TierExact, nil
+	case "anytime":
+		return TierAnytime, nil
 	default:
 		return 0, fmt.Errorf("ccsched: unknown tier %q", s)
 	}
@@ -40,7 +42,7 @@ func ParseTier(s string) (Tier, error) {
 // their conventional names in JSON.
 func (t Tier) MarshalText() ([]byte, error) {
 	switch t {
-	case TierAuto, TierApprox, TierPTAS, TierExact:
+	case TierAuto, TierApprox, TierPTAS, TierExact, TierAnytime:
 		return []byte(t.String()), nil
 	default:
 		return nil, fmt.Errorf("ccsched: cannot marshal unknown tier %d", int(t))

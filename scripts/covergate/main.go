@@ -1,0 +1,95 @@
+// Command covergate is the CI coverage gate: it computes total statement
+// coverage from a `go test -coverprofile` file and fails (exit 1) when it
+// drops below the committed floor.
+//
+// The floor is deliberately a ratchet, not a target: it is seeded from the
+// coverage the suite actually had when the gate landed, so the job starts
+// green and only a change that *loses* covered statements can trip it.
+// After a PR that meaningfully raises coverage, bump -floor's default here
+// so the gain cannot silently erode.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./scripts/covergate -profile cover.out
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// floorDefault is the committed coverage floor (percent of statements).
+// Seeded from the PR 10 suite; see the package comment for the ratchet
+// policy.
+const floorDefault = 69.0
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "covergate: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseProfile sums covered and total statement counts over a coverage
+// profile. Lines have the form
+//
+//	name.go:line.col,line.col numStmts hitCount
+//
+// after a leading "mode:" header. Duplicate blocks (merged profiles from
+// multiple packages) are counted as emitted — the same accounting
+// `go tool cover -func` uses for its total row.
+func parseProfile(path string) (covered, total int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return 0, 0, fmt.Errorf("malformed profile line: %q", line)
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("malformed statement count in %q: %v", line, err)
+		}
+		hits, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("malformed hit count in %q: %v", line, err)
+		}
+		total += stmts
+		if hits > 0 {
+			covered += stmts
+		}
+	}
+	return covered, total, sc.Err()
+}
+
+func main() {
+	var (
+		profile = flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+		floor   = flag.Float64("floor", floorDefault, "minimum total statement coverage (percent)")
+	)
+	flag.Parse()
+	covered, total, err := parseProfile(*profile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if total == 0 {
+		fatalf("profile %s covers zero statements — wrong file?", *profile)
+	}
+	pct := 100 * float64(covered) / float64(total)
+	fmt.Printf("covergate: %.1f%% of statements covered (%d/%d), floor %.1f%%\n", pct, covered, total, *floor)
+	if pct < *floor {
+		fatalf("coverage %.1f%% is below the %.1f%% floor — add tests or, if statements were intentionally removed, re-seed the floor", pct, *floor)
+	}
+}
